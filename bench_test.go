@@ -1,0 +1,409 @@
+package fgcs
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// two extension experiments. Each benchmark regenerates its table/figure
+// from scratch (workload generation, simulation, measurement, analysis)
+// and prints the resulting rows once, so `go test -bench=.` doubles as the
+// full reproduction harness. Custom metrics expose the headline numbers
+// (thresholds, ranges, errors) for regression tracking.
+//
+// The benchmark configurations are mildly reduced from the defaults the
+// cmd/ tools use (shorter measurement windows) to keep -bench=. runs in
+// seconds per experiment; the printed shapes are the same.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/contention"
+	"repro/internal/gsched"
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+// benchContention returns the reduced harness options for the figures.
+func benchContention() contention.Options {
+	opt := contention.DefaultOptions()
+	opt.Measure = 150 * time.Second
+	opt.Combos = 2
+	return opt
+}
+
+var printOnce sync.Map
+
+// printFirst prints s the first time key is seen, so benchmark output
+// carries each table exactly once regardless of b.N.
+func printFirst(key, s string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println(s)
+	}
+}
+
+// benchTrace memoizes the full 20x92 testbed trace shared by the trace
+// benchmarks' reporting (each benchmark still regenerates it inside the
+// timed loop).
+var (
+	benchTraceOnce sync.Once
+	benchTraceVal  *trace.Trace
+)
+
+func fullTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	benchTraceOnce.Do(func() {
+		tr, err := testbed.Run(testbed.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchTraceVal = tr
+	})
+	return benchTraceVal
+}
+
+// BenchmarkTable1 regenerates Table 1 (application resource profiles).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := contention.Table1()
+		if i == 0 {
+			printFirst("table1", s)
+		}
+	}
+}
+
+// BenchmarkFigure1a regenerates Figure 1(a): host slowdown vs LH and group
+// size with the guest at default priority; reports the derived Th1.
+func BenchmarkFigure1a(b *testing.B) {
+	opt := benchContention()
+	for i := 0; i < b.N; i++ {
+		res, err := contention.RunFigure1(opt, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if th, ok := res.Threshold(); ok {
+			b.ReportMetric(th, "Th1")
+		}
+		if i == 0 {
+			printFirst("fig1a", res.Format())
+		}
+	}
+}
+
+// BenchmarkFigure1b regenerates Figure 1(b): the same sweep at nice 19;
+// reports the derived Th2.
+func BenchmarkFigure1b(b *testing.B) {
+	opt := benchContention()
+	for i := 0; i < b.N; i++ {
+		res, err := contention.RunFigure1(opt, availability.LowestNice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if th, ok := res.Threshold(); ok {
+			b.ReportMetric(th, "Th2")
+		}
+		if i == 0 {
+			printFirst("fig1b", res.Format())
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2: the guest-priority sweep showing
+// gradual renicing buys no protection between Th1 and Th2.
+func BenchmarkFigure2(b *testing.B) {
+	opt := benchContention()
+	for i := 0; i < b.N; i++ {
+		res, err := contention.RunFigure2(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printFirst("fig2", res.Format())
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: guest CPU usage at equal vs
+// lowest priority under light host load; reports the mean gain (~2% in the
+// paper).
+func BenchmarkFigure3(b *testing.B) {
+	opt := benchContention()
+	for i := 0; i < b.N; i++ {
+		res, err := contention.RunFigure3(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanPriorityGain(), "prio-gain")
+		if i == 0 {
+			printFirst("fig3", res.Format())
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: SPEC-like guests against
+// Musbus-like hosts on the 384 MB machine, with thrashing stars.
+func BenchmarkFigure4(b *testing.B) {
+	opt := benchContention()
+	opt.Measure = 120 * time.Second
+	for i := 0; i < b.N; i++ {
+		res, err := contention.RunFigure4(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printFirst("fig4", res.Format())
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: the full 20-machine, 92-day testbed
+// simulation and per-cause unavailability ranges.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := testbed.Run(testbed.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb := tr.MakeTable2()
+		b.ReportMetric(float64(tb.Total.Min), "total-min")
+		b.ReportMetric(float64(tb.Total.Max), "total-max")
+		b.ReportMetric(tb.RebootShare, "reboot-share")
+		if i == 0 {
+			printFirst("table2", fmt.Sprintf(
+				"Table 2 — unavailability per machine over 92 days\n"+
+					"  total %d-%d\n  cpu contention %d-%d (%.0f-%.0f%%)\n"+
+					"  memory contention %d-%d (%.0f-%.0f%%)\n  URR %d-%d (%.0f-%.0f%%), %.0f%% reboots\n",
+				tb.Total.Min, tb.Total.Max,
+				tb.CPU.Min, tb.CPU.Max, tb.CPUPct[0]*100, tb.CPUPct[1]*100,
+				tb.Memory.Min, tb.Memory.Max, tb.MemoryPct[0]*100, tb.MemoryPct[1]*100,
+				tb.URR.Min, tb.URR.Max, tb.URRPct[0]*100, tb.URRPct[1]*100,
+				tb.RebootShare*100))
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: the CDF of availability-interval
+// lengths, weekday vs weekend.
+func BenchmarkFigure6(b *testing.B) {
+	base := fullTrace(b)
+	_ = base
+	for i := 0; i < b.N; i++ {
+		tr, err := testbed.Run(testbed.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wd := tr.IntervalECDF(sim.Weekday)
+		we := tr.IntervalECDF(sim.Weekend)
+		b.ReportMetric(wd.Mean(), "weekday-mean-h")
+		b.ReportMetric(we.Mean(), "weekend-mean-h")
+		if i == 0 {
+			var s string
+			s = "Figure 6 — availability-interval CDF (hours: weekday%, weekend%)\n"
+			for _, h := range []float64{1.0 / 12, 0.5, 1, 2, 3, 4, 5, 6, 8, 10, 12} {
+				s += fmt.Sprintf("  %6.2fh  %5.1f%%  %5.1f%%\n", h, wd.At(h)*100, we.At(h)*100)
+			}
+			s += fmt.Sprintf("  means: weekday %.2fh, weekend %.2fh", wd.Mean(), we.Mean())
+			printFirst("fig6", s)
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: unavailability occurrences per
+// hour of day with across-day ranges; reports the 4-5 AM updatedb spike.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := testbed.Run(testbed.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wd := tr.HourlyOccurrences(sim.Weekday)
+		we := tr.HourlyOccurrences(sim.Weekend)
+		b.ReportMetric(wd[4].Mean, "hour5-spike")
+		if i == 0 {
+			var s string
+			s = "Figure 7 — unavailability occurrences per hour (mean [min..max])\n"
+			s += fmt.Sprintf("  %-5s %-22s %-22s\n", "hour", "weekday", "weekend")
+			for h := 0; h < 24; h++ {
+				s += fmt.Sprintf("  %-5d %5.1f [%2.0f..%2.0f]         %5.1f [%2.0f..%2.0f]\n",
+					h+1, wd[h].Mean, wd[h].Min, wd[h].Max, we[h].Mean, we[h].Min, we[h].Max)
+			}
+			printFirst("fig7", s)
+		}
+	}
+}
+
+// BenchmarkPrediction regenerates the extension experiment E10: predictor
+// accuracy comparison on the testbed trace; reports the paper-predictor's
+// MAE and Brier score.
+func BenchmarkPrediction(b *testing.B) {
+	tr := fullTrace(b)
+	cfg := predict.EvalConfig{TrainDays: 28, Window: 3 * time.Hour}
+	for i := 0; i < b.N; i++ {
+		ev, err := predict.Evaluate(tr, predict.DefaultPredictors(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s, ok := ev.ScoreByName("history-window(trimmed)"); ok {
+			b.ReportMetric(s.MAE, "hw-MAE")
+			b.ReportMetric(s.Brier, "hw-Brier")
+		}
+		if i == 0 {
+			printFirst("prediction", ev.Format())
+		}
+	}
+}
+
+// BenchmarkLearningCurve regenerates the extension experiment E12: the
+// paper-predictor's accuracy as a function of history length; reports the
+// one-week and six-week MAEs, whose closeness quantifies how quickly the
+// daily pattern saturates.
+func BenchmarkLearningCurve(b *testing.B) {
+	tr := fullTrace(b)
+	for i := 0; i < b.N; i++ {
+		points, err := predict.LearningCurve(tr,
+			func() predict.Predictor { return &predict.HistoryWindow{Trim: 0.1} },
+			[]int{7, 28, 42},
+			predict.EvalConfig{Window: 3 * time.Hour, MaxMachines: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].Score.MAE, "MAE-7d")
+		b.ReportMetric(points[2].Score.MAE, "MAE-42d")
+		if i == 0 {
+			printFirst("curve", predict.FormatLearningCurve(points))
+		}
+	}
+}
+
+// BenchmarkMigration regenerates the extension experiment E13: proactive
+// mid-job migration on top of predictive placement.
+func BenchmarkMigration(b *testing.B) {
+	cfg := testbed.DefaultConfig()
+	cfg.Machines = 10
+	cfg.Days = 70
+	cfg.Workload.MachineRateSpread = 0.8
+	tr, err := testbed.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scfg := gsched.DefaultConfig()
+	scfg.Jobs = 300
+	hw := &predict.HistoryWindow{Trim: 0.1}
+	hw.Train(tr.Before(tr.Span.Start + sim.Time(scfg.TrainDays)*sim.Day))
+	pol := &gsched.Predictive{P: hw}
+	for i := 0; i < b.N; i++ {
+		plain, err := gsched.Simulate(tr, pol, scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mig, err := gsched.SimulateMigrating(tr, pol, pol, scfg, gsched.DefaultMigrationConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(plain.TotalFailures), "plain-failures")
+		b.ReportMetric(float64(mig.TotalFailures), "migrating-failures")
+		b.ReportMetric(float64(mig.Migrations), "migrations")
+		if i == 0 {
+			printFirst("migration", gsched.FormatResults([]gsched.Result{plain, mig}))
+		}
+	}
+}
+
+// BenchmarkCalibration regenerates the extension experiment E14: the
+// reliability diagram of the paper predictor's survival forecasts.
+func BenchmarkCalibration(b *testing.B) {
+	tr := fullTrace(b)
+	for i := 0; i < b.N; i++ {
+		bins, err := predict.Calibration(tr, &predict.HistoryWindow{Trim: 0.1},
+			predict.EvalConfig{TrainDays: 28, Window: 3 * time.Hour}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(predict.CalibrationError(bins), "ECE")
+		if i == 0 {
+			printFirst("calibration", predict.FormatCalibration(bins))
+		}
+	}
+}
+
+// BenchmarkWindowSensitivity regenerates the extension experiment E15:
+// predictor accuracy across prediction-window lengths.
+func BenchmarkWindowSensitivity(b *testing.B) {
+	tr := fullTrace(b)
+	for i := 0; i < b.N; i++ {
+		scores, err := predict.WindowSensitivity(tr,
+			func() predict.Predictor { return &predict.HistoryWindow{Trim: 0.1} },
+			[]time.Duration{time.Hour, 3 * time.Hour, 6 * time.Hour, 12 * time.Hour},
+			predict.EvalConfig{TrainDays: 28, MaxMachines: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(scores[0].Brier, "Brier-1h")
+		b.ReportMetric(scores[len(scores)-1].Brier, "Brier-12h")
+		if i == 0 {
+			printFirst("windows", predict.FormatWindowSensitivity(scores))
+		}
+	}
+}
+
+// BenchmarkPeriodicity regenerates the extension experiment E16: the
+// autocorrelation of the fleet-wide hourly failure series at the daily and
+// weekly lags — the paper's "daily patterns are comparable" claim as one
+// number.
+func BenchmarkPeriodicity(b *testing.B) {
+	tr := fullTrace(b)
+	for i := 0; i < b.N; i++ {
+		series := tr.HourlyCountSeries()
+		daily := stats.AutoCorrelation(series, 24)
+		weekly := stats.AutoCorrelation(series, 24*7)
+		b.ReportMetric(daily, "ACF-24h")
+		b.ReportMetric(weekly, "ACF-7d")
+		if i == 0 {
+			printFirst("periodicity", fmt.Sprintf(
+				"Failure-series autocorrelation: lag 24h %.3f, lag 7d %.3f, lag 11h %.3f (off-harmonic)",
+				daily, weekly, stats.AutoCorrelation(series, 11)))
+		}
+	}
+}
+
+// BenchmarkProactive regenerates the extension experiment E11: proactive
+// vs oblivious guest-job placement on a heterogeneous testbed; reports the
+// failure reduction of the predictive policy versus random placement.
+func BenchmarkProactive(b *testing.B) {
+	cfg := testbed.DefaultConfig()
+	cfg.Machines = 10
+	cfg.Days = 70
+	cfg.Workload.MachineRateSpread = 0.8
+	tr, err := testbed.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scfg := gsched.DefaultConfig()
+	scfg.Jobs = 300
+	for i := 0; i < b.N; i++ {
+		results, err := gsched.Compare(tr, gsched.DefaultPolicies(tr, scfg, 1), scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var random, pred gsched.Result
+		for _, r := range results {
+			switch r.Policy {
+			case "random":
+				random = r
+			case "predictive(history-window(trimmed))":
+				pred = r
+			}
+		}
+		if random.TotalFailures > 0 {
+			b.ReportMetric(float64(pred.TotalFailures)/float64(random.TotalFailures), "failure-ratio")
+		}
+		b.ReportMetric(pred.MeanSlowdown, "pred-slowdown")
+		b.ReportMetric(random.MeanSlowdown, "rand-slowdown")
+		if i == 0 {
+			printFirst("proactive", gsched.FormatResults(results))
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Command ishared runs the iShare-like FGCS system: a resource registry, a
+// node agent publishing a simulated machine, or a self-contained demo that
+// wires a registry, three nodes and a client together and walks through
+// discovery, submission, contention and revocation.
+//
+// Usage:
+//
+//	ishared -mode demo
+//	ishared -mode registry -addr 127.0.0.1:7070
+//	ishared -mode node -addr 127.0.0.1:0 -registry 127.0.0.1:7070 -name lab-3 -load 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/ishare"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ishared: ")
+
+	var (
+		mode     = flag.String("mode", "demo", "mode: registry, node, demo")
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address")
+		registry = flag.String("registry", "", "registry address (node mode)")
+		name     = flag.String("name", "node-1", "node name (node mode)")
+		load     = flag.Float64("load", 0.1, "initial synthetic host load (node mode)")
+		ttl      = flag.Duration("ttl", 2*time.Second, "registry heartbeat TTL")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "registry":
+		runRegistry(*addr, *ttl)
+	case "node":
+		runNode(*addr, *registry, *name, *load)
+	case "demo":
+		runDemo(*ttl)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func waitForInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}
+
+func runRegistry(addr string, ttl time.Duration) {
+	reg, err := ishare.NewRegistry(addr, ttl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+	fmt.Printf("registry listening on %s (ttl %v); ctrl-c to stop\n", reg.Addr(), ttl)
+	waitForInterrupt()
+}
+
+func runNode(addr, registry, name string, load float64) {
+	node, err := ishare.NewNode(addr, ishare.NodeConfig{
+		Name:         name,
+		RegistryAddr: registry,
+		HostLoad:     load,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	fmt.Printf("node %q listening on %s (host load %.2f); ctrl-c to stop\n", name, node.Addr(), load)
+	waitForInterrupt()
+}
+
+func runDemo(ttl time.Duration) {
+	reg, err := ishare.NewRegistry("127.0.0.1:0", ttl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+	fmt.Printf("registry up at %s\n", reg.Addr())
+
+	loads := []float64{0.05, 0.40, 0.90}
+	var nodes []*ishare.Node
+	for i, load := range loads {
+		n, err := ishare.NewNode("127.0.0.1:0", ishare.NodeConfig{
+			Name:         fmt.Sprintf("lab-%d", i+1),
+			RegistryAddr: reg.Addr(),
+			HostLoad:     load,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+		fmt.Printf("node lab-%d up at %s (host load %.2f)\n", i+1, n.Addr(), load)
+	}
+
+	client := &ishare.Client{RegistryAddr: reg.Addr()}
+	published, err := client.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndiscovered resources:")
+	for _, n := range published {
+		st, err := client.Info(n.Addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s alive=%v state=%s hostCPU=%.2f freeMem=%dMB\n",
+			n.Name, n.Alive, st.State, st.HostCPU, st.FreeMemMB)
+	}
+
+	fmt.Println("\nbroker placement: submitting through the availability-aware broker:")
+	broker := ishare.NewBroker(reg.Addr())
+	bres, bnode, err := broker.SubmitBest(ishare.JobSpec{Name: "brokered-job", CPUSeconds: 300, RSSMB: 96})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  broker chose %s: outcome=%s final=%s wall=%.0fs\n",
+		bnode.Name, bres.Outcome, bres.FinalState, bres.WallSeconds)
+
+	fmt.Println("\nsubmitting a 10-minute guest job to each node:")
+	for i, n := range nodes {
+		res, err := client.Submit(n.Addr(), ishare.JobSpec{Name: "demo-job", CPUSeconds: 600, RSSMB: 128})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  lab-%d: outcome=%-9s final=%s guestCPU=%.0fs wall=%.0fs suspensions=%d\n",
+			i+1, res.Outcome, res.FinalState, res.GuestCPUSeconds, res.WallSeconds, res.Suspensions)
+	}
+
+	fmt.Println("\nrevoking lab-1 (its owner pulls the machine)...")
+	nodes[0].Close()
+	time.Sleep(ttl + 500*time.Millisecond)
+	published, err = client.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range published {
+		fmt.Printf("  %-8s alive=%v\n", n.Name, n.Alive)
+	}
+	fmt.Println("\ndemo complete: lab-1's service termination is the URR (S5) observable")
+}

@@ -1,0 +1,52 @@
+// Contention: replicate the paper's Section 3.2 threshold discovery on the
+// simulated machine — measure how much a guest process slows host groups of
+// increasing load, at default and lowest guest priority, and derive the two
+// thresholds Th1 and Th2 the availability model is built on.
+//
+//	go run ./examples/contention
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/contention"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	opt := contention.DefaultOptions()
+	opt.Measure = 120 * time.Second // quick demo; the benches run longer
+	opt.Combos = 2
+
+	fmt.Println("measuring host slowdown under a CPU-bound guest (this runs")
+	fmt.Println("two full Figure-1 sweeps on the simulated machine)...")
+	fmt.Println()
+
+	th, figA, figB, err := contention.FindThresholds(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(figA.Format())
+	fmt.Println(figB.Format())
+	fmt.Printf("derived thresholds: Th1 = %.0f%%, Th2 = %.0f%% (paper: 20%% / 60%%)\n\n",
+		th.Th1*100, th.Th2*100)
+
+	fmt.Println("these thresholds configure the detector:")
+	det := availability.MustNewDetector(availability.Config{
+		Thresholds: availability.Thresholds{Th1: th.Th1, Th2: th.Th2, Slowdown: opt.Slowdown},
+	})
+	for _, lh := range []float64{0.05, th.Th1 + 0.05, th.Th2 + 0.2} {
+		state, _ := det.Observe(availability.Observation{
+			At: det.Config().TransientWindow * 3, HostCPU: lh, FreeMem: 1 << 30, Alive: true,
+		})
+		// Drive the spike past the transient window so S3 can latch.
+		state, _ = det.Observe(availability.Observation{
+			At: det.Config().TransientWindow * 6, HostCPU: lh, FreeMem: 1 << 30, Alive: true,
+		})
+		fmt.Printf("  host load %4.0f%% -> %v\n", lh*100, state)
+	}
+}

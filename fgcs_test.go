@@ -1,0 +1,147 @@
+package fgcs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	// Detector via facade.
+	det := NewDetector(DetectorConfig{})
+	state, _ := det.Observe(Observation{At: 0, HostCPU: 0.1, FreeMem: 1 << 30, Alive: true})
+	if state != S1 {
+		t.Fatalf("state = %v, want S1", state)
+	}
+	state, tr := det.Observe(Observation{At: time.Minute, HostCPU: 0.4, FreeMem: 1 << 30, Alive: true})
+	if state != S2 || tr == nil {
+		t.Fatalf("state = %v tr = %+v, want S2 transition", state, tr)
+	}
+
+	// Thresholds helper.
+	th := LinuxThresholds()
+	if th.Th1 != 0.20 || th.Th2 != 0.60 {
+		t.Errorf("LinuxThresholds = %+v", th)
+	}
+
+	// Small testbed through the facade.
+	cfg := DefaultTestbedConfig()
+	cfg.Machines = 2
+	cfg.Days = 5
+	trace, err := SimulateTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Events) == 0 {
+		t.Fatal("no events from facade testbed")
+	}
+	tb := trace.MakeTable2()
+	if tb.Total.Max == 0 {
+		t.Error("Table 2 empty")
+	}
+
+	// Engine via facade.
+	eng, err := NewEngine(EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(time.Minute)
+	if eng.State() != S1 {
+		t.Errorf("fresh engine state = %v", eng.State())
+	}
+
+	// Predictors via facade.
+	preds := DefaultPredictors()
+	if len(preds) < 4 {
+		t.Errorf("only %d default predictors", len(preds))
+	}
+}
+
+func TestFacadeDayTypes(t *testing.T) {
+	if Weekday.String() != "weekday" || Weekend.String() != "weekend" {
+		t.Error("day type aliases broken")
+	}
+	w := Window{Start: 0, End: time.Hour}
+	if !w.Contains(30 * time.Minute) {
+		t.Error("window alias broken")
+	}
+}
+
+// TestFacadeExperimentPipelines exercises the heavier facade entry points
+// end to end on small configurations.
+func TestFacadeExperimentPipelines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Testbed with occupancy through the facade.
+	cfg := DefaultTestbedConfig()
+	cfg.Machines = 4
+	cfg.Days = 40
+	cfg.Workload.MachineRateSpread = 0.6
+	tr, occ, err := SimulateTestbedWithOccupancy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(occ) != 4 {
+		t.Fatalf("occupancy records = %d", len(occ))
+	}
+
+	// Predictor evaluation + learning curve through the facade.
+	ev, err := EvaluatePredictors(tr, DefaultPredictors(), EvalConfig{TrainDays: 21, Window: 3 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Scores) < 4 {
+		t.Fatalf("scores = %+v", ev.Scores)
+	}
+	points, err := LearningCurve(tr,
+		func() Predictor { return &HistoryWindowPredictor{} },
+		[]int{7, 21}, EvalConfig{Window: 3 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("learning points = %d", len(points))
+	}
+
+	// Policy comparison through the facade.
+	scfg := SchedulingConfig{Jobs: 60, TrainDays: 21}
+	results, err := ComparePolicies(tr, scfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("policy results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Completed+r.Unfinished != 60 {
+			t.Errorf("%s: jobs unaccounted: %+v", r.Policy, r)
+		}
+	}
+
+	// Enterprise profile through the facade.
+	ecfg := DefaultTestbedConfig()
+	ecfg.Machines = 2
+	ecfg.Days = 7
+	ecfg.Workload = EnterpriseTestbedParams()
+	etr, err := SimulateTestbed(ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(etr.Events) == 0 {
+		t.Error("enterprise testbed produced no events")
+	}
+
+	// Contention thresholds through the facade (small measurement).
+	opt := ContentionOptions{Measure: 60 * time.Second, Combos: 1}
+	th, figA, figB, err := FindThresholds(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if figA == nil || figB == nil {
+		t.Fatal("missing figures")
+	}
+	if th.Th1 <= 0 || th.Th1 > 1 {
+		t.Errorf("facade Th1 = %v", th.Th1)
+	}
+}

@@ -1,0 +1,46 @@
+package availability
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkDetectorObserve measures the per-sample cost of the detection
+// state machine — the monitor's hot path (one call per machine per period).
+func BenchmarkDetectorObserve(b *testing.B) {
+	d := MustNewDetector(Config{})
+	loads := []float64{0.1, 0.3, 0.7, 0.9, 0.5, 0.05}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(Observation{
+			At:      time.Duration(i) * 15 * time.Second,
+			HostCPU: loads[i%len(loads)],
+			FreeMem: 1 << 30,
+			Alive:   true,
+		})
+	}
+}
+
+// BenchmarkControllerObserve adds the guest-policy layer on top.
+func BenchmarkControllerObserve(b *testing.B) {
+	c := NewController(MustNewDetector(Config{}), nopGuest{})
+	loads := []float64{0.1, 0.3, 0.5, 0.25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(Observation{
+			At:      time.Duration(i) * 15 * time.Second,
+			HostCPU: loads[i%len(loads)],
+			FreeMem: 1 << 30,
+			Alive:   true,
+		})
+	}
+}
+
+type nopGuest struct{}
+
+func (nopGuest) Renice(int) {}
+func (nopGuest) Suspend()   {}
+func (nopGuest) Resume()    {}
+func (nopGuest) Kill()      {}

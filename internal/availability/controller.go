@@ -1,0 +1,180 @@
+package availability
+
+import "repro/internal/sim"
+
+// Guest is the control surface for a running guest process. The simulator's
+// processes and the iShare node agent both implement it.
+type Guest interface {
+	// Renice sets the guest's nice level (0 = default, 19 = lowest).
+	Renice(nice int)
+	// Suspend stops the guest without discarding its state.
+	Suspend()
+	// Resume continues a suspended guest.
+	Resume()
+	// Kill terminates the guest; it cannot be resumed afterwards.
+	Kill()
+}
+
+// Action is what the controller decided to do at an observation.
+type Action int
+
+const (
+	// ActionNone leaves the guest as it is.
+	ActionNone Action = iota
+	// ActionRunDefault (re)sets default priority (entering S1).
+	ActionRunDefault
+	// ActionRenice drops the guest to the lowest priority (entering S2).
+	ActionRenice
+	// ActionSuspend pauses the guest during a transient spike.
+	ActionSuspend
+	// ActionResume continues the guest after a transient spike subsides.
+	ActionResume
+	// ActionKill terminates the guest (entering S3, S4 or S5).
+	ActionKill
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionRunDefault:
+		return "run-default"
+	case ActionRenice:
+		return "renice"
+	case ActionSuspend:
+		return "suspend"
+	case ActionResume:
+		return "resume"
+	case ActionKill:
+		return "kill"
+	default:
+		return "unknown"
+	}
+}
+
+// LowestNice is the nice level used for S2 (the weakest priority a guest
+// can be given with standard OS facilities).
+const LowestNice = 19
+
+// Controller applies the paper's guest-management policy (Section 3.2) on
+// top of a Detector: minimize priority when slowdown becomes noticeable,
+// suspend on transient spikes, resume if contention diminishes within the
+// resume window, and terminate on genuine unavailability.
+type Controller struct {
+	det       *Detector
+	guest     Guest
+	alive     bool
+	suspended bool
+	nice      int
+}
+
+// NewController wraps a detector and the guest it manages. The guest is
+// assumed freshly started at default priority.
+func NewController(det *Detector, guest Guest) *Controller {
+	return &Controller{det: det, guest: guest, alive: true, nice: 0}
+}
+
+// GuestAlive reports whether the managed guest is still running (possibly
+// suspended).
+func (c *Controller) GuestAlive() bool { return c.alive }
+
+// GuestSuspended reports whether the managed guest is currently suspended.
+func (c *Controller) GuestSuspended() bool { return c.suspended }
+
+// Observe feeds one observation through the detector and applies the
+// resulting policy to the guest. It returns the detected state, the action
+// taken, and the transition (nil when the state did not change).
+func (c *Controller) Observe(obs Observation) (State, Action, *Transition) {
+	state, tr := c.det.Observe(obs)
+	if !c.alive {
+		return state, ActionNone, tr
+	}
+
+	switch {
+	case state.Unavailable():
+		c.guest.Kill()
+		c.alive = false
+		c.suspended = false
+		return state, ActionKill, tr
+
+	case c.det.Suspended():
+		if !c.suspended {
+			c.guest.Suspend()
+			c.suspended = true
+			return state, ActionSuspend, tr
+		}
+		return state, ActionNone, tr
+
+	default:
+		if c.suspended {
+			c.guest.Resume()
+			c.suspended = false
+			// Re-apply the priority appropriate for the state we resumed
+			// into before reporting the resume.
+			c.applyNice(state)
+			return state, ActionResume, tr
+		}
+		if a := c.applyNice(state); a != ActionNone {
+			return state, a, tr
+		}
+		return state, ActionNone, tr
+	}
+}
+
+// applyNice aligns the guest priority with the availability state and
+// returns the action taken, if any.
+func (c *Controller) applyNice(state State) Action {
+	want := 0
+	action := ActionRunDefault
+	if state == S2 {
+		want = LowestNice
+		action = ActionRenice
+	}
+	if c.nice == want {
+		return ActionNone
+	}
+	c.nice = want
+	c.guest.Renice(want)
+	return action
+}
+
+// TimeInState accumulates, per state, how much virtual time a detector
+// spent there; useful for availability summaries and tests.
+type TimeInState struct {
+	totals map[State]sim.Time
+	last   sim.Time
+	state  State
+	primed bool
+}
+
+// NewTimeInState returns an accumulator starting in the given state.
+func NewTimeInState(initial State) *TimeInState {
+	return &TimeInState{totals: make(map[State]sim.Time), state: initial}
+}
+
+// Advance credits the elapsed time to the current state, then switches to
+// next. Calls must have nondecreasing now.
+func (t *TimeInState) Advance(now sim.Time, next State) {
+	if t.primed {
+		t.totals[t.state] += now - t.last
+	}
+	t.last = now
+	t.state = next
+	t.primed = true
+}
+
+// Total returns the accumulated time in state s.
+func (t *TimeInState) Total(s State) sim.Time { return t.totals[s] }
+
+// Fraction returns the share of all accumulated time spent in s.
+func (t *TimeInState) Fraction(s State) float64 {
+	var sum sim.Time
+	for _, v := range t.totals {
+		sum += v
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(t.totals[s]) / float64(sum)
+}

@@ -1,0 +1,145 @@
+package availability
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeGuest records the control calls it receives.
+type fakeGuest struct {
+	nice      int
+	suspended bool
+	killed    bool
+	calls     []string
+}
+
+func (g *fakeGuest) Renice(n int) { g.nice = n; g.calls = append(g.calls, "renice") }
+func (g *fakeGuest) Suspend()     { g.suspended = true; g.calls = append(g.calls, "suspend") }
+func (g *fakeGuest) Resume()      { g.suspended = false; g.calls = append(g.calls, "resume") }
+func (g *fakeGuest) Kill()        { g.killed = true; g.calls = append(g.calls, "kill") }
+
+func newTestController() (*Controller, *fakeGuest) {
+	g := &fakeGuest{}
+	return NewController(MustNewDetector(Config{}), g), g
+}
+
+func TestControllerReniceOnS2(t *testing.T) {
+	c, g := newTestController()
+	st, a, _ := c.Observe(obs(0, 0.1))
+	if st != S1 || a != ActionNone {
+		t.Fatalf("light load: %v %v, want S1 none", st, a)
+	}
+	st, a, _ = c.Observe(obs(10*time.Second, 0.4))
+	if st != S2 || a != ActionRenice || g.nice != LowestNice {
+		t.Fatalf("heavy load: %v %v nice=%d, want S2 renice 19", st, a, g.nice)
+	}
+	// Back to light load restores default priority.
+	st, a, _ = c.Observe(obs(20*time.Second, 0.05))
+	if st != S1 || a != ActionRunDefault || g.nice != 0 {
+		t.Fatalf("relief: %v %v nice=%d, want S1 run-default 0", st, a, g.nice)
+	}
+	// No repeated renice when already at the right level.
+	_, a, _ = c.Observe(obs(30*time.Second, 0.05))
+	if a != ActionNone {
+		t.Fatalf("steady state action = %v, want none", a)
+	}
+}
+
+func TestControllerSuspendResume(t *testing.T) {
+	c, g := newTestController()
+	c.Observe(obs(0, 0.1))
+	_, a, _ := c.Observe(obs(10*time.Second, 0.9))
+	if a != ActionSuspend || !g.suspended {
+		t.Fatalf("spike: action %v suspended %v, want suspend", a, g.suspended)
+	}
+	if !c.GuestSuspended() {
+		t.Error("controller should track suspension")
+	}
+	// Still spiking inside the window: no duplicate suspend.
+	_, a, _ = c.Observe(obs(30*time.Second, 0.9))
+	if a != ActionNone {
+		t.Fatalf("repeated spike action = %v, want none", a)
+	}
+	// Contention diminishes within the window: resume.
+	_, a, _ = c.Observe(obs(50*time.Second, 0.1))
+	if a != ActionResume || g.suspended {
+		t.Fatalf("relief: action %v suspended %v, want resume", a, g.suspended)
+	}
+	if g.killed {
+		t.Error("guest should survive a transient spike")
+	}
+}
+
+func TestControllerKillOnPersistentSpike(t *testing.T) {
+	c, g := newTestController()
+	c.Observe(obs(0, 0.1))
+	c.Observe(obs(10*time.Second, 0.9))
+	st, a, _ := c.Observe(obs(90*time.Second, 0.9))
+	if st != S3 || a != ActionKill || !g.killed {
+		t.Fatalf("persistent spike: %v %v killed=%v, want S3 kill", st, a, g.killed)
+	}
+	if c.GuestAlive() {
+		t.Error("controller should know the guest is dead")
+	}
+	// Subsequent observations act on nothing.
+	_, a, _ = c.Observe(obs(200*time.Second, 0.05))
+	if a != ActionNone {
+		t.Errorf("post-kill action = %v, want none", a)
+	}
+}
+
+func TestControllerKillOnMemoryAndURR(t *testing.T) {
+	c, g := newTestController()
+	_, a, _ := c.Observe(Observation{At: 0, HostCPU: 0.1, FreeMem: 1 << 20, Alive: true})
+	if a != ActionKill || !g.killed {
+		t.Fatalf("thrashing should kill: %v killed=%v", a, g.killed)
+	}
+
+	c2, g2 := newTestController()
+	_, a, _ = c2.Observe(Observation{At: 0, Alive: false})
+	if a != ActionKill || !g2.killed {
+		t.Fatalf("URR should kill: %v killed=%v", a, g2.killed)
+	}
+}
+
+func TestControllerResumeIntoS2AppliesRenice(t *testing.T) {
+	c, g := newTestController()
+	c.Observe(obs(0, 0.1))                         // S1, nice 0
+	c.Observe(obs(10*time.Second, 0.9))            // spike -> suspend
+	_, a, _ := c.Observe(obs(40*time.Second, 0.5)) // resumes into S2
+	if a != ActionResume {
+		t.Fatalf("action = %v, want resume", a)
+	}
+	if g.nice != LowestNice {
+		t.Errorf("resume into S2 should renice to %d, got %d", LowestNice, g.nice)
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for _, a := range []Action{ActionNone, ActionRunDefault, ActionRenice, ActionSuspend, ActionResume, ActionKill, Action(99)} {
+		if a.String() == "" {
+			t.Errorf("action %d has empty String", int(a))
+		}
+	}
+}
+
+func TestTimeInState(t *testing.T) {
+	acc := NewTimeInState(S1)
+	acc.Advance(0, S1)
+	acc.Advance(10*time.Second, S2)
+	acc.Advance(30*time.Second, S1)
+	acc.Advance(60*time.Second, S1)
+	if got := acc.Total(S1); got != 40*time.Second {
+		t.Errorf("S1 total = %v, want 40s", got)
+	}
+	if got := acc.Total(S2); got != 20*time.Second {
+		t.Errorf("S2 total = %v, want 20s", got)
+	}
+	if f := acc.Fraction(S2); f < 0.33 || f > 0.34 {
+		t.Errorf("S2 fraction = %v, want ~1/3", f)
+	}
+	empty := NewTimeInState(S1)
+	if empty.Fraction(S1) != 0 {
+		t.Error("empty accumulator fraction should be 0")
+	}
+}

@@ -1,0 +1,26 @@
+// Package availability implements the paper's primary contribution: the
+// five-state model of resource availability in fine-grained cycle-sharing
+// (FGCS) systems, and the non-intrusive detector that drives it from
+// observations of host resource usage and service liveness.
+//
+// The five states (paper Section 4, Figure 5):
+//
+//	S1 — full availability: host CPU load LH below Th1; a guest process may
+//	     run at default priority.
+//	S2 — constrained availability: Th1 <= LH <= Th2; the guest must run at
+//	     lowest priority (nice 19) to keep host slowdown below 5%.
+//	S3 — CPU unavailability (UEC): LH steadily above Th2; any guest must be
+//	     terminated.
+//	S4 — memory thrashing (UEC): the guest working set no longer fits in
+//	     free memory; the guest must be terminated immediately.
+//	S5 — machine unavailability (URR): the machine was revoked by its owner
+//	     or failed; detected by termination of the FGCS service.
+//
+// Transient spikes of LH above Th2 shorter than the configured window
+// (1 minute in the paper) do not constitute S3; the guest is suspended and
+// resumed if the spike subsides, mirroring Section 3.2's guest-control
+// policy. S3, S4 and S5 are unrecoverable for the running guest — even when
+// the resource later recovers, the guest was already killed — but the
+// resource itself re-enters S1/S2, which is what the trace's availability
+// intervals measure.
+package availability

@@ -1,0 +1,228 @@
+package contention
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simos"
+	"repro/internal/workload"
+)
+
+// Options configure the contention harness. Zero fields take defaults
+// matching the paper's setup (a Linux lab machine, 5% slowdown bound).
+type Options struct {
+	// Machine is the simulated testbed machine.
+	Machine simos.MachineConfig
+	// Period is the duty-cycle period of the synthetic host programs.
+	Period time.Duration
+	// Warmup is discarded simulation time before measurement starts.
+	Warmup time.Duration
+	// Measure is the measurement window length.
+	Measure time.Duration
+	// Combos is how many random host-group compositions are averaged per
+	// (LH, M) experiment point.
+	Combos int
+	// Slowdown is the "noticeable slowdown" bound (0.05 in the paper).
+	Slowdown float64
+	// Seed roots all randomness.
+	Seed int64
+	// Parallelism bounds concurrent experiment points (default: NumCPU).
+	Parallelism int
+}
+
+// DefaultOptions returns the paper-equivalent configuration.
+func DefaultOptions() Options {
+	return Options{
+		Machine:     simos.LinuxLabMachine(0).WithDefaults(),
+		Period:      workload.DefaultPeriod,
+		Warmup:      10 * time.Second,
+		Measure:     90 * time.Second,
+		Combos:      3,
+		Slowdown:    0.05,
+		Seed:        1,
+		Parallelism: runtime.NumCPU(),
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Machine.RAM == 0 {
+		o.Machine = d.Machine
+	}
+	o.Machine = o.Machine.WithDefaults()
+	if o.Period == 0 {
+		o.Period = d.Period
+	}
+	if o.Warmup == 0 {
+		o.Warmup = d.Warmup
+	}
+	if o.Measure == 0 {
+		o.Measure = d.Measure
+	}
+	if o.Combos == 0 {
+		o.Combos = d.Combos
+	}
+	if o.Slowdown == 0 {
+		o.Slowdown = d.Slowdown
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = d.Parallelism
+	}
+	return o
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.Measure <= 0 {
+		return fmt.Errorf("contention: measurement window must be positive, got %v", o.Measure)
+	}
+	if o.Warmup < 0 {
+		return fmt.Errorf("contention: negative warmup %v", o.Warmup)
+	}
+	if o.Combos <= 0 {
+		return fmt.Errorf("contention: combos must be positive, got %d", o.Combos)
+	}
+	if o.Slowdown <= 0 || o.Slowdown >= 1 {
+		return fmt.Errorf("contention: slowdown bound must be in (0,1), got %v", o.Slowdown)
+	}
+	return o.Machine.Validate()
+}
+
+// guestSpec describes the guest process in a measurement run.
+type guestSpec struct {
+	name     string
+	nice     int
+	rss      int64
+	behavior func() simos.Behavior
+}
+
+// cpuBoundGuest is the paper's canonical synthetic guest.
+func cpuBoundGuest(nice int) *guestSpec {
+	return &guestSpec{
+		name:     "guest",
+		nice:     nice,
+		rss:      workload.SyntheticRSS,
+		behavior: func() simos.Behavior { return workload.CPUBound{} },
+	}
+}
+
+// runResult carries the measured usages of one simulation run.
+type runResult struct {
+	HostUsage  float64
+	GuestUsage float64
+	Thrashed   bool
+}
+
+// spawner adds host processes to a machine.
+type spawner func(m *simos.Machine)
+
+// measure runs one simulation: spawn hosts (and optionally a guest), warm
+// up, then measure CPU usage over the window.
+func (o Options) measure(seed int64, spawnHosts spawner, guest *guestSpec) (runResult, error) {
+	cfg := o.Machine
+	cfg.Seed = seed
+	m, err := simos.NewMachine(cfg)
+	if err != nil {
+		return runResult{}, err
+	}
+	spawnHosts(m)
+	var gp *simos.Process
+	if guest != nil {
+		gp = m.Spawn(guest.name, simos.Guest, guest.nice, guest.rss, guest.behavior())
+	}
+	m.Run(o.Warmup)
+	start := m.Snapshot()
+	gstart := time.Duration(0)
+	if gp != nil {
+		gstart = gp.CPUTime()
+	}
+	m.Run(o.Measure)
+	end := m.Snapshot()
+	u, err := simos.UsageBetween(start, end)
+	if err != nil {
+		return runResult{}, err
+	}
+	res := runResult{HostUsage: u.Host, Thrashed: m.ThrashTime() > 0}
+	if gp != nil {
+		res.GuestUsage = float64(gp.CPUTime()-gstart) / float64(o.Measure)
+	}
+	return res, nil
+}
+
+// Reduction computes the paper's reduction rate of host CPU usage: the
+// relative drop of the host group's usage when a guest runs alongside.
+func Reduction(alone, together float64) float64 {
+	if alone <= 0 {
+		return 0
+	}
+	r := 1 - together/alone
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// MeasureGroupReduction runs one full experiment point: calibrate the host
+// group alone, then run it with the guest, and return (measured LH,
+// reduction rate).
+func (o Options) MeasureGroupReduction(seed int64, group workload.HostGroup, guestNice int) (lh, reduction float64, err error) {
+	spawn := func(m *simos.Machine) { group.Spawn(m, o.Period) }
+	alone, err := o.measure(seed, spawn, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	with, err := o.measure(seed, spawn, cpuBoundGuest(guestNice))
+	if err != nil {
+		return 0, 0, err
+	}
+	return alone.HostUsage, Reduction(alone.HostUsage, with.HostUsage), nil
+}
+
+// parallelFor runs fn(i) for i in [0, n) over a bounded worker pool.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// comboSeed derives a per-run seed from the experiment coordinates so runs
+// are independent and reproducible.
+func comboSeed(base int64, tags ...int) int64 {
+	s := sim.NewSource(base)
+	name := "combo"
+	for _, t := range tags {
+		name = fmt.Sprintf("%s/%d", name, t)
+	}
+	return int64(s.Stream(name).Uint64())
+}

@@ -1,0 +1,42 @@
+package contention
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simos"
+)
+
+// TestSolarisThresholds reruns the threshold discovery with the weaker
+// Solaris-like scheduler (Section 3.2.3's second machine). The paper found
+// Th1 around 20% and Th2 anywhere between 22% and 57% there — both lower
+// than Linux — because the scheduler protects interactive hosts less.
+func TestSolarisThresholds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opt := fastOptions()
+	opt.Measure = 240 * time.Second
+	opt.Machine = simos.SolarisMachine(0).WithDefaults()
+	opt.Machine.Sched = simos.SolarisSchedParams()
+	th, _, _, err := FindThresholds(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Th1 < 0.05 || th.Th1 > 0.30 {
+		t.Errorf("Solaris Th1 = %v, want within the paper's ~0.20 vicinity", th.Th1)
+	}
+	if th.Th2 < 0.22 || th.Th2 > 0.57 {
+		t.Errorf("Solaris Th2 = %v, want inside the paper's 22-57%% band", th.Th2)
+	}
+
+	// The Solaris thresholds must sit below the Linux ones — the paper's
+	// cross-system observation.
+	linux, _, _, err := FindThresholds(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(th.Th2 < linux.Th2) {
+		t.Errorf("Solaris Th2 (%v) should be below Linux Th2 (%v)", th.Th2, linux.Th2)
+	}
+}

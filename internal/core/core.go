@@ -1,0 +1,141 @@
+// Package core wires the monitoring stack together: simulated machine →
+// non-intrusive monitor → five-state detector → guest controller → trace
+// recorder. It is the deployable "unavailability detection module" the
+// paper installs on every testbed machine (Section 5), packaged for use on
+// simos machines.
+package core
+
+import (
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/monitor"
+	"repro/internal/simos"
+	"repro/internal/trace"
+)
+
+// Engine runs the detection pipeline on one machine.
+type Engine struct {
+	machine *simos.Machine
+	sampler *monitor.MachineSampler
+	mon     *monitor.Monitor
+	det     *availability.Detector
+	builder *trace.Builder
+	ctrl    *availability.Controller
+	timing  *availability.TimeInState
+
+	events      []trace.Event
+	transitions []availability.Transition
+}
+
+// Config bundles the engine's pieces.
+type Config struct {
+	// Machine configures the simulated machine.
+	Machine simos.MachineConfig
+	// Monitor configures sampling (period, smoothing).
+	Monitor monitor.Config
+	// Detector configures the availability model.
+	Detector availability.Config
+	// MachineID labels recorded trace events.
+	MachineID trace.MachineID
+}
+
+// New builds an engine (zero config fields take the usual defaults).
+func New(cfg Config) (*Engine, error) {
+	m, err := simos.NewMachine(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New(cfg.Monitor)
+	if err != nil {
+		return nil, err
+	}
+	det, err := availability.NewDetector(cfg.Detector)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		machine: m,
+		sampler: monitor.NewMachineSampler(m),
+		mon:     mon,
+		det:     det,
+		builder: trace.NewBuilder(cfg.MachineID),
+		timing:  availability.NewTimeInState(availability.S1),
+	}, nil
+}
+
+// Machine exposes the underlying machine for spawning workloads.
+func (e *Engine) Machine() *simos.Machine { return e.machine }
+
+// State returns the current availability state.
+func (e *Engine) State() availability.State { return e.det.State() }
+
+// AttachGuest puts a running guest process under the paper's management
+// policy (renice on S2, suspend on transient spikes, kill on failure).
+// Only one guest is managed at a time; attaching replaces the previous
+// controller.
+func (e *Engine) AttachGuest(p *simos.Process) *availability.Controller {
+	e.ctrl = availability.NewController(e.det, p)
+	return e.ctrl
+}
+
+// Step advances the machine by one monitor period and feeds the sample
+// through the pipeline, returning the resulting state and the action taken
+// on the managed guest (ActionNone without a guest).
+func (e *Engine) Step() (availability.State, availability.Action) {
+	e.machine.Run(e.mon.Config().Period)
+	obs := e.mon.Observe(e.sampler.Sample())
+
+	var state availability.State
+	var action availability.Action
+	var tr *availability.Transition
+	if e.ctrl != nil {
+		state, action, tr = e.ctrl.Observe(obs)
+	} else {
+		state, tr = e.det.Observe(obs)
+	}
+	e.timing.Advance(obs.At, state)
+	if tr != nil {
+		e.transitions = append(e.transitions, *tr)
+		if ev := e.builder.OnTransition(*tr); ev != nil {
+			e.events = append(e.events, *ev)
+		}
+	}
+	return state, action
+}
+
+// RunFor advances the pipeline for the given virtual duration.
+func (e *Engine) RunFor(d time.Duration) {
+	end := e.machine.Now() + d
+	for e.machine.Now() < end {
+		e.Step()
+	}
+}
+
+// Events returns the closed unavailability events recorded so far.
+func (e *Engine) Events() []trace.Event {
+	out := make([]trace.Event, len(e.events))
+	copy(out, e.events)
+	return out
+}
+
+// Transitions returns every state transition observed so far.
+func (e *Engine) Transitions() []availability.Transition {
+	out := make([]availability.Transition, len(e.transitions))
+	copy(out, e.transitions)
+	return out
+}
+
+// TimeInState reports how long the engine spent in state s.
+func (e *Engine) TimeInState(s availability.State) time.Duration {
+	return e.timing.Total(s)
+}
+
+// Flush closes any open unavailability event at the current time and
+// returns the full event list (call at the end of an observation span).
+func (e *Engine) Flush() []trace.Event {
+	if ev := e.builder.Flush(e.machine.Now()); ev != nil {
+		e.events = append(e.events, *ev)
+	}
+	return e.Events()
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/monitor"
+	"repro/internal/simos"
+	"repro/internal/workload"
+)
+
+func newEngine(t *testing.T, seed int64) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Machine: simos.LinuxLabMachine(seed),
+		Monitor: monitor.Config{Period: 10 * time.Second, SmoothWindow: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineIdleStaysS1(t *testing.T) {
+	e := newEngine(t, 1)
+	e.RunFor(10 * time.Minute)
+	if e.State() != availability.S1 {
+		t.Errorf("idle machine state = %v, want S1", e.State())
+	}
+	if len(e.Flush()) != 0 {
+		t.Error("idle machine should record no events")
+	}
+	if e.TimeInState(availability.S1) < 9*time.Minute {
+		t.Errorf("S1 time = %v", e.TimeInState(availability.S1))
+	}
+}
+
+func TestEngineDetectsSustainedOverload(t *testing.T) {
+	e := newEngine(t, 2)
+	// Heavy host: 0.9 duty keeps LH above Th2.
+	e.Machine().Spawn("crunch", simos.Host, 0, 100*simos.MB,
+		&workload.DutyCycle{Usage: 0.92, Period: time.Second})
+	e.RunFor(10 * time.Minute)
+	if e.State() != availability.S3 {
+		t.Fatalf("state = %v, want S3", e.State())
+	}
+	events := e.Flush()
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1 continuous S3", len(events))
+	}
+	if events[0].State != availability.S3 {
+		t.Errorf("event state = %v", events[0].State)
+	}
+	if events[0].Duration() < 8*time.Minute {
+		t.Errorf("event duration = %v, want nearly the whole run", events[0].Duration())
+	}
+}
+
+func TestEngineManagesGuestLifecycle(t *testing.T) {
+	e := newEngine(t, 3)
+	guest := e.Machine().Spawn("guest", simos.Guest, 0, 64*simos.MB, workload.CPUBound{})
+	ctrl := e.AttachGuest(guest)
+
+	// Light load first: guest runs at default priority.
+	e.Machine().Spawn("light", simos.Host, 0, 50*simos.MB,
+		&workload.DutyCycle{Usage: 0.1, Period: time.Second})
+	e.RunFor(2 * time.Minute)
+	if !ctrl.GuestAlive() {
+		t.Fatal("guest should survive light load")
+	}
+	if guest.Nice() != 0 {
+		t.Errorf("guest nice = %d under light load", guest.Nice())
+	}
+
+	// Medium load: S2 renices the guest.
+	e.Machine().Spawn("medium", simos.Host, 0, 50*simos.MB,
+		&workload.DutyCycle{Usage: 0.3, Period: time.Second})
+	e.RunFor(3 * time.Minute)
+	if e.State() != availability.S2 {
+		t.Fatalf("state = %v, want S2 at ~0.4 load", e.State())
+	}
+	if guest.Nice() != availability.LowestNice {
+		t.Errorf("guest nice = %d, want %d in S2", guest.Nice(), availability.LowestNice)
+	}
+	if !ctrl.GuestAlive() {
+		t.Fatal("guest should survive S2")
+	}
+
+	// Overload: the guest is killed and an event recorded.
+	e.Machine().Spawn("heavy", simos.Host, 0, 50*simos.MB,
+		&workload.DutyCycle{Usage: 0.5, Period: time.Second})
+	e.RunFor(5 * time.Minute)
+	if ctrl.GuestAlive() {
+		t.Fatal("guest should be killed under overload")
+	}
+	if guest.Alive() {
+		t.Error("guest process should be dead")
+	}
+	events := e.Flush()
+	if len(events) == 0 || events[len(events)-1].State != availability.S3 {
+		t.Errorf("expected a final S3 event, got %+v", events)
+	}
+}
+
+func TestEngineTransitionsRecorded(t *testing.T) {
+	e := newEngine(t, 4)
+	e.Machine().Spawn("h", simos.Host, 0, 50*simos.MB,
+		&workload.DutyCycle{Usage: 0.35, Period: time.Second})
+	e.RunFor(2 * time.Minute)
+	trs := e.Transitions()
+	if len(trs) == 0 {
+		t.Fatal("no transitions recorded")
+	}
+	if trs[0].From != availability.S1 || trs[0].To != availability.S2 {
+		t.Errorf("first transition %v -> %v, want S1 -> S2", trs[0].From, trs[0].To)
+	}
+	// Returned slices are copies.
+	trs[0].From = availability.S5
+	if e.Transitions()[0].From == availability.S5 {
+		t.Error("Transitions must return a copy")
+	}
+}
+
+func TestEngineConfigErrors(t *testing.T) {
+	if _, err := New(Config{Machine: simos.MachineConfig{RAM: -5}}); err == nil {
+		t.Error("bad machine config accepted")
+	}
+	if _, err := New(Config{Monitor: monitor.Config{Period: -time.Second}}); err == nil {
+		t.Error("bad monitor config accepted")
+	}
+	if _, err := New(Config{Detector: availability.Config{TransientWindow: -1}}); err == nil {
+		t.Error("bad detector config accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package gsched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// SurvivalEstimator is the extra capability proactive migration needs: a
+// per-machine survival estimate for a job's remaining execution window.
+// The Predictive policy provides it.
+type SurvivalEstimator interface {
+	// Survival estimates P(no failure) for work more CPU time on machine
+	// m starting at now.
+	Survival(now sim.Time, work time.Duration, m trace.MachineID) float64
+}
+
+// Survival implements SurvivalEstimator for the predictive policy.
+func (p *Predictive) Survival(now sim.Time, work time.Duration, m trace.MachineID) float64 {
+	return p.P.PredictSurvival(m, sim.Window{Start: now, End: now + work})
+}
+
+// MigrationConfig controls proactive mid-job migration: periodically
+// re-evaluate the predicted survival of the job's remaining work on its
+// current machine and move it (paying a delay, keeping its progress — the
+// "migrated off" option of the paper's failure model) when another machine
+// looks sufficiently safer.
+type MigrationConfig struct {
+	// CheckEvery is how often a running job reconsiders its placement.
+	CheckEvery time.Duration
+	// Delay is the cost of one migration (state transfer, resubmission).
+	Delay time.Duration
+	// Margin is how much better (in survival probability) the best
+	// alternative must be before a migration is worth its delay.
+	Margin float64
+}
+
+// DefaultMigrationConfig reconsiders hourly, pays 2 minutes per move, and
+// requires a 15-point survival advantage.
+func DefaultMigrationConfig() MigrationConfig {
+	return MigrationConfig{
+		CheckEvery: time.Hour,
+		Delay:      2 * time.Minute,
+		Margin:     0.15,
+	}
+}
+
+// Validate reports configuration errors.
+func (m MigrationConfig) Validate() error {
+	if m.CheckEvery <= 0 {
+		return fmt.Errorf("gsched: migration check interval must be positive, got %v", m.CheckEvery)
+	}
+	if m.Delay < 0 {
+		return fmt.Errorf("gsched: negative migration delay %v", m.Delay)
+	}
+	if m.Margin < 0 || m.Margin > 1 {
+		return fmt.Errorf("gsched: migration margin %v outside [0,1]", m.Margin)
+	}
+	return nil
+}
+
+// SimulateMigrating replays the job stream with proactive migration on top
+// of the given policy (which must also estimate survival). Jobs keep their
+// progress across migrations but lose it to failures exactly as in
+// Simulate.
+func SimulateMigrating(tr *trace.Trace, policy Policy, est SurvivalEstimator, cfg Config, mig MigrationConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := mig.Validate(); err != nil {
+		return Result{}, err
+	}
+	testStart := tr.Span.Start + sim.Time(cfg.TrainDays)*sim.Day
+	if testStart >= tr.Span.End {
+		return Result{}, fmt.Errorf("gsched: training period consumes the trace span")
+	}
+	ix := tr.BuildIndex()
+	jobRNG := sim.NewSource(cfg.Seed).Stream("gsched/jobs")
+
+	type job struct {
+		arrival sim.Time
+		work    time.Duration
+	}
+	jobs := make([]job, cfg.Jobs)
+	for i := range jobs {
+		jobs[i] = job{
+			arrival: testStart + sim.Uniform(jobRNG, 0, tr.Span.End-testStart),
+			work:    sim.Uniform(jobRNG, cfg.JobWork[0], cfg.JobWork[1]),
+		}
+	}
+
+	res := Result{Policy: policy.Name() + "+migration"}
+	var responses, slowdowns []float64
+	for _, jb := range jobs {
+		stat, migrations := runJobMigrating(ix, policy, est, cfg, mig, tr.Machines, tr.Span.End, jb.arrival, jb.work, &res)
+		res.Migrations += migrations
+		if !stat.Done {
+			res.Unfinished++
+			continue
+		}
+		res.Completed++
+		res.TotalFailures += stat.Failures
+		responses = append(responses, float64(stat.ResponseTime()))
+		slowdowns = append(slowdowns, stat.Slowdown())
+	}
+	if len(responses) > 0 {
+		res.MeanResponse = time.Duration(stats.Mean(responses))
+		res.MedianResponse = time.Duration(stats.Median(responses))
+		res.MeanSlowdown = stats.Mean(slowdowns)
+	}
+	return res, nil
+}
+
+// runJobMigrating executes one job with periodic placement reviews.
+// Progress survives migrations (live migration moves process state) but is
+// lost to failures under exactly the same rules as the plain runner: back
+// to the last checkpoint, or to zero without checkpointing — a surviving
+// chunk is NOT an implicit checkpoint.
+func runJobMigrating(ix *trace.Index, policy Policy, est SurvivalEstimator, cfg Config, mig MigrationConfig, machines int, spanEnd sim.Time, arrival sim.Time, work time.Duration, res *Result) (JobStat, int) {
+	stat := JobStat{Arrival: arrival, Work: work}
+	var done time.Duration // work completed since the job's last restart
+	now := arrival
+	migrations := 0
+	m := policy.Pick(now, work, machines)
+	for {
+		if now >= spanEnd {
+			return stat, migrations
+		}
+		remaining := work - done
+		// Run one review chunk (or to completion, whichever is sooner).
+		chunk := mig.CheckEvery
+		if remaining < chunk {
+			chunk = remaining
+		}
+		ev, overlaps := ix.FirstOverlap(m, sim.Window{Start: now, End: now + chunk})
+		if !overlaps {
+			// Chunk survives.
+			now += chunk
+			done += chunk
+			if done >= work {
+				if now > spanEnd {
+					return stat, migrations
+				}
+				stat.Completion = now
+				stat.Done = true
+				return stat, migrations
+			}
+			// Placement review: is another machine clearly safer for the
+			// rest of the job?
+			remaining = work - done
+			cur := est.Survival(now, remaining, m)
+			best, bestS := m, cur
+			for cand := 0; cand < machines; cand++ {
+				id := trace.MachineID(cand)
+				if id == m {
+					continue
+				}
+				if s := est.Survival(now, remaining, id); s > bestS {
+					best, bestS = id, s
+				}
+			}
+			if best != m && bestS-cur >= mig.Margin {
+				m = best
+				migrations++
+				now += mig.Delay
+			}
+			continue
+		}
+		// Failure inside the chunk: lose progress back to the last
+		// checkpoint (or entirely), as in the plain runner.
+		failAt := ev.Start
+		if failAt < now {
+			failAt = now
+		}
+		done += failAt - now
+		var kept time.Duration
+		if cfg.Checkpoint > 0 {
+			kept = (done / cfg.Checkpoint) * cfg.Checkpoint
+		}
+		res.WastedWork += done - kept
+		done = kept
+		stat.Failures++
+		policy.ObserveFailure(m, failAt)
+		now = failAt + cfg.RetryDelay
+		if ev.End > now {
+			now = ev.End + cfg.RetryDelay
+		}
+		m = policy.Pick(now, work-done, machines)
+	}
+}

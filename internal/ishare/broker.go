@@ -1,0 +1,96 @@
+package ishare
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Broker is the client-side placement component: it discovers published
+// resources, queries their availability states, and submits guest jobs to
+// the most available one (S1 before S2; failure states and dead nodes are
+// never used). It realizes, at the systems level, the same decision the
+// gsched policies make over traces.
+type Broker struct {
+	Client *Client
+}
+
+// NewBroker builds a broker over a registry.
+func NewBroker(registryAddr string) *Broker {
+	return &Broker{Client: &Client{RegistryAddr: registryAddr}}
+}
+
+// Candidate is a scored placement option.
+type Candidate struct {
+	Node  NodeInfo
+	State string
+	// Score orders candidates: lower is better (0 = S1, 1 = S2).
+	Score int
+}
+
+// rankState maps a node's reported state to a placement score; states that
+// cannot host a guest return -1.
+func rankState(state string) int {
+	switch {
+	case strings.HasPrefix(state, "S1"):
+		return 0
+	case strings.HasPrefix(state, "S2"):
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Candidates returns the usable nodes ordered best-first.
+func (b *Broker) Candidates() ([]Candidate, error) {
+	nodes, err := b.Client.AliveNodes()
+	if err != nil {
+		return nil, err
+	}
+	var out []Candidate
+	for _, n := range nodes {
+		st, err := b.Client.Info(n.Addr)
+		if err != nil {
+			continue // unreachable despite a fresh heartbeat: skip
+		}
+		score := rankState(st.State)
+		if score < 0 {
+			continue
+		}
+		out = append(out, Candidate{Node: n, State: st.State, Score: score})
+	}
+	// Stable selection sort by (score, name); candidate lists are small.
+	for i := 0; i < len(out); i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Score < out[best].Score ||
+				(out[j].Score == out[best].Score && out[j].Node.Name < out[best].Node.Name) {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	return out, nil
+}
+
+// SubmitBest places the job on the best available node, falling through to
+// the next candidate if a submission fails outright. It returns the result
+// and the node that ran the job.
+func (b *Broker) SubmitBest(job JobSpec) (*JobResult, NodeInfo, error) {
+	cands, err := b.Candidates()
+	if err != nil {
+		return nil, NodeInfo{}, err
+	}
+	if len(cands) == 0 {
+		return nil, NodeInfo{}, fmt.Errorf("ishare: no available resources")
+	}
+	var lastErr error
+	for _, c := range cands {
+		res, err := b.Client.Submit(c.Node.Addr, job)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return res, c.Node, nil
+	}
+	return nil, NodeInfo{}, fmt.Errorf("ishare: every candidate failed: %w", lastErr)
+}

@@ -1,0 +1,89 @@
+package ishare
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Client talks to a registry and its published nodes.
+type Client struct {
+	// RegistryAddr is the registry's dial address.
+	RegistryAddr string
+	// Timeout bounds each request (default 3 s).
+	Timeout time.Duration
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 3 * time.Second
+	}
+	return c.Timeout
+}
+
+// List returns the registry's published nodes, sorted by name.
+func (c *Client) List() ([]NodeInfo, error) {
+	resp, err := roundTrip(c.RegistryAddr, Request{Op: "list"}, c.timeout())
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("ishare: list failed: %s", resp.Error)
+	}
+	sort.Slice(resp.Nodes, func(i, j int) bool { return resp.Nodes[i].Name < resp.Nodes[j].Name })
+	return resp.Nodes, nil
+}
+
+// AliveNodes returns only the nodes whose FGCS service is responding.
+func (c *Client) AliveNodes() ([]NodeInfo, error) {
+	all, err := c.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []NodeInfo
+	for _, n := range all {
+		if n.Alive {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// Info queries one node's availability status.
+func (c *Client) Info(nodeAddr string) (*NodeStatus, error) {
+	resp, err := roundTrip(nodeAddr, Request{Op: "info"}, c.timeout())
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK || resp.Info == nil {
+		return nil, fmt.Errorf("ishare: info failed: %s", resp.Error)
+	}
+	return resp.Info, nil
+}
+
+// Submit sends a guest job to a node and waits for its fate. The node
+// simulates the job in virtual time, so the call returns promptly even for
+// hour-long jobs.
+func (c *Client) Submit(nodeAddr string, job JobSpec) (*JobResult, error) {
+	resp, err := roundTrip(nodeAddr, Request{Op: "submit", Job: &job}, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK || resp.Job == nil {
+		return nil, fmt.Errorf("ishare: submit failed: %s", resp.Error)
+	}
+	return resp.Job, nil
+}
+
+// SetHostLoad reconfigures a node's synthetic host workload (experiment
+// control; not part of the production protocol).
+func (c *Client) SetHostLoad(nodeAddr string, load float64, memMB int64) error {
+	resp, err := roundTrip(nodeAddr, Request{Op: "sethost", HostLoad: load, HostMemMB: memMB}, c.timeout())
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("ishare: sethost failed: %s", resp.Error)
+	}
+	return nil
+}

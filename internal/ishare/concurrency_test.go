@@ -1,0 +1,58 @@
+package ishare
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentSubmissions fires several jobs at one node in parallel;
+// the node must serialize them on its single simulated machine without
+// races (run with -race) and complete every one.
+func TestConcurrentSubmissions(t *testing.T) {
+	node := startNode(t, NodeConfig{Name: "serial", HostLoad: 0.05})
+	c := &Client{}
+	const jobs = 6
+	var wg sync.WaitGroup
+	results := make([]*JobResult, jobs)
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Submit(node.Addr(), JobSpec{
+				Name: "par", CPUSeconds: 30, RSSMB: 32,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if !results[i].Completed {
+			t.Errorf("job %d did not complete: %+v", i, results[i])
+		}
+	}
+}
+
+// TestConcurrentInfoAndSubmit interleaves status queries with a running
+// submission.
+func TestConcurrentInfoAndSubmit(t *testing.T) {
+	node := startNode(t, NodeConfig{Name: "mix", HostLoad: 0.1})
+	c := &Client{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := c.Submit(node.Addr(), JobSpec{Name: "long", CPUSeconds: 120, RSSMB: 32}); err != nil {
+			t.Errorf("submit: %v", err)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Info(node.Addr()); err != nil {
+			t.Fatalf("info during submit: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+}

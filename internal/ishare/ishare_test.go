@@ -1,0 +1,222 @@
+package ishare
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simos"
+)
+
+func startRegistry(t *testing.T, ttl time.Duration) *Registry {
+	t.Helper()
+	r, err := NewRegistry("127.0.0.1:0", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func startNode(t *testing.T, cfg NodeConfig) *Node {
+	t.Helper()
+	n, err := NewNode("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	reg := startRegistry(t, 200*time.Millisecond)
+	c := &Client{RegistryAddr: reg.Addr()}
+
+	node := startNode(t, NodeConfig{Name: "alpha", RegistryAddr: reg.Addr()})
+	_ = node
+
+	nodes, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].Name != "alpha" || !nodes[0].Alive {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+
+	alive, err := c.AliveNodes()
+	if err != nil || len(alive) != 1 {
+		t.Fatalf("alive = %+v, %v", alive, err)
+	}
+}
+
+func TestRegistryDetectsURR(t *testing.T) {
+	reg := startRegistry(t, 150*time.Millisecond)
+	c := &Client{RegistryAddr: reg.Addr()}
+	node := startNode(t, NodeConfig{Name: "beta", RegistryAddr: reg.Addr(), HeartbeatEvery: 30 * time.Millisecond})
+
+	// Alive while heartbeating.
+	nodes, err := c.List()
+	if err != nil || len(nodes) != 1 || !nodes[0].Alive {
+		t.Fatalf("expected alive node, got %+v, %v", nodes, err)
+	}
+
+	// The machine is revoked: the FGCS service terminates. The registry
+	// must eventually report it dead — the paper's URR observable.
+	node.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		nodes, err = c.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) == 1 && !nodes[0].Alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node never went dead: %+v", nodes)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestRegistryRejectsBadRequests(t *testing.T) {
+	reg := startRegistry(t, time.Second)
+	if resp := reg.handle(Request{Op: "register"}); resp.OK {
+		t.Error("register without name accepted")
+	}
+	if resp := reg.handle(Request{Op: "heartbeat", Name: "ghost"}); resp.OK {
+		t.Error("heartbeat for unknown node accepted")
+	}
+	if resp := reg.handle(Request{Op: "dance"}); resp.OK {
+		t.Error("unknown op accepted")
+	}
+	if resp := reg.handle(Request{Op: "unregister", Name: "ghost"}); !resp.OK {
+		t.Error("unregister should be idempotent")
+	}
+}
+
+func TestNodeInfoReportsStates(t *testing.T) {
+	node := startNode(t, NodeConfig{Name: "gamma", HostLoad: 0.05})
+	c := &Client{}
+	st, err := c.Info(node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(st.State, "S1") {
+		t.Errorf("light host load should be S1, got %s", st.State)
+	}
+	// Crank the host load into S2 territory.
+	if err := c.SetHostLoad(node.Addr(), 0.45, 0); err != nil {
+		t.Fatal(err)
+	}
+	var sawS2 bool
+	for i := 0; i < 20; i++ {
+		st, err = c.Info(node.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasPrefix(st.State, "S2") {
+			sawS2 = true
+			break
+		}
+	}
+	if !sawS2 {
+		t.Errorf("host load 0.45 should reach S2, last state %s", st.State)
+	}
+}
+
+func TestSubmitCompletesOnIdleNode(t *testing.T) {
+	node := startNode(t, NodeConfig{Name: "idle", HostLoad: 0.05})
+	c := &Client{}
+	res, err := c.Submit(node.Addr(), JobSpec{Name: "job", CPUSeconds: 120, RSSMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Outcome != "completed" {
+		t.Fatalf("job did not complete: %+v", res)
+	}
+	if res.GuestCPUSeconds < 119 || res.GuestCPUSeconds > 125 {
+		t.Errorf("guest CPU = %v, want ~120", res.GuestCPUSeconds)
+	}
+	// On a nearly idle machine the job should not take much longer than
+	// its pure compute time.
+	if res.WallSeconds > 160 {
+		t.Errorf("wall = %v s for 120 s of work on an idle node", res.WallSeconds)
+	}
+}
+
+func TestSubmitKilledUnderSustainedLoad(t *testing.T) {
+	node := startNode(t, NodeConfig{Name: "busy", HostLoad: 0.9})
+	c := &Client{}
+	res, err := c.Submit(node.Addr(), JobSpec{Name: "victim", CPUSeconds: 600, RSSMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatalf("job should have been killed under 0.9 host load: %+v", res)
+	}
+	if res.Outcome != "killed" {
+		t.Fatalf("outcome = %s, want killed", res.Outcome)
+	}
+	if !strings.HasPrefix(res.FinalState, "S3") {
+		t.Errorf("final state = %s, want S3", res.FinalState)
+	}
+}
+
+func TestSubmitKilledByMemoryPressure(t *testing.T) {
+	cfg := NodeConfig{Name: "small", HostLoad: 0.05}
+	cfg.Machine = simos.MachineConfig{Name: "small", RAM: 512 * simos.MB, KernelMem: 100 * simos.MB, Seed: 3}
+	node := startNode(t, cfg)
+	c := &Client{}
+	// Host grows to 350 MB: free = 512-100-350 = 62 MB < guest demand.
+	if err := c.SetHostLoad(node.Addr(), 0.05, 350); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Submit(node.Addr(), JobSpec{Name: "bigmem", CPUSeconds: 300, RSSMB: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || res.Outcome != "killed" {
+		t.Fatalf("memory-starved job should be killed: %+v", res)
+	}
+	if !strings.HasPrefix(res.FinalState, "S4") {
+		t.Errorf("final state = %s, want S4", res.FinalState)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	node := startNode(t, NodeConfig{Name: "v"})
+	c := &Client{}
+	if _, err := c.Submit(node.Addr(), JobSpec{Name: "zero", CPUSeconds: 0}); err == nil {
+		t.Error("zero-work job accepted")
+	}
+	if resp := node.handle(Request{Op: "submit"}); resp.OK {
+		t.Error("submit without job accepted")
+	}
+	if resp := node.handle(Request{Op: "nope"}); resp.OK {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestRegistryTTLValidation(t *testing.T) {
+	if _, err := NewRegistry("127.0.0.1:0", 0); err == nil {
+		t.Error("zero TTL accepted")
+	}
+}
+
+func TestInteractiveHostNode(t *testing.T) {
+	node := startNode(t, NodeConfig{Name: "interactive", InteractiveHost: true})
+	c := &Client{}
+	res, err := c.Submit(node.Addr(), JobSpec{Name: "job", CPUSeconds: 120, RSSMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("guest should complete alongside an interactive user: %+v", res)
+	}
+	// The interactive user costs the guest a little wall time but the
+	// credit mechanism keeps the machine in S1/S2.
+	if res.WallSeconds > 300 {
+		t.Errorf("wall %v s for 120 s of work under an interactive host", res.WallSeconds)
+	}
+}

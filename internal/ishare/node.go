@@ -1,0 +1,284 @@
+package ishare
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/monitor"
+	"repro/internal/simos"
+	"repro/internal/workload"
+)
+
+// NodeConfig describes a published resource.
+type NodeConfig struct {
+	// Name is the node's registry name.
+	Name string
+	// Machine is the simulated machine the node publishes.
+	Machine simos.MachineConfig
+	// Detector configures the availability detector.
+	Detector availability.Config
+	// MonitorPeriod is the virtual sampling period while jobs run.
+	MonitorPeriod time.Duration
+	// HostLoad is the initial synthetic host load.
+	HostLoad float64
+	// InteractiveHost, when set, runs a Musbus-style interactive session
+	// as the host workload instead of a flat duty cycle; HostLoad is then
+	// ignored.
+	InteractiveHost bool
+	// RegistryAddr, when set, makes the node register and heartbeat.
+	RegistryAddr string
+	// HeartbeatEvery is the wall-clock heartbeat interval.
+	HeartbeatEvery time.Duration
+	// MaxJobVirtual caps how much virtual time one submission may occupy.
+	MaxJobVirtual time.Duration
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.Name == "" {
+		c.Name = "node"
+	}
+	if c.Machine.RAM == 0 {
+		c.Machine = simos.LinuxLabMachine(1)
+	}
+	if c.MonitorPeriod == 0 {
+		c.MonitorPeriod = 5 * time.Second
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 50 * time.Millisecond
+	}
+	if c.MaxJobVirtual == 0 {
+		c.MaxJobVirtual = 24 * time.Hour
+	}
+	return c
+}
+
+// Node is a published FGCS resource: a machine plus the non-intrusive
+// monitoring stack, reachable over TCP.
+type Node struct {
+	cfg NodeConfig
+
+	mu      sync.Mutex
+	machine *simos.Machine
+	sampler *monitor.MachineSampler
+	mon     *monitor.Monitor
+	det     *availability.Detector
+	host    *simos.Process
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewNode starts a node listening on addr and, if configured, registers it
+// with the registry and begins heartbeating.
+func NewNode(addr string, cfg NodeConfig) (*Node, error) {
+	cfg = cfg.withDefaults()
+	machine, err := simos.NewMachine(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	det, err := availability.NewDetector(cfg.Detector)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New(monitor.Config{Period: cfg.MonitorPeriod, SmoothWindow: 1})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ishare: node listen: %w", err)
+	}
+	n := &Node{
+		cfg:     cfg,
+		machine: machine,
+		mon:     mon,
+		det:     det,
+		ln:      ln,
+		closed:  make(chan struct{}),
+	}
+	n.sampler = monitor.NewMachineSampler(machine)
+	n.setHostLocked(cfg.HostLoad, 300*simos.MB)
+
+	n.wg.Add(1)
+	go n.acceptLoop()
+
+	if cfg.RegistryAddr != "" {
+		if err := n.register(); err != nil {
+			n.Close()
+			return nil, err
+		}
+		n.wg.Add(1)
+		go n.heartbeatLoop()
+	}
+	return n, nil
+}
+
+// Addr returns the node's dial address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Close stops the node (its heartbeats cease, which the registry will
+// eventually report as URR).
+func (n *Node) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) register() error {
+	resp, err := roundTrip(n.cfg.RegistryAddr, Request{
+		Op: "register", Name: n.cfg.Name, Addr: n.Addr(),
+	}, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("ishare: register rejected: %s", resp.Error)
+	}
+	return nil
+}
+
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-tick.C:
+			_, _ = roundTrip(n.cfg.RegistryAddr, Request{Op: "heartbeat", Name: n.cfg.Name}, time.Second)
+		}
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			serveConn(conn, n.handle)
+		}()
+	}
+}
+
+// setHostLocked replaces the node's synthetic host workload. Caller holds
+// no lock for construction; at runtime callers hold n.mu.
+func (n *Node) setHostLocked(load float64, mem int64) {
+	if n.host != nil {
+		n.host.Kill()
+	}
+	if mem <= 0 {
+		mem = 300 * simos.MB
+	}
+	var b simos.Behavior
+	if n.cfg.InteractiveHost {
+		b = workload.DefaultInteractiveSession()
+	} else {
+		b = &workload.DutyCycle{Usage: load, Period: workload.DefaultPeriod, Jitter: 0.1}
+	}
+	n.host = n.machine.Spawn("host-load", simos.Host, 0, mem, b)
+}
+
+func (n *Node) handle(req Request) Response {
+	switch req.Op {
+	case "info":
+		return n.info()
+	case "sethost":
+		n.mu.Lock()
+		n.setHostLocked(req.HostLoad, req.HostMemMB*simos.MB)
+		n.mu.Unlock()
+		return Response{OK: true}
+	case "submit":
+		if req.Job == nil {
+			return Response{OK: false, Error: "submit requires a job"}
+		}
+		return n.submit(*req.Job)
+	default:
+		return Response{OK: false, Error: "unknown op " + req.Op}
+	}
+}
+
+// info advances the machine one monitor period and reports the state.
+func (n *Node) info() Response {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.machine.Run(n.cfg.MonitorPeriod)
+	obs := n.mon.Observe(n.sampler.Sample())
+	state, _ := n.det.Observe(obs)
+	return Response{OK: true, Info: &NodeStatus{
+		State:        state.String(),
+		HostCPU:      obs.HostCPU,
+		FreeMemMB:    obs.FreeMem / simos.MB,
+		VirtualNowMS: int64(n.machine.Now() / time.Millisecond),
+	}}
+}
+
+// submit runs a guest job under the five-state controller until it
+// completes, is killed, or exhausts the virtual-time budget.
+func (n *Node) submit(spec JobSpec) Response {
+	if spec.CPUSeconds <= 0 {
+		return Response{OK: false, Error: "job needs positive cpu_seconds"}
+	}
+	rss := spec.RSSMB * simos.MB
+	if rss <= 0 {
+		rss = 64 * simos.MB
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	work := &workload.FiniteWork{Total: time.Duration(spec.CPUSeconds * float64(time.Second)), Usage: 1}
+	guest := n.machine.Spawn(spec.Name, simos.Guest, 0, rss, work)
+	ctrl := availability.NewController(n.det, guest)
+
+	start := n.machine.Now()
+	deadline := start + n.cfg.MaxJobVirtual
+	result := JobResult{}
+	var state availability.State = n.det.State()
+
+	for n.machine.Now() < deadline {
+		n.machine.Run(n.cfg.MonitorPeriod)
+		obs := n.mon.Observe(n.sampler.Sample())
+		var action availability.Action
+		state, action, _ = ctrl.Observe(obs)
+		if action == availability.ActionSuspend {
+			result.Suspensions++
+		}
+		if !ctrl.GuestAlive() {
+			result.Outcome = "killed"
+			break
+		}
+		if !guest.Alive() {
+			result.Completed = true
+			result.Outcome = "completed"
+			break
+		}
+	}
+	if result.Outcome == "" {
+		result.Outcome = "timeout"
+		guest.Kill()
+	}
+	result.FinalState = state.String()
+	result.GuestCPUSeconds = guest.CPUTime().Seconds()
+	result.WallSeconds = (n.machine.Now() - start).Seconds()
+	return Response{OK: true, Job: &result}
+}

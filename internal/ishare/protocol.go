@@ -1,0 +1,131 @@
+// Package ishare implements a miniature of the iShare system the paper's
+// trace study runs on (Section 5): a resource registry for publication and
+// discovery, node agents that publish machines and run the non-intrusive
+// monitor/detector on them, and a client for job submission.
+//
+// The registry detects resource revocation (URR / S5) exactly as the paper
+// describes: the FGCS service on a node stops responding — here, its
+// heartbeats stop — and the resource is reported offline. Guest jobs
+// submitted to a node run on the node's simulated machine under the
+// five-state controller: they are reniced in S2, suspended through
+// transient spikes, and killed on S3/S4.
+//
+// The wire protocol is one newline-delimited JSON request and response per
+// TCP connection — deliberately simple, debuggable with netcat.
+package ishare
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Request is the single message type clients and nodes send.
+type Request struct {
+	// Op selects the action: "register", "unregister", "heartbeat",
+	// "list" (registry); "info", "submit", "sethost" (node).
+	Op string `json:"op"`
+	// Name identifies a node (register/unregister/heartbeat).
+	Name string `json:"name,omitempty"`
+	// Addr is the node's dial address (register).
+	Addr string `json:"addr,omitempty"`
+	// Job carries a submission (submit).
+	Job *JobSpec `json:"job,omitempty"`
+	// HostLoad sets the node's synthetic host load (sethost).
+	HostLoad float64 `json:"host_load,omitempty"`
+	// HostMemMB sets the node's synthetic host memory (sethost).
+	HostMemMB int64 `json:"host_mem_mb,omitempty"`
+}
+
+// JobSpec describes a guest job: a compute-bound batch program.
+type JobSpec struct {
+	Name string `json:"name"`
+	// CPUSeconds is the virtual CPU time the job needs.
+	CPUSeconds float64 `json:"cpu_seconds"`
+	// RSSMB is the job's working set in MiB.
+	RSSMB int64 `json:"rss_mb"`
+}
+
+// NodeInfo is a registry entry.
+type NodeInfo struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// Alive reports whether the node heartbeated within the TTL; a dead
+	// entry is the observable signature of URR (state S5).
+	Alive bool `json:"alive"`
+	// LastSeenMS is the wall-clock time of the last heartbeat.
+	LastSeenMS int64 `json:"last_seen_ms"`
+}
+
+// NodeStatus is a node's self-report.
+type NodeStatus struct {
+	// State is the current availability state string (e.g. "S1(full)").
+	State string `json:"state"`
+	// HostCPU is the last observed host load.
+	HostCPU float64 `json:"host_cpu"`
+	// FreeMemMB is the memory available for guests.
+	FreeMemMB int64 `json:"free_mem_mb"`
+	// VirtualNowMS is the machine's virtual clock.
+	VirtualNowMS int64 `json:"virtual_now_ms"`
+}
+
+// JobResult reports a submission's fate.
+type JobResult struct {
+	// Completed is true when the guest finished its work.
+	Completed bool `json:"completed"`
+	// Outcome is "completed", "killed" or "timeout".
+	Outcome string `json:"outcome"`
+	// FinalState is the availability state when the job ended.
+	FinalState string `json:"final_state"`
+	// GuestCPUSeconds is the virtual CPU time the guest received.
+	GuestCPUSeconds float64 `json:"guest_cpu_seconds"`
+	// WallSeconds is the virtual wall time the job occupied the node.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Suspensions counts transient-spike suspensions survived.
+	Suspensions int `json:"suspensions"`
+}
+
+// Response is the uniform reply envelope.
+type Response struct {
+	OK    bool        `json:"ok"`
+	Error string      `json:"error,omitempty"`
+	Nodes []NodeInfo  `json:"nodes,omitempty"`
+	Info  *NodeStatus `json:"info,omitempty"`
+	Job   *JobResult  `json:"job,omitempty"`
+}
+
+// roundTrip dials addr, sends one request and reads one response.
+func roundTrip(addr string, req Request, timeout time.Duration) (*Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("ishare: dialing %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("ishare: sending %q: %w", req.Op, err)
+	}
+	var resp Response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("ishare: reading %q response: %w", req.Op, err)
+	}
+	return &resp, nil
+}
+
+// serveConn handles one request/response exchange with the given handler.
+func serveConn(conn net.Conn, handle func(Request) Response) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	var req Request
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
+		_ = json.NewEncoder(conn).Encode(Response{OK: false, Error: "bad request: " + err.Error()})
+		return
+	}
+	resp := handle(req)
+	_ = json.NewEncoder(conn).Encode(resp)
+}

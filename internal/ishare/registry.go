@@ -1,0 +1,130 @@
+package ishare
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Registry is the publication/discovery service: nodes register and
+// heartbeat; clients list published resources. A node whose heartbeats
+// stop for longer than the TTL is reported dead — the URR signal.
+type Registry struct {
+	ttl time.Duration
+
+	mu    sync.Mutex
+	nodes map[string]*registryEntry
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type registryEntry struct {
+	info     NodeInfo
+	lastSeen time.Time
+}
+
+// NewRegistry starts a registry listening on addr (use "127.0.0.1:0" for
+// an ephemeral test port). ttl is the heartbeat freshness bound.
+func NewRegistry(addr string, ttl time.Duration) (*Registry, error) {
+	if ttl <= 0 {
+		return nil, fmt.Errorf("ishare: registry TTL must be positive, got %v", ttl)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ishare: registry listen: %w", err)
+	}
+	r := &Registry{
+		ttl:    ttl,
+		nodes:  make(map[string]*registryEntry),
+		ln:     ln,
+		closed: make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the registry's dial address.
+func (r *Registry) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the registry.
+func (r *Registry) Close() error {
+	select {
+	case <-r.closed:
+		return nil
+	default:
+	}
+	close(r.closed)
+	err := r.ln.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *Registry) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			select {
+			case <-r.closed:
+				return
+			default:
+				continue
+			}
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			serveConn(conn, r.handle)
+		}()
+	}
+}
+
+func (r *Registry) handle(req Request) Response {
+	switch req.Op {
+	case "register":
+		if req.Name == "" || req.Addr == "" {
+			return Response{OK: false, Error: "register requires name and addr"}
+		}
+		r.mu.Lock()
+		r.nodes[req.Name] = &registryEntry{
+			info:     NodeInfo{Name: req.Name, Addr: req.Addr},
+			lastSeen: time.Now(),
+		}
+		r.mu.Unlock()
+		return Response{OK: true}
+	case "unregister":
+		r.mu.Lock()
+		delete(r.nodes, req.Name)
+		r.mu.Unlock()
+		return Response{OK: true}
+	case "heartbeat":
+		r.mu.Lock()
+		e, ok := r.nodes[req.Name]
+		if ok {
+			e.lastSeen = time.Now()
+		}
+		r.mu.Unlock()
+		if !ok {
+			return Response{OK: false, Error: "unknown node " + req.Name}
+		}
+		return Response{OK: true}
+	case "list":
+		now := time.Now()
+		r.mu.Lock()
+		nodes := make([]NodeInfo, 0, len(r.nodes))
+		for _, e := range r.nodes {
+			info := e.info
+			info.Alive = now.Sub(e.lastSeen) <= r.ttl
+			info.LastSeenMS = e.lastSeen.UnixMilli()
+			nodes = append(nodes, info)
+		}
+		r.mu.Unlock()
+		return Response{OK: true, Nodes: nodes}
+	default:
+		return Response{OK: false, Error: "unknown op " + req.Op}
+	}
+}

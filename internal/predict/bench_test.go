@@ -1,0 +1,63 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func benchHistory(b *testing.B) *trace.Trace {
+	b.Helper()
+	return periodicTrace(70, 20)
+}
+
+func BenchmarkHistoryWindowPredictCount(b *testing.B) {
+	h := &HistoryWindow{}
+	h.Train(benchHistory(b))
+	day := sim.Time(70) * sim.Day
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := sim.Window{
+			Start: day + time.Duration(i%20)*time.Hour,
+			End:   day + time.Duration(i%20)*time.Hour + 3*time.Hour,
+		}
+		h.PredictCount(trace.MachineID(i%20), w)
+	}
+}
+
+func BenchmarkHistoryWindowPredictSurvival(b *testing.B) {
+	h := &HistoryWindow{Trim: 0.1}
+	h.Train(benchHistory(b))
+	day := sim.Time(70) * sim.Day
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := sim.Window{Start: day + 10*time.Hour, End: day + 13*time.Hour}
+		h.PredictSurvival(trace.MachineID(i%20), w)
+	}
+}
+
+func BenchmarkSemiMarkovPredictSurvival(b *testing.B) {
+	s := &SemiMarkov{}
+	s.Train(benchHistory(b))
+	day := sim.Time(70) * sim.Day
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := sim.Window{Start: day + time.Duration(i%24)*time.Hour, End: day + time.Duration(i%24)*time.Hour + 3*time.Hour}
+		s.PredictSurvival(trace.MachineID(i%20), w)
+	}
+}
+
+func BenchmarkEvaluateAllPredictors(b *testing.B) {
+	tr := benchHistory(b)
+	cfg := EvalConfig{TrainDays: 28, Window: 3 * time.Hour, MaxMachines: 4}
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(tr, DefaultPredictors(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package predict
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// EvalConfig controls the train/test replay.
+type EvalConfig struct {
+	// TrainDays is the history prefix length; the rest of the trace is
+	// the test period.
+	TrainDays int
+	// Window is the prediction-window length (the paper suggests deriving
+	// it from the guest job's estimated execution time).
+	Window time.Duration
+	// Stride advances consecutive test windows (default: Window).
+	Stride time.Duration
+	// MaxMachines limits evaluation to the first N machines (0 = all);
+	// trims runtime for quick runs.
+	MaxMachines int
+}
+
+// DefaultEvalConfig trains on four weeks and predicts 3-hour windows.
+func DefaultEvalConfig() EvalConfig {
+	return EvalConfig{TrainDays: 28, Window: 3 * time.Hour}
+}
+
+func (c EvalConfig) withDefaults() EvalConfig {
+	d := DefaultEvalConfig()
+	if c.TrainDays == 0 {
+		c.TrainDays = d.TrainDays
+	}
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+	if c.Stride == 0 {
+		c.Stride = c.Window
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c EvalConfig) Validate() error {
+	if c.TrainDays <= 0 {
+		return fmt.Errorf("predict: train days must be positive, got %d", c.TrainDays)
+	}
+	if c.Window <= 0 || c.Stride <= 0 {
+		return fmt.Errorf("predict: window and stride must be positive")
+	}
+	return nil
+}
+
+// Score is one predictor's evaluation result.
+type Score struct {
+	Name string
+	// MAE and RMSE measure count-prediction error per window.
+	MAE  float64
+	RMSE float64
+	// Brier measures survival-probability quality (lower is better;
+	// 0.25 is an uninformed coin flip).
+	Brier float64
+	// Windows is the number of evaluated (machine, window) pairs.
+	Windows int
+}
+
+// Evaluation is the full comparison across predictors.
+type Evaluation struct {
+	Config EvalConfig
+	Scores []Score
+}
+
+// Evaluate trains each predictor on the trace prefix and scores it over
+// sliding windows of the remaining test period.
+func Evaluate(tr *trace.Trace, preds []Predictor, cfg EvalConfig) (*Evaluation, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cut := tr.Span.Start + sim.Time(cfg.TrainDays)*sim.Day
+	if cut >= tr.Span.End {
+		return nil, fmt.Errorf("predict: training period (%d days) consumes the whole trace", cfg.TrainDays)
+	}
+	history := tr.Before(cut)
+	for _, p := range preds {
+		p.Train(history)
+	}
+
+	machines := tr.Machines
+	if cfg.MaxMachines > 0 && cfg.MaxMachines < machines {
+		machines = cfg.MaxMachines
+	}
+
+	// Collect per-window truths once.
+	type sample struct {
+		m trace.MachineID
+		w sim.Window
+	}
+	ix := tr.BuildIndex()
+	var samples []sample
+	var truthCounts []float64
+	var truthFail []bool
+	for m := 0; m < machines; m++ {
+		id := trace.MachineID(m)
+		for start := cut; start+cfg.Window <= tr.Span.End; start += cfg.Stride {
+			w := sim.Window{Start: start, End: start + cfg.Window}
+			samples = append(samples, sample{id, w})
+			truthCounts = append(truthCounts, float64(ix.CountInWindow(id, w)))
+			truthFail = append(truthFail, ix.OverlapExists(id, w))
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("predict: no test windows (window %v, span %v)", cfg.Window, tr.Span)
+	}
+
+	ev := &Evaluation{Config: cfg}
+	for _, p := range preds {
+		predCounts := make([]float64, len(samples))
+		survive := make([]float64, len(samples))
+		for i, s := range samples {
+			predCounts[i] = p.PredictCount(s.m, s.w)
+			// Brier scores the probability of failure occurring.
+			survive[i] = 1 - p.PredictSurvival(s.m, s.w)
+		}
+		ev.Scores = append(ev.Scores, Score{
+			Name:    p.Name(),
+			MAE:     stats.MAE(predCounts, truthCounts),
+			RMSE:    stats.RMSE(predCounts, truthCounts),
+			Brier:   stats.Brier(survive, truthFail),
+			Windows: len(samples),
+		})
+	}
+	return ev, nil
+}
+
+// Format renders the comparison table.
+func (e *Evaluation) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Predictor evaluation — %v windows, trained on %d days (%d samples)\n",
+		e.Config.Window, e.Config.TrainDays, e.windows())
+	fmt.Fprintf(&b, "%-26s %8s %8s %8s\n", "predictor", "MAE", "RMSE", "Brier")
+	for _, s := range e.Scores {
+		fmt.Fprintf(&b, "%-26s %8.3f %8.3f %8.3f\n", s.Name, s.MAE, s.RMSE, s.Brier)
+	}
+	return b.String()
+}
+
+func (e *Evaluation) windows() int {
+	if len(e.Scores) == 0 {
+		return 0
+	}
+	return e.Scores[0].Windows
+}
+
+// ScoreByName finds a predictor's score in the evaluation.
+func (e *Evaluation) ScoreByName(name string) (Score, bool) {
+	for _, s := range e.Scores {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Score{}, false
+}

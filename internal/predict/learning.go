@@ -1,0 +1,113 @@
+package predict
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// LearningPoint is one point of a history-length learning curve.
+type LearningPoint struct {
+	TrainDays int
+	Score     Score
+}
+
+// LearningCurve measures how a predictor's accuracy evolves as its history
+// grows, quantifying the paper's core observation that recent history is
+// what makes availability predictable: if the daily pattern is real, a few
+// same-type days of history should capture most of the signal, with little
+// gained beyond a few weeks.
+//
+// All points are evaluated on the same test period (the trace after the
+// largest training prefix) so the scores are directly comparable.
+func LearningCurve(tr *trace.Trace, mk func() Predictor, trainDays []int, cfg EvalConfig) ([]LearningPoint, error) {
+	cfg = cfg.withDefaults()
+	if len(trainDays) == 0 {
+		return nil, fmt.Errorf("predict: learning curve needs at least one training length")
+	}
+	maxTrain := trainDays[0]
+	for _, d := range trainDays {
+		if d <= 0 {
+			return nil, fmt.Errorf("predict: non-positive training length %d", d)
+		}
+		if d > maxTrain {
+			maxTrain = d
+		}
+	}
+	testStart := tr.Span.Start + sim.Time(maxTrain)*sim.Day
+	if testStart >= tr.Span.End {
+		return nil, fmt.Errorf("predict: longest training prefix (%d days) consumes the trace", maxTrain)
+	}
+
+	// Shared test windows and truths.
+	ix := tr.BuildIndex()
+	type sample struct {
+		m trace.MachineID
+		w sim.Window
+	}
+	var samples []sample
+	var truthCounts []float64
+	var truthFail []bool
+	machines := tr.Machines
+	if cfg.MaxMachines > 0 && cfg.MaxMachines < machines {
+		machines = cfg.MaxMachines
+	}
+	for m := 0; m < machines; m++ {
+		id := trace.MachineID(m)
+		for start := testStart; start+cfg.Window <= tr.Span.End; start += cfg.Stride {
+			w := sim.Window{Start: start, End: start + cfg.Window}
+			samples = append(samples, sample{id, w})
+			truthCounts = append(truthCounts, float64(ix.CountInWindow(id, w)))
+			truthFail = append(truthFail, ix.OverlapExists(id, w))
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("predict: no test windows beyond %d training days", maxTrain)
+	}
+
+	var out []LearningPoint
+	for _, days := range trainDays {
+		p := mk()
+		// Train only on the last `days` days before the shared test start,
+		// so every point predicts the same future from a window of the
+		// recent past (the paper's "recent history").
+		histStart := testStart - sim.Time(days)*sim.Day
+		hist := tr.Filter(func(e trace.Event) bool {
+			return e.Start >= histStart && e.Start < testStart
+		})
+		hist.Span = sim.Window{Start: histStart, End: testStart}
+		p.Train(hist)
+
+		predCounts := make([]float64, len(samples))
+		failProb := make([]float64, len(samples))
+		for i, s := range samples {
+			predCounts[i] = p.PredictCount(s.m, s.w)
+			failProb[i] = 1 - p.PredictSurvival(s.m, s.w)
+		}
+		out = append(out, LearningPoint{
+			TrainDays: days,
+			Score: Score{
+				Name:    p.Name(),
+				MAE:     stats.MAE(predCounts, truthCounts),
+				RMSE:    stats.RMSE(predCounts, truthCounts),
+				Brier:   stats.Brier(failProb, truthFail),
+				Windows: len(samples),
+			},
+		})
+	}
+	return out, nil
+}
+
+// FormatLearningCurve renders the curve.
+func FormatLearningCurve(points []LearningPoint) string {
+	var b strings.Builder
+	b.WriteString("Learning curve — accuracy vs history length\n")
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s\n", "train-days", "MAE", "RMSE", "Brier")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-12d %8.3f %8.3f %8.3f\n", p.TrainDays, p.Score.MAE, p.Score.RMSE, p.Score.Brier)
+	}
+	return b.String()
+}

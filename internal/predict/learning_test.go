@@ -1,0 +1,60 @@
+package predict
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLearningCurveImprovesWithHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testbed simulation")
+	}
+	tr := testbedTrace(t)
+	points, err := LearningCurve(tr,
+		func() Predictor { return &HistoryWindow{} },
+		[]int{7, 14, 28},
+		EvalConfig{Window: 3 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Same test windows everywhere.
+	for _, p := range points[1:] {
+		if p.Score.Windows != points[0].Score.Windows {
+			t.Fatalf("test windows differ: %d vs %d", p.Score.Windows, points[0].Score.Windows)
+		}
+	}
+	// More history should not hurt much: 28 days must be at least as good
+	// as 7 days within a small tolerance (the daily pattern is stable, so
+	// the curve should flatten, not invert).
+	if points[2].Score.MAE > points[0].Score.MAE*1.05 {
+		t.Errorf("MAE got worse with history: 7d %v -> 28d %v",
+			points[0].Score.MAE, points[2].Score.MAE)
+	}
+	// And a single week must already beat an untrained predictor's
+	// uninformed Brier of 0.25 — the paper's "recent history" claim.
+	if points[0].Score.Brier >= 0.25 {
+		t.Errorf("one week of history should beat a coin flip: Brier %v",
+			points[0].Score.Brier)
+	}
+	if s := FormatLearningCurve(points); !strings.Contains(s, "train-days") {
+		t.Error("format missing header")
+	}
+}
+
+func TestLearningCurveValidation(t *testing.T) {
+	tr := periodicTrace(14, 1)
+	mk := func() Predictor { return &HistoryWindow{} }
+	if _, err := LearningCurve(tr, mk, nil, EvalConfig{Window: time.Hour}); err == nil {
+		t.Error("empty training lengths accepted")
+	}
+	if _, err := LearningCurve(tr, mk, []int{0}, EvalConfig{Window: time.Hour}); err == nil {
+		t.Error("zero training length accepted")
+	}
+	if _, err := LearningCurve(tr, mk, []int{20}, EvalConfig{Window: time.Hour}); err == nil {
+		t.Error("training longer than trace accepted")
+	}
+}

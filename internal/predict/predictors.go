@@ -1,0 +1,324 @@
+package predict
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Predictor estimates future unavailability from a trained history.
+type Predictor interface {
+	// Name identifies the predictor in evaluation reports.
+	Name() string
+	// Train fits the predictor to a history trace. It may be called again
+	// to refit on a longer history.
+	Train(tr *trace.Trace)
+	// PredictCount estimates the number of unavailability occurrences for
+	// machine m in the window w.
+	PredictCount(m trace.MachineID, w sim.Window) float64
+	// PredictSurvival estimates the probability that no unavailability
+	// overlaps w on machine m (a guest running through w survives).
+	PredictSurvival(m trace.MachineID, w sim.Window) float64
+}
+
+// HistoryWindow is the paper's proposed predictor: the expected event count
+// for a window is a robust average of the counts observed in the same
+// clock window on previous days of the same type (weekday/weekend), and
+// survival is the empirical fraction of those history days that were
+// failure-free in the window.
+type HistoryWindow struct {
+	// Trim is the trimmed-mean fraction (0 = plain mean). The paper
+	// suggests robust statistics to absorb irregular days.
+	Trim float64
+	// PoolMachines, when set, aggregates history across machines (useful
+	// when a single machine's history is short); predictions are then
+	// per-machine averages of the pool.
+	PoolMachines bool
+	// MinHistoryDays guards against predicting from almost no data.
+	MinHistoryDays int
+
+	tr *trace.Trace
+	ix *trace.Index
+}
+
+// Name implements Predictor.
+func (h *HistoryWindow) Name() string {
+	if h.Trim > 0 {
+		return "history-window(trimmed)"
+	}
+	return "history-window"
+}
+
+// Train implements Predictor.
+func (h *HistoryWindow) Train(tr *trace.Trace) {
+	h.tr = tr
+	h.ix = tr.BuildIndex()
+}
+
+// historyCounts returns the event counts in the clock window matching w on
+// every prior same-day-type day, per contributing machine-day.
+func (h *HistoryWindow) historyCounts(m trace.MachineID, w sim.Window) []float64 {
+	if h.tr == nil {
+		return nil
+	}
+	cal := h.tr.Calendar
+	dayType := cal.DayType(w.Start)
+	offStart := cal.TimeOfDay(w.Start)
+	dur := w.Duration()
+
+	var counts []float64
+	firstDay := cal.DayIndex(h.tr.Span.Start)
+	lastFull := cal.DayIndex(h.tr.Span.End - 1)
+	for d := firstDay; d <= lastFull; d++ {
+		dayStart := sim.Time(d) * sim.Day
+		if cal.DayType(dayStart) != dayType {
+			continue
+		}
+		hw := sim.Window{Start: dayStart + offStart, End: dayStart + offStart + dur}
+		// Only fully observed history windows that end before the window
+		// being predicted count as history.
+		if hw.End > h.tr.Span.End || hw.End > w.Start {
+			continue
+		}
+		if hw.Start < h.tr.Span.Start {
+			continue
+		}
+		if h.PoolMachines {
+			for mm := 0; mm < h.tr.Machines; mm++ {
+				counts = append(counts, float64(h.ix.CountInWindow(trace.MachineID(mm), hw)))
+			}
+		} else {
+			counts = append(counts, float64(h.ix.CountInWindow(m, hw)))
+		}
+	}
+	return counts
+}
+
+// PredictCount implements Predictor.
+func (h *HistoryWindow) PredictCount(m trace.MachineID, w sim.Window) float64 {
+	counts := h.historyCounts(m, w)
+	if len(counts) < h.MinHistoryDays || len(counts) == 0 {
+		return 0
+	}
+	if h.Trim > 0 {
+		return stats.TrimmedMean(counts, h.Trim)
+	}
+	return stats.Mean(counts)
+}
+
+// PredictSurvival implements Predictor.
+func (h *HistoryWindow) PredictSurvival(m trace.MachineID, w sim.Window) float64 {
+	counts := h.historyCounts(m, w)
+	if len(counts) < h.MinHistoryDays || len(counts) == 0 {
+		return 0.5 // no information
+	}
+	// Laplace-smoothed fraction of failure-free history windows.
+	free := 0
+	for _, c := range counts {
+		if c == 0 {
+			free++
+		}
+	}
+	return stats.Clamp01((float64(free) + 1) / (float64(len(counts)) + 2))
+}
+
+// GlobalRate is the uninformed baseline: a single Poisson rate per machine
+// fitted over the whole history, ignoring time of day entirely.
+type GlobalRate struct {
+	rates map[trace.MachineID]float64 // events per hour
+}
+
+// Name implements Predictor.
+func (g *GlobalRate) Name() string { return "global-rate" }
+
+// Train implements Predictor.
+func (g *GlobalRate) Train(tr *trace.Trace) {
+	g.rates = make(map[trace.MachineID]float64)
+	hours := tr.Span.Duration().Hours()
+	if hours <= 0 {
+		return
+	}
+	for _, e := range tr.Events {
+		g.rates[e.Machine] += 1 / hours
+	}
+}
+
+// PredictCount implements Predictor.
+func (g *GlobalRate) PredictCount(m trace.MachineID, w sim.Window) float64 {
+	return g.rates[m] * w.Duration().Hours()
+}
+
+// PredictSurvival implements Predictor.
+func (g *GlobalRate) PredictSurvival(m trace.MachineID, w sim.Window) float64 {
+	return math.Exp(-g.PredictCount(m, w))
+}
+
+// LastDay copies the count observed in the same clock window one day
+// earlier (a naive persistence baseline).
+type LastDay struct {
+	tr *trace.Trace
+	ix *trace.Index
+}
+
+// Name implements Predictor.
+func (l *LastDay) Name() string { return "last-day" }
+
+// Train implements Predictor.
+func (l *LastDay) Train(tr *trace.Trace) {
+	l.tr = tr
+	l.ix = tr.BuildIndex()
+}
+
+// PredictCount implements Predictor.
+func (l *LastDay) PredictCount(m trace.MachineID, w sim.Window) float64 {
+	if l.tr == nil {
+		return 0
+	}
+	prev := sim.Window{Start: w.Start - sim.Day, End: w.End - sim.Day}
+	if prev.Start < l.tr.Span.Start {
+		return 0
+	}
+	return float64(l.ix.CountInWindow(m, prev))
+}
+
+// PredictSurvival implements Predictor.
+func (l *LastDay) PredictSurvival(m trace.MachineID, w sim.Window) float64 {
+	if l.PredictCount(m, w) > 0 {
+		return 0.25
+	}
+	return 0.75
+}
+
+// EWMADaily exponentially weights the same-window counts of previous days
+// (most recent day heaviest), without separating weekdays from weekends.
+type EWMADaily struct {
+	// Alpha is the smoothing factor (default 0.3).
+	Alpha float64
+
+	tr *trace.Trace
+	ix *trace.Index
+}
+
+// Name implements Predictor.
+func (e *EWMADaily) Name() string { return "ewma-daily" }
+
+// Train implements Predictor.
+func (e *EWMADaily) Train(tr *trace.Trace) {
+	e.tr = tr
+	e.ix = tr.BuildIndex()
+}
+
+// PredictCount implements Predictor.
+func (e *EWMADaily) PredictCount(m trace.MachineID, w sim.Window) float64 {
+	if e.tr == nil {
+		return 0
+	}
+	alpha := e.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	acc := stats.NewEWMA(alpha)
+	cal := e.tr.Calendar
+	offStart := cal.TimeOfDay(w.Start)
+	dur := w.Duration()
+	firstDay := cal.DayIndex(e.tr.Span.Start)
+	lastDay := cal.DayIndex(w.Start) - 1
+	for d := firstDay; d <= lastDay; d++ {
+		dayStart := sim.Time(d) * sim.Day
+		hw := sim.Window{Start: dayStart + offStart, End: dayStart + offStart + dur}
+		if hw.Start < e.tr.Span.Start || hw.End > e.tr.Span.End || hw.End > w.Start {
+			continue
+		}
+		acc.Add(float64(e.ix.CountInWindow(m, hw)))
+	}
+	if !acc.Initialized() {
+		return 0
+	}
+	return acc.Value()
+}
+
+// PredictSurvival implements Predictor.
+func (e *EWMADaily) PredictSurvival(m trace.MachineID, w sim.Window) float64 {
+	return stats.Clamp01(math.Exp(-e.PredictCount(m, w)))
+}
+
+// SemiMarkov models availability as a renewal process: it fits the
+// empirical distribution of availability-interval lengths per day type and
+// predicts survival as the conditional probability that the current
+// interval outlives the window, given its age. This is the classic
+// availability model from the cluster literature the paper cites, included
+// as a structurally different baseline.
+type SemiMarkov struct {
+	tr    *trace.Trace
+	ix    *trace.Index
+	ecdfs map[sim.DayType]*stats.ECDF
+}
+
+// Name implements Predictor.
+func (s *SemiMarkov) Name() string { return "semi-markov" }
+
+// Train implements Predictor.
+func (s *SemiMarkov) Train(tr *trace.Trace) {
+	s.tr = tr
+	s.ix = tr.BuildIndex()
+	s.ecdfs = map[sim.DayType]*stats.ECDF{
+		sim.Weekday: tr.IntervalECDF(sim.Weekday),
+		sim.Weekend: tr.IntervalECDF(sim.Weekend),
+	}
+}
+
+// age returns how long machine m has been failure-free before t.
+func (s *SemiMarkov) age(m trace.MachineID, t sim.Time) time.Duration {
+	if end, ok := s.ix.LastEndBefore(m, t); ok && end > s.tr.Span.Start {
+		return t - end
+	}
+	return t - s.tr.Span.Start
+}
+
+// PredictSurvival implements Predictor.
+func (s *SemiMarkov) PredictSurvival(m trace.MachineID, w sim.Window) float64 {
+	if s.tr == nil {
+		return 0.5
+	}
+	ecdf := s.ecdfs[s.tr.Calendar.DayType(w.Start)]
+	if ecdf == nil || ecdf.N() == 0 {
+		return 0.5
+	}
+	age := s.age(m, w.Start).Hours()
+	if ecdf.Survival(age) == 0 {
+		// The current interval already outlived every trained interval
+		// (common when predicting far past the training prefix); fall
+		// back to the unconditional survival of a fresh interval.
+		return stats.Clamp01(ecdf.Survival(w.Duration().Hours()))
+	}
+	return stats.Clamp01(ecdf.ConditionalSurvival(age, w.Duration().Hours()))
+}
+
+// PredictCount implements Predictor.
+func (s *SemiMarkov) PredictCount(m trace.MachineID, w sim.Window) float64 {
+	if s.tr == nil {
+		return 0
+	}
+	ecdf := s.ecdfs[s.tr.Calendar.DayType(w.Start)]
+	if ecdf == nil || ecdf.N() == 0 || ecdf.Mean() <= 0 {
+		return 0
+	}
+	// Renewal-rate approximation: one event per mean interval.
+	return w.Duration().Hours() / ecdf.Mean()
+}
+
+// DefaultPredictors returns the evaluation lineup: the paper's predictor
+// (plain and trimmed) plus every baseline.
+func DefaultPredictors() []Predictor {
+	return []Predictor{
+		&HistoryWindow{},
+		&HistoryWindow{Trim: 0.1},
+		&GlobalRate{},
+		&LastDay{},
+		&EWMADaily{},
+		&SemiMarkov{},
+	}
+}

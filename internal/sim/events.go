@@ -1,0 +1,94 @@
+package sim
+
+import "container/heap"
+
+// EventFunc is a scheduled action. It runs at its due time with the current
+// virtual time as argument.
+type EventFunc func(now Time)
+
+// event is a queue entry; seq breaks ties so same-time events run FIFO.
+type event struct {
+	at  Time
+	seq uint64
+	fn  EventFunc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Loop is a discrete-event simulation loop: events are executed in time
+// order, and each event may schedule further events. The zero value is
+// ready to use (clock at 0, empty queue). Loop is not safe for concurrent
+// use; the testbed runs one Loop per machine goroutine.
+type Loop struct {
+	now  Time
+	next uint64
+	h    eventHeap
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// At schedules fn to run at the absolute virtual time t. Events scheduled
+// in the past run immediately at the next step (clock never goes backward).
+func (l *Loop) At(t Time, fn EventFunc) {
+	if t < l.now {
+		t = l.now
+	}
+	heap.Push(&l.h, event{at: t, seq: l.next, fn: fn})
+	l.next++
+}
+
+// After schedules fn to run d after the current time.
+func (l *Loop) After(d Time, fn EventFunc) { l.At(l.now+d, fn) }
+
+// Pending returns the number of queued events.
+func (l *Loop) Pending() int { return len(l.h) }
+
+// Step executes the single earliest event, advancing the clock to its due
+// time. It reports whether an event was executed.
+func (l *Loop) Step() bool {
+	if len(l.h) == 0 {
+		return false
+	}
+	ev := heap.Pop(&l.h).(event)
+	l.now = ev.at
+	ev.fn(l.now)
+	return true
+}
+
+// RunUntil executes events in order until the queue is exhausted or the
+// next event would occur at or after end; the clock finishes at end (or at
+// the last executed event if the queue empties first and never reached end).
+func (l *Loop) RunUntil(end Time) {
+	for len(l.h) > 0 && l.h[0].at < end {
+		l.Step()
+	}
+	if l.now < end {
+		l.now = end
+	}
+}
+
+// Run executes every queued event (including ones scheduled while running)
+// until the queue is empty. Callers must ensure their event graph
+// terminates.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCalendarDayIndexAndWeekday(t *testing.T) {
+	c := Calendar{} // epoch is a Monday
+	tests := []struct {
+		t       Time
+		day     int
+		weekday int
+		dayType DayType
+		hour    int
+	}{
+		{0, 0, 0, Weekday, 0},
+		{23 * time.Hour, 0, 0, Weekday, 23},
+		{24 * time.Hour, 1, 1, Weekday, 0},
+		{4*Day + 10*time.Hour, 4, 4, Weekday, 10}, // Friday
+		{5 * Day, 5, 5, Weekend, 0},               // Saturday
+		{6*Day + 30*time.Minute, 6, 6, Weekend, 0},
+		{7 * Day, 7, 0, Weekday, 0}, // next Monday
+	}
+	for _, tt := range tests {
+		if got := c.DayIndex(tt.t); got != tt.day {
+			t.Errorf("DayIndex(%v) = %d, want %d", tt.t, got, tt.day)
+		}
+		if got := c.Weekday(tt.t); got != tt.weekday {
+			t.Errorf("Weekday(%v) = %d, want %d", tt.t, got, tt.weekday)
+		}
+		if got := c.DayType(tt.t); got != tt.dayType {
+			t.Errorf("DayType(%v) = %v, want %v", tt.t, got, tt.dayType)
+		}
+		if got := c.HourOfDay(tt.t); got != tt.hour {
+			t.Errorf("HourOfDay(%v) = %d, want %d", tt.t, got, tt.hour)
+		}
+	}
+}
+
+func TestCalendarStartWeekdayShift(t *testing.T) {
+	c := Calendar{StartWeekday: 5} // epoch is a Saturday
+	if c.DayType(0) != Weekend {
+		t.Error("epoch on Saturday should be a weekend")
+	}
+	if c.DayType(2*Day) != Weekday {
+		t.Error("two days after Saturday should be Monday")
+	}
+}
+
+func TestCalendarNegativeTime(t *testing.T) {
+	c := Calendar{}
+	if got := c.DayIndex(-1 * time.Hour); got != -1 {
+		t.Errorf("DayIndex(-1h) = %d, want -1", got)
+	}
+	if got := c.HourOfDay(-1 * time.Hour); got != 23 {
+		t.Errorf("HourOfDay(-1h) = %d, want 23", got)
+	}
+	if got := c.Weekday(-1 * time.Hour); got != 6 {
+		t.Errorf("Weekday(-1h) = %d, want 6 (Sunday)", got)
+	}
+}
+
+func TestDayTypeString(t *testing.T) {
+	if Weekday.String() != "weekday" || Weekend.String() != "weekend" {
+		t.Error("DayType.String mismatch")
+	}
+	if DayType(9).String() == "" {
+		t.Error("unknown DayType should still render")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w := Window{Start: 10 * time.Minute, End: 20 * time.Minute}
+	if w.Duration() != 10*time.Minute {
+		t.Errorf("Duration = %v", w.Duration())
+	}
+	if !w.Contains(10*time.Minute) || w.Contains(20*time.Minute) {
+		t.Error("Contains must be half-open [start, end)")
+	}
+	o := Window{Start: 15 * time.Minute, End: 25 * time.Minute}
+	if !w.Overlaps(o) || !o.Overlaps(w) {
+		t.Error("windows should overlap")
+	}
+	x, ok := w.Intersect(o)
+	if !ok || x.Start != 15*time.Minute || x.End != 20*time.Minute {
+		t.Errorf("Intersect = %v, %v", x, ok)
+	}
+	disjoint := Window{Start: 20 * time.Minute, End: 30 * time.Minute}
+	if w.Overlaps(disjoint) {
+		t.Error("touching windows must not overlap (half-open)")
+	}
+	if _, ok := w.Intersect(disjoint); ok {
+		t.Error("touching windows must not intersect")
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewSource(42).Stream("x")
+	b := NewSource(42).Stream("x")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (seed, name) must produce identical streams")
+		}
+	}
+	c := NewSource(42).Stream("y")
+	d := NewSource(43).Stream("x")
+	base := NewSource(42).Stream("x")
+	sameAsC, sameAsD := true, true
+	for i := 0; i < 10; i++ {
+		v := base.Int63()
+		if v != c.Int63() {
+			sameAsC = false
+		}
+		if v != d.Int63() {
+			sameAsD = false
+		}
+	}
+	if sameAsC {
+		t.Error("different names should decorrelate streams")
+	}
+	if sameAsD {
+		t.Error("different seeds should decorrelate streams")
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	r := NewSource(1).Stream("dist")
+	// Exponential mean.
+	var sum time.Duration
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += Exp(r, time.Hour)
+	}
+	mean := sum / time.Duration(n)
+	if mean < 55*time.Minute || mean > 65*time.Minute {
+		t.Errorf("Exp mean = %v, want ~1h", mean)
+	}
+	if Exp(r, 0) != 0 || Exp(r, -time.Second) != 0 {
+		t.Error("Exp with non-positive mean should be 0")
+	}
+	// Uniform bounds.
+	for i := 0; i < 1000; i++ {
+		v := Uniform(r, time.Minute, time.Hour)
+		if v < time.Minute || v >= time.Hour {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	if Uniform(r, time.Hour, time.Minute) != time.Hour {
+		t.Error("inverted Uniform should return lo")
+	}
+	// Truncated normal.
+	for i := 0; i < 1000; i++ {
+		if v := Normal(r, 0, 1, 0); v < 0 {
+			t.Fatalf("Normal below truncation: %v", v)
+		}
+	}
+	// Bernoulli extremes.
+	if Bernoulli(r, 0) || !Bernoulli(r, 1) {
+		t.Error("Bernoulli extremes wrong")
+	}
+	// Poisson mean.
+	total := 0
+	for i := 0; i < 20000; i++ {
+		total += Poisson(r, 3)
+	}
+	got := float64(total) / 20000
+	if got < 2.8 || got > 3.2 {
+		t.Errorf("Poisson mean = %v, want ~3", got)
+	}
+	if Poisson(r, 0) != 0 {
+		t.Error("Poisson(0) should be 0")
+	}
+	big := Poisson(r, 100)
+	if big < 50 || big > 160 {
+		t.Errorf("Poisson(100) = %d, implausible", big)
+	}
+	if v := LogNormal(r, 10, 0); v != 10 {
+		t.Errorf("LogNormal sigma=0 should return median, got %v", v)
+	}
+}
+
+func TestLoopOrdering(t *testing.T) {
+	var l Loop
+	var order []int
+	l.At(3*time.Second, func(Time) { order = append(order, 3) })
+	l.At(1*time.Second, func(Time) { order = append(order, 1) })
+	l.At(2*time.Second, func(Time) { order = append(order, 2) })
+	// Same-time events run FIFO.
+	l.At(2*time.Second, func(Time) { order = append(order, 20) })
+	l.Run()
+	want := []int{1, 2, 20, 3}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if l.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", l.Now())
+	}
+}
+
+func TestLoopCascade(t *testing.T) {
+	var l Loop
+	count := 0
+	var tick EventFunc
+	tick = func(now Time) {
+		count++
+		if count < 5 {
+			l.After(time.Second, tick)
+		}
+	}
+	l.At(0, tick)
+	l.Run()
+	if count != 5 {
+		t.Errorf("cascade ran %d times, want 5", count)
+	}
+	if l.Now() != 4*time.Second {
+		t.Errorf("clock = %v, want 4s", l.Now())
+	}
+}
+
+func TestLoopRunUntil(t *testing.T) {
+	var l Loop
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		l.At(Time(i)*time.Second, func(Time) { ran++ })
+	}
+	l.RunUntil(5 * time.Second)
+	if ran != 4 { // events at 1..4s; the one at 5s is not < end
+		t.Errorf("ran %d events, want 4", ran)
+	}
+	if l.Now() != 5*time.Second {
+		t.Errorf("clock = %v, want 5s", l.Now())
+	}
+	if l.Pending() != 6 {
+		t.Errorf("pending = %d, want 6", l.Pending())
+	}
+}
+
+func TestLoopPastEventClamped(t *testing.T) {
+	var l Loop
+	l.At(10*time.Second, func(Time) {})
+	l.Step()
+	fired := Time(-1)
+	l.At(time.Second, func(now Time) { fired = now }) // in the past
+	l.Step()
+	if fired != 10*time.Second {
+		t.Errorf("past event fired at %v, want clamped to 10s", fired)
+	}
+}

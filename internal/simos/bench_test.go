@@ -1,0 +1,56 @@
+package simos
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTickSingleProcess measures raw scheduler-tick throughput with
+// one runnable process (ns/op is the cost of one simulated millisecond).
+func BenchmarkTickSingleProcess(b *testing.B) {
+	m := MustNewMachine(MachineConfig{Name: "bench", Seed: 1})
+	m.Spawn("hog", Guest, 0, 10*MB, hog{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(time.Millisecond)
+	}
+}
+
+// BenchmarkTickSixProcesses is the contention-experiment hot path: a host
+// group of five plus a guest.
+func BenchmarkTickSixProcesses(b *testing.B) {
+	m := MustNewMachine(MachineConfig{Name: "bench", Seed: 2})
+	for i := 0; i < 5; i++ {
+		m.Spawn("host", Host, 0, 10*MB, fixedBehavior{compute: 300 * time.Millisecond, sleep: 700 * time.Millisecond})
+	}
+	m.Spawn("guest", Guest, 19, 10*MB, hog{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(time.Millisecond)
+	}
+}
+
+// BenchmarkTickThrashing measures the thrashing path.
+func BenchmarkTickThrashing(b *testing.B) {
+	m := MustNewMachine(MachineConfig{Name: "bench", RAM: 384 * MB, KernelMem: 100 * MB, Seed: 3})
+	m.Spawn("big-a", Host, 0, 200*MB, hog{})
+	m.Spawn("big-b", Guest, 0, 200*MB, hog{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(time.Millisecond)
+	}
+}
+
+// BenchmarkSimulatedMinute reports how fast a whole virtual minute runs.
+func BenchmarkSimulatedMinute(b *testing.B) {
+	m := MustNewMachine(MachineConfig{Name: "bench", Seed: 4})
+	m.Spawn("h", Host, 0, 10*MB, fixedBehavior{compute: 500 * time.Millisecond, sleep: 2 * time.Second})
+	m.Spawn("g", Guest, 0, 10*MB, hog{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(time.Minute)
+	}
+}

@@ -1,0 +1,33 @@
+// Package simos simulates a single-CPU time-sharing operating system at
+// scheduler granularity. It stands in for the paper's physical testbed
+// machines (a 1.7 GHz RedHat Linux box and a 300 MHz Solaris box) in the
+// resource-contention experiments of Section 3.2.
+//
+// The simulator reproduces the three scheduling mechanics the paper's
+// empirical thresholds emerge from:
+//
+//  1. Priority-proportional time sharing. Runnable processes receive CPU in
+//     proportion to an arithmetic nice weight (21 - nice), the shape of the
+//     classic Unix/Linux-2.4 counter scheduler: a nice-19 process competing
+//     with a nice-0 CPU hog receives a small but non-zero share (~9%),
+//     which is exactly why the paper finds a second threshold Th2 — even a
+//     fully reniced guest slows heavy host loads beyond it.
+//
+//  2. Interactivity credit. A process banks credit while sleeping (capped)
+//     and spends it while running; processes holding credit get a large
+//     weight boost, modeling the dynamic-priority bonus that lets
+//     interactive host processes preempt a CPU-bound guest. Host workloads
+//     whose bursts fit inside the credit cap are nearly immune to the
+//     guest, which is why slowdown only becomes noticeable above Th1.
+//
+//  3. Memory thrashing. When the working sets of resident processes exceed
+//     physical memory, every running process makes progress at a small
+//     fraction of the tick (the rest is page-fault stall, accounted as I/O
+//     wait rather than CPU time). Changing CPU priorities does nothing
+//     about it — the paper's Figure 4 observation that memory contention is
+//     orthogonal to CPU contention.
+//
+// Scheduling decisions use lottery draws from a deterministic per-machine
+// stream, so expected shares are exactly weight-proportional and every
+// experiment is reproducible from its seed.
+package simos

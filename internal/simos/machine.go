@@ -1,0 +1,274 @@
+package simos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Machine simulates one single-CPU time-sharing machine. It is not safe
+// for concurrent use; simulate many machines by running one per goroutine.
+type Machine struct {
+	cfg   MachineConfig
+	rng   *rand.Rand
+	now   sim.Time
+	procs []*Process
+
+	// Aggregate CPU-time accounting by class, for O(1) monitor sampling.
+	cpuByClass [2]time.Duration
+	idleTime   time.Duration
+	thrashTime time.Duration
+}
+
+// NewMachine builds a machine from the configuration (zero fields take
+// defaults).
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	src := sim.NewSource(cfg.Seed)
+	return &Machine{
+		cfg: cfg,
+		rng: src.Stream("machine/" + cfg.Name),
+	}, nil
+}
+
+// MustNewMachine is NewMachine for known-good configurations.
+func MustNewMachine(cfg MachineConfig) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the effective configuration.
+func (m *Machine) Config() MachineConfig { return m.cfg }
+
+// Now returns the machine's virtual time.
+func (m *Machine) Now() sim.Time { return m.now }
+
+// Spawn creates a process and schedules its first phase immediately.
+func (m *Machine) Spawn(name string, class Class, nice int, rss int64, b Behavior) *Process {
+	p := &Process{
+		m:        m,
+		name:     name,
+		class:    class,
+		nice:     nice,
+		rss:      rss,
+		behavior: b,
+		started:  m.now,
+		lastRun:  -1,
+	}
+	p.advancePhase(m.rng)
+	m.procs = append(m.procs, p)
+	return p
+}
+
+// Processes returns all processes ever spawned (including dead ones).
+func (m *Machine) Processes() []*Process { return m.procs }
+
+// LiveProcesses returns the processes that have not terminated.
+func (m *Machine) LiveProcesses() []*Process {
+	var out []*Process
+	for _, p := range m.procs {
+		if p.Alive() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ResidentMem returns the memory held by live processes of the class.
+func (m *Machine) ResidentMem(class Class) int64 {
+	var sum int64
+	for _, p := range m.procs {
+		if p.Alive() && p.class == class {
+			sum += p.rss
+		}
+	}
+	return sum
+}
+
+// FreeMemForGuest returns the memory a guest could claim: physical memory
+// minus kernel usage and the resident sets of host processes. This is what
+// the paper's non-intrusive monitor can observe (it cannot see inside the
+// guest).
+func (m *Machine) FreeMemForGuest() int64 {
+	free := m.cfg.RAM - m.cfg.KernelMem - m.ResidentMem(Host)
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// Thrashing reports whether the total working set of live processes
+// (plus the kernel) exceeds physical memory.
+func (m *Machine) Thrashing() bool {
+	return m.ResidentMem(Host)+m.ResidentMem(Guest)+m.cfg.KernelMem > m.cfg.RAM
+}
+
+// CPUTime returns the accumulated CPU time accounted to the class.
+func (m *Machine) CPUTime(class Class) time.Duration {
+	return m.cpuByClass[class]
+}
+
+// IdleTime returns the accumulated idle CPU time.
+func (m *Machine) IdleTime() time.Duration { return m.idleTime }
+
+// ThrashTime returns how long the machine has spent thrashing.
+func (m *Machine) ThrashTime() time.Duration { return m.thrashTime }
+
+// Run advances the simulation by d (rounded down to whole ticks).
+func (m *Machine) Run(d time.Duration) {
+	tick := m.cfg.Sched.Tick
+	steps := int(d / tick)
+	for i := 0; i < steps; i++ {
+		m.step(tick)
+	}
+}
+
+// RunUntil advances the simulation to the absolute virtual time t.
+func (m *Machine) RunUntil(t sim.Time) {
+	if t > m.now {
+		m.Run(t - m.now)
+	}
+}
+
+// step advances one tick: sleep/credit bookkeeping, then one lottery draw
+// per CPU among the remaining runnable processes, and progress for each
+// winner.
+func (m *Machine) step(tick time.Duration) {
+	params := m.cfg.Sched
+	thrash := m.Thrashing()
+
+	// Phase bookkeeping for sleepers.
+	for _, p := range m.procs {
+		if p.state != Sleeping {
+			continue
+		}
+		p.sleepLeft -= tick
+		p.credit += tick
+		if p.credit > params.CreditCap {
+			p.credit = params.CreditCap
+		}
+		if p.sleepLeft <= 0 {
+			p.advancePhase(m.rng)
+		}
+	}
+
+	if thrash {
+		m.thrashTime += tick
+	}
+	ran := 0
+	for cpu := 0; cpu < m.cfg.CPUs; cpu++ {
+		chosen := m.drawRunnable(params)
+		if chosen == nil {
+			break
+		}
+		ran++
+		m.runProcess(chosen, tick, thrash, params)
+	}
+	m.idleTime += time.Duration(m.cfg.CPUs-ran) * tick
+	m.now += tick
+}
+
+// drawRunnable performs one weighted lottery draw among runnable processes
+// not yet scheduled this tick (marked via lastRun).
+func (m *Machine) drawRunnable(params SchedParams) *Process {
+	var total float64
+	for _, p := range m.procs {
+		if p.state == Runnable && p.lastRun != m.now {
+			total += p.effectiveWeight(params)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	draw := m.rng.Float64() * total
+	for _, p := range m.procs {
+		if p.state != Runnable || p.lastRun == m.now {
+			continue
+		}
+		draw -= p.effectiveWeight(params)
+		if draw < 0 {
+			return p
+		}
+	}
+	// Floating-point tail: take the last eligible runnable.
+	for i := len(m.procs) - 1; i >= 0; i-- {
+		if m.procs[i].state == Runnable && m.procs[i].lastRun != m.now {
+			return m.procs[i]
+		}
+	}
+	return nil
+}
+
+// runProcess advances one winner by one tick. A thrashing machine spends
+// most of the tick stalled on page faults; only ThrashFactor of it becomes
+// work and CPU time.
+func (m *Machine) runProcess(chosen *Process, tick time.Duration, thrash bool, params SchedParams) {
+	progress := tick
+	accounted := tick
+	if thrash {
+		progress = time.Duration(float64(tick) * params.ThrashFactor)
+		accounted = progress
+	}
+	chosen.lastRun = m.now
+	chosen.burstLeft -= progress
+	chosen.cpuTime += accounted
+	m.cpuByClass[chosen.class] += accounted
+	chosen.credit -= tick
+	if chosen.credit < 0 {
+		chosen.credit = 0
+	}
+	if chosen.burstLeft <= 0 {
+		if chosen.sleepLeft > 0 {
+			chosen.state = Sleeping
+		} else {
+			chosen.advancePhase(m.rng)
+		}
+	}
+}
+
+// Usage measures CPU usage between two snapshots; see Snapshot.
+type Usage struct {
+	Host  float64
+	Guest float64
+	Idle  float64
+}
+
+// Snapshot captures the accounting counters at an instant.
+type Snapshot struct {
+	At    sim.Time
+	Host  time.Duration
+	Guest time.Duration
+	Idle  time.Duration
+}
+
+// Snapshot returns the current accounting counters.
+func (m *Machine) Snapshot() Snapshot {
+	return Snapshot{
+		At:    m.now,
+		Host:  m.cpuByClass[Host],
+		Guest: m.cpuByClass[Guest],
+		Idle:  m.idleTime,
+	}
+}
+
+// UsageBetween computes per-class CPU usage over the window between two
+// snapshots. It returns an error if the window is empty or inverted.
+func UsageBetween(a, b Snapshot) (Usage, error) {
+	wall := b.At - a.At
+	if wall <= 0 {
+		return Usage{}, fmt.Errorf("simos: empty snapshot window [%v, %v]", a.At, b.At)
+	}
+	return Usage{
+		Host:  float64(b.Host-a.Host) / float64(wall),
+		Guest: float64(b.Guest-a.Guest) / float64(wall),
+		Idle:  float64(b.Idle-a.Idle) / float64(wall),
+	}, nil
+}

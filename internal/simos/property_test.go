@@ -1,0 +1,96 @@
+package simos
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestProportionalShareProperty checks the scheduler's core contract with
+// randomized inputs: CPU-bound processes (no credit, always runnable)
+// receive CPU in proportion to their nice weights, within lottery noise.
+func TestProportionalShareProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(4)
+		nices := make([]int, n)
+		for i := range nices {
+			nices[i] = rng.Intn(20)
+		}
+		m := MustNewMachine(MachineConfig{Name: "prop", Seed: int64(trial + 1)})
+		procs := make([]*Process, n)
+		var totalWeight float64
+		params := m.Config().Sched
+		for i, nice := range nices {
+			procs[i] = m.Spawn("p", Host, nice, MB, hog{})
+			totalWeight += niceWeight(params.NiceWeightBase, nice)
+		}
+		dur := 120 * time.Second
+		m.Run(dur)
+		for i, p := range procs {
+			want := niceWeight(params.NiceWeightBase, nices[i]) / totalWeight
+			got := float64(p.CPUTime()) / float64(dur)
+			if got < want-0.05 || got > want+0.05 {
+				t.Fatalf("trial %d: nices %v: proc %d share %.3f, want %.3f +- 0.05",
+					trial, nices, i, got, want)
+			}
+		}
+	}
+}
+
+// TestWorkConservationProperty checks that accounted CPU plus idle always
+// equals wall time for random process mixes (no time created or lost).
+func TestWorkConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 25; trial++ {
+		m := MustNewMachine(MachineConfig{Name: "cons", Seed: int64(trial + 100)})
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				m.Spawn("hog", Guest, rng.Intn(20), MB, hog{})
+			case 1:
+				m.Spawn("duty", Host, rng.Intn(20), MB, fixedBehavior{
+					compute: time.Duration(1+rng.Intn(900)) * time.Millisecond,
+					sleep:   time.Duration(1+rng.Intn(2000)) * time.Millisecond,
+				})
+			case 2:
+				m.Spawn("once", Host, 0, MB, &oneBurst{d: time.Duration(rng.Intn(int(2 * time.Second)))})
+			}
+		}
+		dur := time.Duration(1+rng.Intn(30)) * time.Second
+		m.Run(dur)
+		total := m.CPUTime(Host) + m.CPUTime(Guest) + m.IdleTime()
+		if total != dur {
+			t.Fatalf("trial %d: host+guest+idle = %v, want %v", trial, total, dur)
+		}
+		// CPU time is never negative and never exceeds wall time per proc.
+		for _, p := range m.Processes() {
+			if p.CPUTime() < 0 || p.CPUTime() > dur {
+				t.Fatalf("trial %d: proc %s cpu %v out of range", trial, p.Name(), p.CPUTime())
+			}
+		}
+	}
+}
+
+// TestSuspensionFreezesSharesProperty: suspending a process redistributes
+// its share; resuming restores competition. Conservation holds throughout.
+func TestSuspensionFreezesSharesProperty(t *testing.T) {
+	m := MustNewMachine(MachineConfig{Name: "susp", Seed: 7})
+	a := m.Spawn("a", Host, 0, MB, hog{})
+	b := m.Spawn("b", Guest, 0, MB, hog{})
+	m.Run(20 * time.Second)
+	b.Suspend()
+	beforeA := a.CPUTime()
+	m.Run(20 * time.Second)
+	gained := a.CPUTime() - beforeA
+	if gained < 19*time.Second {
+		t.Errorf("suspending the rival should give a the whole CPU; gained %v", gained)
+	}
+	b.Resume()
+	beforeB := b.CPUTime()
+	m.Run(20 * time.Second)
+	if b.CPUTime()-beforeB < 7*time.Second {
+		t.Errorf("resumed process should compete again; gained %v", b.CPUTime()-beforeB)
+	}
+}

@@ -1,0 +1,78 @@
+package simos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMultiCPUParallelism(t *testing.T) {
+	m := MustNewMachine(MachineConfig{Name: "smp", CPUs: 2, Seed: 31})
+	a := m.Spawn("a", Host, 0, MB, hog{})
+	b := m.Spawn("b", Guest, 0, MB, hog{})
+	m.Run(10 * time.Second)
+	// Two hogs on two CPUs: both run at full speed.
+	if a.CPUTime() != 10*time.Second || b.CPUTime() != 10*time.Second {
+		t.Errorf("two hogs on 2 CPUs: %v / %v, want 10s each", a.CPUTime(), b.CPUTime())
+	}
+	if m.IdleTime() != 0 {
+		t.Errorf("idle = %v, want 0", m.IdleTime())
+	}
+}
+
+func TestMultiCPUIdleAccounting(t *testing.T) {
+	m := MustNewMachine(MachineConfig{Name: "smp", CPUs: 4, Seed: 32})
+	m.Spawn("only", Host, 0, MB, hog{})
+	dur := 5 * time.Second
+	m.Run(dur)
+	// One hog keeps one CPU busy; three idle.
+	if got := m.CPUTime(Host); got != dur {
+		t.Errorf("host CPU = %v, want %v", got, dur)
+	}
+	if got := m.IdleTime(); got != 3*dur {
+		t.Errorf("idle = %v, want %v", got, 3*dur)
+	}
+	// Conservation across CPUs.
+	total := m.CPUTime(Host) + m.CPUTime(Guest) + m.IdleTime()
+	if total != 4*dur {
+		t.Errorf("total accounted = %v, want %v", total, 4*dur)
+	}
+}
+
+func TestMultiCPUNoDoubleScheduling(t *testing.T) {
+	// A single process on a 4-CPU machine can never accrue more CPU time
+	// than wall time.
+	m := MustNewMachine(MachineConfig{Name: "smp", CPUs: 4, Seed: 33})
+	p := m.Spawn("one", Guest, 0, MB, hog{})
+	m.Run(3 * time.Second)
+	if p.CPUTime() > 3*time.Second {
+		t.Errorf("process on 4 CPUs accrued %v in 3s wall", p.CPUTime())
+	}
+}
+
+func TestMultiCPUContention(t *testing.T) {
+	// Three hogs on two CPUs share 2 CPUs' worth by weight (all equal):
+	// each gets ~2/3 of wall time.
+	m := MustNewMachine(MachineConfig{Name: "smp", CPUs: 2, Seed: 34})
+	procs := []*Process{
+		m.Spawn("a", Host, 0, MB, hog{}),
+		m.Spawn("b", Host, 0, MB, hog{}),
+		m.Spawn("c", Guest, 0, MB, hog{}),
+	}
+	m.Run(60 * time.Second)
+	for _, p := range procs {
+		share := float64(p.CPUTime()) / float64(60*time.Second)
+		if share < 0.61 || share > 0.72 {
+			t.Errorf("%s share = %v, want ~0.667", p.Name(), share)
+		}
+	}
+}
+
+func TestCPUsValidation(t *testing.T) {
+	if _, err := NewMachine(MachineConfig{CPUs: -2}); err == nil {
+		t.Error("negative CPU count accepted")
+	}
+	m := MustNewMachine(MachineConfig{})
+	if m.Config().CPUs != 1 {
+		t.Errorf("default CPUs = %d, want 1", m.Config().CPUs)
+	}
+}

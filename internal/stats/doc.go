@@ -1,0 +1,10 @@
+// Package stats provides the statistical primitives the rest of the
+// repository is built on: descriptive statistics, online (streaming)
+// moments, empirical CDFs, histograms, quantiles, robust means, per-hour
+// binning with across-day ranges, and forecast-error metrics.
+//
+// The Go standard library has no statistics support, and this project is
+// offline-only, so everything here is implemented from scratch. All
+// functions are deterministic and allocate predictably; the hot paths
+// (ECDF evaluation, online moments) are O(log n) and O(1) respectively.
+package stats

@@ -1,0 +1,97 @@
+package stats
+
+import "sort"
+
+// ECDF is an empirical cumulative distribution function built from a sample.
+// It is immutable once constructed and safe for concurrent readers.
+//
+// ECDF is the primitive behind the paper's Figure 6 (cumulative distribution
+// of availability-interval lengths) and behind the semi-Markov survival
+// predictor.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample. The input slice is copied; it may
+// be empty, in which case all queries return 0.
+func NewECDF(sample []float64) *ECDF {
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns P(X <= x), the fraction of the sample at or below x.
+func (e *ECDF) At(x float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0
+	}
+	// Index of the first element strictly greater than x.
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < n && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(n)
+}
+
+// Survival returns P(X > x) == 1 - At(x).
+func (e *ECDF) Survival(x float64) float64 { return 1 - e.At(x) }
+
+// ConditionalSurvival returns P(X > x+dx | X > x): the probability that a
+// duration already lasted x continues for at least dx more. It returns 0
+// when no sample mass remains beyond x.
+func (e *ECDF) ConditionalSurvival(x, dx float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	sx := e.Survival(x)
+	if sx == 0 {
+		return 0
+	}
+	return e.Survival(x+dx) / sx
+}
+
+// Quantile returns the smallest sample value v with At(v) >= q.
+// q is clamped to [0,1]; an empty ECDF yields 0.
+func (e *ECDF) Quantile(q float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[n-1]
+	}
+	i := int(q * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return e.sorted[i]
+}
+
+// Mean returns the sample mean.
+func (e *ECDF) Mean() float64 { return Mean(e.sorted) }
+
+// Points evaluates the ECDF at each of xs, returning the matching
+// cumulative fractions. Convenient for printing a curve such as Figure 6.
+func (e *ECDF) Points(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = e.At(x)
+	}
+	return out
+}
+
+// MassBetween returns P(lo < X <= hi).
+func (e *ECDF) MassBetween(lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return e.At(hi) - e.At(lo)
+}

@@ -1,0 +1,51 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleECDF evaluates an empirical CDF the way the Figure 6 analysis
+// does for availability-interval lengths.
+func ExampleECDF() {
+	hours := []float64{0.05, 2.5, 3.1, 3.8, 5.2, 7.5}
+	e := stats.NewECDF(hours)
+	fmt.Printf("P(X <= 4h) = %.2f\n", e.At(4))
+	fmt.Printf("P(2h < X <= 4h) = %.2f\n", e.MassBetween(2, 4))
+	fmt.Printf("median = %.2f h\n", e.Quantile(0.5))
+	// Output:
+	// P(X <= 4h) = 0.67
+	// P(2h < X <= 4h) = 0.50
+	// median = 3.80 h
+}
+
+// ExampleTrimmedMean shows the robust mean the history-window predictor
+// uses to absorb irregular days.
+func ExampleTrimmedMean() {
+	counts := []float64{1, 1, 2, 1, 1, 0, 1, 1, 1, 30} // one wild day
+	fmt.Printf("plain:   %.1f\n", stats.Mean(counts))
+	fmt.Printf("trimmed: %.1f\n", stats.TrimmedMean(counts, 0.1))
+	// Output:
+	// plain:   3.9
+	// trimmed: 1.1
+}
+
+// ExampleAutoCorrelation quantifies a daily rhythm in an hourly series.
+func ExampleAutoCorrelation() {
+	var series []float64
+	for day := 0; day < 14; day++ {
+		for h := 0; h < 24; h++ {
+			load := 0.0
+			if h >= 9 && h <= 17 {
+				load = 5 // office hours
+			}
+			series = append(series, load)
+		}
+	}
+	fmt.Printf("lag 24h: %.2f\n", stats.AutoCorrelation(series, 24))
+	fmt.Printf("lag 11h: %.2f\n", stats.AutoCorrelation(series, 11))
+	// Output:
+	// lag 24h: 1.00
+	// lag 11h: -0.60
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width bins over [Lo, Hi).
+// Observations below Lo or at/above Hi land in dedicated underflow/overflow
+// counters so no sample is silently dropped.
+type Histogram struct {
+	Lo, Hi    float64
+	bins      []int64
+	underflow int64
+	overflow  int64
+	total     int64
+}
+
+// NewHistogram creates a histogram with n equal-width bins spanning [lo, hi).
+// It panics if n <= 0 or hi <= lo, which are programming errors.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: NewHistogram bins must be positive, got %d", n))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: NewHistogram needs hi > lo, got [%g, %g)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, bins: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.underflow++
+	case x >= h.Hi:
+		h.overflow++
+	default:
+		i := int(float64(len(h.bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.bins) { // guard against floating-point edge
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// NumBins returns the number of in-range bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) int64 { return h.bins[i] }
+
+// Total returns the total number of observations, including out-of-range.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Underflow and Overflow return the out-of-range counters.
+func (h *Histogram) Underflow() int64 { return h.underflow }
+func (h *Histogram) Overflow() int64  { return h.overflow }
+
+// BinRange returns the [lo, hi) interval covered by bin i.
+func (h *Histogram) BinRange(i int) (lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.bins))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// Fraction returns bin i's share of all observations (including
+// out-of-range ones), or 0 if the histogram is empty.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.bins[i]) / float64(h.total)
+}
+
+// Cumulative returns, for each bin boundary, the fraction of observations at
+// or below it — i.e. the discrete CDF including underflow mass. The returned
+// slice has NumBins()+1 entries (boundaries Lo..Hi).
+func (h *Histogram) Cumulative() []float64 {
+	out := make([]float64, len(h.bins)+1)
+	if h.total == 0 {
+		return out
+	}
+	run := h.underflow
+	out[0] = float64(run) / float64(h.total)
+	for i, c := range h.bins {
+		run += c
+		out[i+1] = float64(run) / float64(h.total)
+	}
+	return out
+}
+
+// String renders a compact ASCII sketch, useful in example programs.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := int64(1)
+	for _, c := range h.bins {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.bins {
+		lo, hi := h.BinRange(i)
+		bar := strings.Repeat("#", int(math.Round(40*float64(c)/float64(maxC))))
+		fmt.Fprintf(&b, "[%8.2f, %8.2f) %6d %s\n", lo, hi, c, bar)
+	}
+	if h.underflow > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.underflow)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5) // bins [0,2) [2,4) [4,6) [6,8) [8,10)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -1, 10, 42} {
+		h.Add(x)
+	}
+	wantBins := []int64{2, 1, 1, 0, 1}
+	for i, w := range wantBins {
+		if got := h.Count(i); got != w {
+			t.Errorf("bin %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d, want 8", h.Total())
+	}
+}
+
+func TestHistogramBinRange(t *testing.T) {
+	h := NewHistogram(0, 12, 4)
+	lo, hi := h.BinRange(1)
+	if lo != 3 || hi != 6 {
+		t.Errorf("BinRange(1) = [%v,%v), want [3,6)", lo, hi)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	for _, x := range []float64{0.5, 1.5, 1.6, 2.5} {
+		h.Add(x)
+	}
+	cum := h.Cumulative()
+	want := []float64{0, 0.25, 0.75, 1, 1}
+	if len(cum) != len(want) {
+		t.Fatalf("cumulative length %d, want %d", len(cum), len(want))
+	}
+	for i := range want {
+		if !almostEqual(cum[i], want[i], 1e-12) {
+			t.Errorf("cumulative[%d] = %v, want %v", i, cum[i], want[i])
+		}
+	}
+}
+
+func TestHistogramConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := NewHistogram(-5, 5, 17)
+	n := 10000
+	for i := 0; i < n; i++ {
+		h.Add(rng.NormFloat64() * 4)
+	}
+	var sum int64 = h.Underflow() + h.Overflow()
+	for i := 0; i < h.NumBins(); i++ {
+		sum += h.Count(i)
+	}
+	if sum != int64(n) {
+		t.Errorf("conservation violated: binned %d of %d", sum, n)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("zero bins", func() { NewHistogram(0, 1, 0) })
+	assertPanics("inverted range", func() { NewHistogram(5, 1, 3) })
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.7)
+	h.Add(-3)
+	s := h.String()
+	if !strings.Contains(s, "underflow 1") {
+		t.Errorf("String() missing underflow note:\n%s", s)
+	}
+	if strings.Count(s, "\n") < 3 {
+		t.Errorf("String() too short:\n%s", s)
+	}
+}
+
+func TestGroupedBins(t *testing.T) {
+	g := NewGroupedBins(24)
+	// Day 0: 2 events in hour 4, 1 in hour 10. Day 1: nothing (touched).
+	g.Add(0, 4, 1)
+	g.Add(0, 4, 1)
+	g.Add(0, 10, 1)
+	g.Touch(1)
+	sum := g.Summarize()
+	if got := sum[4]; got.Mean != 1 || got.Min != 0 || got.Max != 2 || got.Count != 2 {
+		t.Errorf("hour 4 summary = %+v, want mean 1 min 0 max 2 over 2 days", got)
+	}
+	if got := sum[10]; got.Mean != 0.5 {
+		t.Errorf("hour 10 mean = %v, want 0.5", got.Mean)
+	}
+	if g.NumGroups() != 2 {
+		t.Errorf("NumGroups = %d, want 2", g.NumGroups())
+	}
+	vals := g.BinValues(4)
+	if len(vals) != 2 || vals[0] != 2 || vals[1] != 0 {
+		t.Errorf("BinValues(4) = %v, want [2 0]", vals)
+	}
+}
+
+func TestGroupedBinsIgnoresOutOfRange(t *testing.T) {
+	g := NewGroupedBins(24)
+	g.Add(0, -1, 5)
+	g.Add(0, 24, 5)
+	if g.NumGroups() != 0 {
+		t.Error("out-of-range bins should be dropped entirely")
+	}
+}

@@ -1,0 +1,51 @@
+package testbed
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkRunMachineWeek measures simulating one machine for a week
+// through the full monitor/detector pipeline.
+func BenchmarkRunMachineWeek(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Machines = 1
+	cfg.Days = 7
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFullTestbed is the whole paper-scale simulation: 20 machines
+// for 92 days (1840 machine-days), parallel across cores. The metric
+// machine-days/s indicates throughput.
+func BenchmarkRunFullTestbed(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		tr, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tr.MachineDays()/b.Elapsed().Seconds()*float64(i+1), "machine-days/s")
+	}
+}
+
+// BenchmarkPlanMachine isolates workload generation from sampling.
+func BenchmarkPlanMachine(b *testing.B) {
+	cfg := DefaultConfig()
+	src := benchSource()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		planMachine(cfg, src)
+	}
+}
+
+func benchSource() *rand.Rand {
+	return sim.NewSource(99).Stream("bench/plan")
+}

@@ -1,0 +1,48 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/availability"
+)
+
+// TestStateOccupancy verifies the multi-state model's time breakdown: lab
+// machines spend the overwhelming majority of time available (S1/S2), with
+// failure states claiming only minutes per day — which is exactly why the
+// paper argues FGCS resources are worth harvesting at all.
+func TestStateOccupancy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Machines = 5
+	cfg.Days = 14
+	_, occ, err := RunWithOccupancy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(occ) != 5 {
+		t.Fatalf("got %d occupancy records", len(occ))
+	}
+	for _, o := range occ {
+		total := 0.0
+		for _, f := range o.Fraction {
+			if f < 0 || f > 1 {
+				t.Fatalf("machine %d: fraction out of range: %v", o.Machine, o.Fraction)
+			}
+			total += f
+		}
+		if total < 0.999 || total > 1.001 {
+			t.Errorf("machine %d: fractions sum to %v", o.Machine, total)
+		}
+		s1 := o.Fraction[availability.S1]
+		s2 := o.Fraction[availability.S2]
+		if s1 < 0.4 {
+			t.Errorf("machine %d: S1 fraction %v, want the machine mostly idle", o.Machine, s1)
+		}
+		if s1+s2 < 0.9 {
+			t.Errorf("machine %d: available fraction %v, want > 0.9", o.Machine, s1+s2)
+		}
+		unavail := o.Fraction[availability.S3] + o.Fraction[availability.S4] + o.Fraction[availability.S5]
+		if unavail > 0.1 {
+			t.Errorf("machine %d: unavailable fraction %v, want small", o.Machine, unavail)
+		}
+	}
+}

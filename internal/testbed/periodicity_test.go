@@ -1,0 +1,36 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestDailyPeriodicity quantifies the paper's headline claim directly: the
+// fleet-wide hourly failure-count series must autocorrelate strongly at a
+// lag of 24 hours (same window, next day) and even more strongly at 168
+// hours (same window, same weekday next week), and both must dwarf an
+// arbitrary non-harmonic lag.
+func TestDailyPeriodicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	tr := fullTestbedTrace(t)
+	series := tr.HourlyCountSeries()
+	if len(series) != 92*24 {
+		t.Fatalf("series length = %d, want %d", len(series), 92*24)
+	}
+	daily := stats.AutoCorrelation(series, 24)
+	weekly := stats.AutoCorrelation(series, 24*7)
+	offbeat := stats.AutoCorrelation(series, 11)
+
+	if daily < 0.4 {
+		t.Errorf("lag-24h autocorrelation = %v, want strong daily pattern", daily)
+	}
+	if weekly < daily-0.05 {
+		t.Errorf("lag-168h autocorrelation (%v) should be at least daily (%v): weekday/weekend split", weekly, daily)
+	}
+	if !(daily > offbeat+0.1) {
+		t.Errorf("daily lag (%v) should dwarf an off-harmonic lag (%v)", daily, offbeat)
+	}
+}

@@ -1,0 +1,190 @@
+package testbed
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/availability"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Occupancy reports how one machine's observed time divides among the
+// five availability states — the state-occupancy view of the multi-state
+// model (an extension; the paper reports only the event statistics).
+type Occupancy struct {
+	Machine  trace.MachineID
+	Fraction map[availability.State]float64
+}
+
+// Run simulates the whole testbed and returns the collected unavailability
+// trace. Machines are simulated concurrently, one goroutine each, bounded
+// by Config.Parallelism.
+func Run(cfg Config) (*trace.Trace, error) {
+	tr, _, err := RunWithOccupancy(cfg)
+	return tr, err
+}
+
+// RunWithOccupancy is Run, additionally returning each machine's
+// state-occupancy fractions.
+func RunWithOccupancy(cfg Config) (*trace.Trace, []Occupancy, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	span := sim.Window{Start: 0, End: sim.Time(cfg.Days) * sim.Day}
+	cal := sim.Calendar{StartWeekday: cfg.StartWeekday}
+	tr := trace.New(span, cal, cfg.Machines)
+	occ := make([]Occupancy, cfg.Machines)
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > cfg.Machines {
+		workers = cfg.Machines
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		work     = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range work {
+				events, timing, err := runMachine(cfg, trace.MachineID(id))
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				for _, e := range events {
+					tr.Add(e)
+				}
+				occ[id] = machineOccupancy(trace.MachineID(id), timing)
+				mu.Unlock()
+			}
+		}()
+	}
+	for id := 0; id < cfg.Machines; id++ {
+		work <- id
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("testbed: generated invalid trace: %w", err)
+	}
+	return tr, occ, nil
+}
+
+// machineOccupancy converts a time-in-state accumulator to fractions.
+func machineOccupancy(id trace.MachineID, timing *availability.TimeInState) Occupancy {
+	o := Occupancy{Machine: id, Fraction: make(map[availability.State]float64)}
+	for _, st := range []availability.State{availability.S1, availability.S2, availability.S3, availability.S4, availability.S5} {
+		o.Fraction[st] = timing.Fraction(st)
+	}
+	return o
+}
+
+// runMachine simulates one machine over the traced span, returning its
+// unavailability events and its time-in-state accounting.
+func runMachine(cfg Config, id trace.MachineID) ([]trace.Event, *availability.TimeInState, error) {
+	src := sim.NewSource(cfg.Seed)
+	planRNG := src.Stream(fmt.Sprintf("machine/%d/plan", id))
+	ambientRNG := src.Stream(fmt.Sprintf("machine/%d/ambient", id))
+
+	contribs, outages := planMachine(cfg, planRNG)
+	amb := newAmbient(cfg, ambientRNG)
+
+	mon, err := monitor.New(cfg.Monitor)
+	if err != nil {
+		return nil, nil, err
+	}
+	det, err := availability.NewDetector(cfg.Detector)
+	if err != nil {
+		return nil, nil, err
+	}
+	builder := trace.NewBuilder(id)
+	timing := availability.NewTimeInState(availability.S1)
+
+	var events []trace.Event
+	end := sim.Time(cfg.Days) * sim.Day
+	period := cfg.Monitor.Period
+
+	// Sweep state over the sorted contribution/outage lists.
+	type active struct {
+		list []contribution
+	}
+	var act active
+	nextContrib := 0
+	nextOutage := 0
+	var inOutage *outage
+
+	for t := sim.Time(0); t < end; t += period {
+		// Activate contributions that started.
+		for nextContrib < len(contribs) && contribs[nextContrib].start <= t {
+			act.list = append(act.list, contribs[nextContrib])
+			nextContrib++
+		}
+		// Expire finished ones (small list; compact in place).
+		keep := act.list[:0]
+		for _, c := range act.list {
+			if c.end > t {
+				keep = append(keep, c)
+			}
+		}
+		act.list = keep
+
+		// Track outages.
+		if inOutage != nil && t >= inOutage.end {
+			inOutage = nil
+		}
+		for nextOutage < len(outages) && outages[nextOutage].start <= t {
+			o := outages[nextOutage]
+			nextOutage++
+			if o.end > t {
+				inOutage = &o
+			}
+		}
+
+		sample := monitor.Sample{At: t, Alive: inOutage == nil}
+		if sample.Alive {
+			cpu, hostMem := amb.step(t)
+			for _, c := range act.list {
+				cpu += c.cpu
+				hostMem += c.mem
+			}
+			if cpu > 1 {
+				cpu = 1
+			}
+			free := cfg.RAM - cfg.KernelMem - hostMem
+			if free < 0 {
+				free = 0
+			}
+			sample.HostCPU = cpu
+			sample.FreeMem = free
+		}
+
+		obs := mon.Observe(sample)
+		state, transition := det.Observe(obs)
+		timing.Advance(t, state)
+		if transition != nil {
+			if ev := builder.OnTransition(*transition); ev != nil {
+				events = append(events, *ev)
+			}
+		}
+	}
+	if ev := builder.Flush(end); ev != nil {
+		events = append(events, *ev)
+	}
+	return events, timing, nil
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func BenchmarkBuildIndex(b *testing.B) {
+	tr := randomTrace(1, 9000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.BuildIndex()
+	}
+}
+
+func BenchmarkIndexCountInWindow(b *testing.B) {
+	tr := randomTrace(2, 9000)
+	ix := tr.BuildIndex()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Duration(i%90) * sim.Day
+		ix.CountInWindow(MachineID(i%20), sim.Window{Start: start, End: start + 3*time.Hour})
+	}
+}
+
+func BenchmarkIndexFirstOverlap(b *testing.B) {
+	tr := randomTrace(3, 9000)
+	ix := tr.BuildIndex()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Duration(i%90) * sim.Day
+		ix.FirstOverlap(MachineID(i%20), sim.Window{Start: start, End: start + 5*time.Hour})
+	}
+}
+
+func BenchmarkIntervalExtraction(b *testing.B) {
+	tr := randomTrace(4, 9000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Intervals(MachineID(i % 20))
+	}
+}
+
+func BenchmarkMakeTable2(b *testing.B) {
+	tr := randomTrace(5, 9000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.MakeTable2()
+	}
+}
+
+func BenchmarkHourlyOccurrences(b *testing.B) {
+	tr := randomTrace(6, 9000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.HourlyOccurrences(sim.Weekday)
+	}
+}
+
+func BenchmarkWriteJSON(b *testing.B) {
+	tr := randomTrace(7, 9000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadJSON(b *testing.B) {
+	tr := randomTrace(8, 9000)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadJSON(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteCSV(b *testing.B) {
+	tr := randomTrace(9, 9000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSVEvents checks the CSV parser never panics and that whatever
+// it accepts round-trips losslessly.
+func FuzzReadCSVEvents(f *testing.F) {
+	var buf bytes.Buffer
+	if err := randomTrace(1, 20).WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("machine,start_ns,end_ns,state,avail_cpu,avail_mem\n0,1,2,3,0.5,0")
+	f.Add("")
+	f.Add("garbage\nmore garbage")
+	f.Add("machine,start_ns,end_ns,state,avail_cpu,avail_mem\n0,9223372036854775807,2,3,0.5,0")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadCSVEvents(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted input must produce valid events that survive re-encoding.
+		tr := &Trace{}
+		for _, e := range events {
+			if err := e.Validate(); err != nil {
+				t.Fatalf("accepted invalid event %+v: %v", e, err)
+			}
+			tr.Events = append(tr.Events, e)
+		}
+		var out bytes.Buffer
+		if err := tr.WriteCSV(&out); err != nil {
+			t.Fatalf("re-encoding accepted events failed: %v", err)
+		}
+		again, err := ReadCSVEvents(&out)
+		if err != nil {
+			t.Fatalf("re-parsing own output failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(again))
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON trace reader never panics and that accepted
+// traces validate and round-trip.
+func FuzzReadJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := randomTrace(2, 10).WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"span_start_ns":0,"span_end_ns":1,"machines":1,"events":[]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"span_start_ns":5,"span_end_ns":1}`))
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		tr, err := ReadJSON(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted an invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := tr.WriteJSON(&out); err != nil {
+			t.Fatalf("re-encoding failed: %v", err)
+		}
+		tr2, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("re-parsing own output failed: %v", err)
+		}
+		if !tracesEqual(tr, tr2) {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

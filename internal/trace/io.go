@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/availability"
+	"repro/internal/sim"
+)
+
+// csvHeader is the first line of the CSV encoding. Times are nanoseconds of
+// virtual time; state is the numeric code (3, 4, 5).
+var csvHeader = []string{"machine", "start_ns", "end_ns", "state", "avail_cpu", "avail_mem"}
+
+// WriteCSV writes the trace events as CSV with a metadata-free header line.
+// Span/calendar/machine-count metadata travel in the JSON encoding; CSV is
+// the light-weight interchange format for the event list itself.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for _, e := range t.Events {
+		rec := []string{
+			strconv.Itoa(int(e.Machine)),
+			strconv.FormatInt(int64(e.Start), 10),
+			strconv.FormatInt(int64(e.End), 10),
+			strconv.Itoa(int(e.State)),
+			strconv.FormatFloat(e.AvailCPU, 'g', -1, 64),
+			strconv.FormatInt(e.AvailMem, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: writing CSV event: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSVEvents parses events written by WriteCSV.
+func ReadCSVEvents(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV (missing header)")
+	}
+	var events []Event
+	for i, row := range rows[1:] {
+		e, err := parseCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d: %w", i+2, err)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+func parseCSVRow(row []string) (Event, error) {
+	var e Event
+	m, err := strconv.Atoi(row[0])
+	if err != nil {
+		return e, fmt.Errorf("machine: %w", err)
+	}
+	start, err := strconv.ParseInt(row[1], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("start: %w", err)
+	}
+	end, err := strconv.ParseInt(row[2], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("end: %w", err)
+	}
+	st, err := strconv.Atoi(row[3])
+	if err != nil {
+		return e, fmt.Errorf("state: %w", err)
+	}
+	cpu, err := strconv.ParseFloat(row[4], 64)
+	if err != nil {
+		return e, fmt.Errorf("avail_cpu: %w", err)
+	}
+	mem, err := strconv.ParseInt(row[5], 10, 64)
+	if err != nil {
+		return e, fmt.Errorf("avail_mem: %w", err)
+	}
+	e = Event{
+		Machine:  MachineID(m),
+		Start:    sim.Time(start),
+		End:      sim.Time(end),
+		State:    availability.State(st),
+		AvailCPU: cpu,
+		AvailMem: mem,
+	}
+	return e, e.Validate()
+}
+
+// jsonTrace is the JSON wire format, carrying full metadata.
+type jsonTrace struct {
+	SpanStartNS  int64       `json:"span_start_ns"`
+	SpanEndNS    int64       `json:"span_end_ns"`
+	StartWeekday int         `json:"start_weekday"`
+	Machines     int         `json:"machines"`
+	Events       []jsonEvent `json:"events"`
+}
+
+type jsonEvent struct {
+	Machine  int     `json:"machine"`
+	StartNS  int64   `json:"start_ns"`
+	EndNS    int64   `json:"end_ns"`
+	State    int     `json:"state"`
+	AvailCPU float64 `json:"avail_cpu"`
+	AvailMem int64   `json:"avail_mem"`
+}
+
+// WriteJSON writes the full trace, including span and calendar metadata.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	jt := jsonTrace{
+		SpanStartNS:  int64(t.Span.Start),
+		SpanEndNS:    int64(t.Span.End),
+		StartWeekday: t.Calendar.StartWeekday,
+		Machines:     t.Machines,
+		Events:       make([]jsonEvent, len(t.Events)),
+	}
+	for i, e := range t.Events {
+		jt.Events[i] = jsonEvent{
+			Machine:  int(e.Machine),
+			StartNS:  int64(e.Start),
+			EndNS:    int64(e.End),
+			State:    int(e.State),
+			AvailCPU: e.AvailCPU,
+			AvailMem: e.AvailMem,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}
+
+// ReadJSON parses a trace written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	t := &Trace{
+		Span:     sim.Window{Start: sim.Time(jt.SpanStartNS), End: sim.Time(jt.SpanEndNS)},
+		Calendar: sim.Calendar{StartWeekday: jt.StartWeekday},
+		Machines: jt.Machines,
+	}
+	for _, je := range jt.Events {
+		t.Events = append(t.Events, Event{
+			Machine:  MachineID(je.Machine),
+			Start:    sim.Time(je.StartNS),
+			End:      sim.Time(je.EndNS),
+			State:    availability.State(je.State),
+			AvailCPU: je.AvailCPU,
+			AvailMem: je.AvailMem,
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

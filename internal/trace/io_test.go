@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/sim"
+)
+
+func randomTrace(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := New(sim.Window{Start: 0, End: 92 * sim.Day}, sim.Calendar{StartWeekday: 2}, 20)
+	states := []availability.State{availability.S3, availability.S4, availability.S5}
+	for i := 0; i < n; i++ {
+		start := time.Duration(rng.Int63n(int64(91 * sim.Day)))
+		dur := time.Duration(rng.Int63n(int64(4 * time.Hour)))
+		tr.Add(Event{
+			Machine:  MachineID(rng.Intn(20)),
+			Start:    start,
+			End:      start + dur,
+			State:    states[rng.Intn(len(states))],
+			AvailCPU: rng.Float64(),
+			AvailMem: rng.Int63n(4 << 30),
+		})
+	}
+	return tr
+}
+
+func tracesEqual(a, b *Trace) bool {
+	if a.Span != b.Span || a.Calendar != b.Calendar || a.Machines != b.Machines {
+		return false
+	}
+	if len(a.Events) != len(b.Events) {
+		return false
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := randomTrace(1, 500)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Error("JSON round trip lost data")
+	}
+}
+
+func TestJSONRejectsCorruptTrace(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+	// A structurally valid JSON with an invalid event state.
+	bad := `{"span_start_ns":0,"span_end_ns":100,"machines":1,` +
+		`"events":[{"machine":0,"start_ns":1,"end_ns":2,"state":1}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("event in available state should be rejected")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := randomTrace(2, 300)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	events, err := ReadCSVEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSVEvents: %v", err)
+	}
+	if len(events) != len(tr.Events) {
+		t.Fatalf("got %d events, want %d", len(events), len(tr.Events))
+	}
+	for i := range events {
+		if events[i] != tr.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestCSVHeaderPresent(t *testing.T) {
+	tr := randomTrace(3, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if first != strings.Join(csvHeader, ",") {
+		t.Errorf("CSV header = %q", first)
+	}
+}
+
+func TestCSVRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"machine,start_ns,end_ns,state,avail_cpu,avail_mem\nx,1,2,3,0.5,0",
+		"machine,start_ns,end_ns,state,avail_cpu,avail_mem\n0,zz,2,3,0.5,0",
+		"machine,start_ns,end_ns,state,avail_cpu,avail_mem\n0,1,2,1,0.5,0", // state S1
+		"machine,start_ns,end_ns,state,avail_cpu,avail_mem\n0,5,2,3,0.5,0", // inverted
+		"machine,start_ns,end_ns,state,avail_cpu,avail_mem\n0,1,2,3,0.5",   // short row
+	}
+	for i, c := range cases {
+		if _, err := ReadCSVEvents(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestCSVEmptyTrace(t *testing.T) {
+	tr := New(sim.Window{End: sim.Day}, sim.Calendar{}, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadCSVEvents(&buf)
+	if err != nil {
+		t.Fatalf("header-only CSV should parse: %v", err)
+	}
+	if len(events) != 0 {
+		t.Errorf("got %d events from empty trace", len(events))
+	}
+}

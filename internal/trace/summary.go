@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// MachineSummary condenses one machine's availability behavior over the
+// trace span into the classic dependability quantities.
+type MachineSummary struct {
+	Machine MachineID
+	// Events is the number of unavailability occurrences.
+	Events int
+	// Availability is the fraction of the span spent available (S1/S2).
+	Availability float64
+	// MTBF is the mean availability-interval length (mean time between
+	// failures, measured from recovery to next failure).
+	MTBF time.Duration
+	// MTTR is the mean unavailability duration (mean time to recovery).
+	MTTR time.Duration
+	// LongestInterval is the longest uninterrupted availability run.
+	LongestInterval time.Duration
+}
+
+// Summarize computes per-machine dependability summaries, sorted by
+// machine ID.
+func (t *Trace) Summarize() []MachineSummary {
+	out := make([]MachineSummary, 0, t.Machines)
+	for m := 0; m < t.Machines; m++ {
+		id := MachineID(m)
+		s := MachineSummary{Machine: id}
+
+		ivs := t.Intervals(id)
+		var availTotal time.Duration
+		var ivLens []float64
+		for _, iv := range ivs {
+			availTotal += iv.Duration()
+			ivLens = append(ivLens, float64(iv.Duration()))
+			if iv.Duration() > s.LongestInterval {
+				s.LongestInterval = iv.Duration()
+			}
+		}
+		if span := t.Span.Duration(); span > 0 {
+			s.Availability = float64(availTotal) / float64(span)
+		}
+		if len(ivLens) > 0 {
+			s.MTBF = time.Duration(stats.Mean(ivLens))
+		}
+
+		evs := t.MachineEvents(id)
+		s.Events = len(evs)
+		var durs []float64
+		for _, e := range evs {
+			durs = append(durs, float64(e.Duration()))
+		}
+		if len(durs) > 0 {
+			s.MTTR = time.Duration(stats.Mean(durs))
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Machine < out[j].Machine })
+	return out
+}
+
+// FleetSummary aggregates the machine summaries.
+type FleetSummary struct {
+	Machines int
+	Events   int
+	// Availability is the mean per-machine availability fraction.
+	Availability float64
+	// MTBF/MTTR are means over machines.
+	MTBF time.Duration
+	MTTR time.Duration
+}
+
+// SummarizeFleet aggregates the whole testbed.
+func (t *Trace) SummarizeFleet() FleetSummary {
+	per := t.Summarize()
+	f := FleetSummary{Machines: len(per)}
+	if len(per) == 0 {
+		return f
+	}
+	var avail, mtbf, mttr float64
+	for _, s := range per {
+		f.Events += s.Events
+		avail += s.Availability
+		mtbf += float64(s.MTBF)
+		mttr += float64(s.MTTR)
+	}
+	n := float64(len(per))
+	f.Availability = avail / n
+	f.MTBF = time.Duration(mtbf / n)
+	f.MTTR = time.Duration(mttr / n)
+	return f
+}
+
+// FormatSummary renders the per-machine table plus the fleet line.
+func (t *Trace) FormatSummary() string {
+	var b strings.Builder
+	b.WriteString("machine  events  availability     MTBF      MTTR   longest-interval\n")
+	for _, s := range t.Summarize() {
+		fmt.Fprintf(&b, "%7d  %6d  %11.2f%%  %8s  %8s  %s\n",
+			s.Machine, s.Events, s.Availability*100,
+			s.MTBF.Round(time.Minute), s.MTTR.Round(time.Second),
+			s.LongestInterval.Round(time.Minute))
+	}
+	f := t.SummarizeFleet()
+	fmt.Fprintf(&b, "fleet: %d machines, %d events, %.2f%% available, MTBF %s, MTTR %s\n",
+		f.Machines, f.Events, f.Availability*100,
+		f.MTBF.Round(time.Minute), f.MTTR.Round(time.Second))
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/sim"
+)
+
+func TestSummarize(t *testing.T) {
+	tr := New(span(10*time.Hour), sim.Calendar{}, 2)
+	// Machine 0: unavailable 2-3h and 6-7h -> 8h available over 10h.
+	tr.Add(mkEvent(0, 2*time.Hour, 3*time.Hour, availability.S3))
+	tr.Add(mkEvent(0, 6*time.Hour, 7*time.Hour, availability.S5))
+	// Machine 1: clean.
+	sums := tr.Summarize()
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	m0 := sums[0]
+	if m0.Events != 2 {
+		t.Errorf("events = %d", m0.Events)
+	}
+	if m0.Availability < 0.79 || m0.Availability > 0.81 {
+		t.Errorf("availability = %v, want 0.8", m0.Availability)
+	}
+	// Intervals: 2h, 3h, 3h -> MTBF 8h/3.
+	wantMTBF := 8 * time.Hour / 3
+	if diff := m0.MTBF - wantMTBF; diff < -time.Second || diff > time.Second {
+		t.Errorf("MTBF = %v, want %v", m0.MTBF, wantMTBF)
+	}
+	if m0.MTTR != time.Hour {
+		t.Errorf("MTTR = %v, want 1h", m0.MTTR)
+	}
+	if m0.LongestInterval != 3*time.Hour {
+		t.Errorf("longest = %v, want 3h", m0.LongestInterval)
+	}
+	m1 := sums[1]
+	if m1.Availability != 1 || m1.Events != 0 || m1.MTTR != 0 {
+		t.Errorf("clean machine summary = %+v", m1)
+	}
+	if m1.MTBF != 10*time.Hour {
+		t.Errorf("clean machine MTBF = %v, want full span", m1.MTBF)
+	}
+}
+
+func TestSummarizeFleet(t *testing.T) {
+	tr := New(span(10*time.Hour), sim.Calendar{}, 2)
+	tr.Add(mkEvent(0, 2*time.Hour, 4*time.Hour, availability.S4))
+	f := tr.SummarizeFleet()
+	if f.Machines != 2 || f.Events != 1 {
+		t.Errorf("fleet = %+v", f)
+	}
+	// Mean availability of 0.8 and 1.0.
+	if f.Availability < 0.89 || f.Availability > 0.91 {
+		t.Errorf("fleet availability = %v, want 0.9", f.Availability)
+	}
+	empty := New(span(time.Hour), sim.Calendar{}, 0)
+	if got := empty.SummarizeFleet(); got.Machines != 0 {
+		t.Errorf("empty fleet = %+v", got)
+	}
+}
+
+func TestFormatSummary(t *testing.T) {
+	tr := New(span(10*time.Hour), sim.Calendar{}, 1)
+	tr.Add(mkEvent(0, time.Hour, 2*time.Hour, availability.S3))
+	s := tr.FormatSummary()
+	if !strings.Contains(s, "fleet:") || !strings.Contains(s, "MTBF") {
+		t.Errorf("summary format:\n%s", s)
+	}
+}

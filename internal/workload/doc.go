@@ -1,0 +1,15 @@
+// Package workload provides the synthetic programs the paper's contention
+// experiments run on the simulated machines of internal/simos:
+//
+//   - duty-cycle host programs with a configurable isolated CPU usage,
+//     mirroring the instrumented synthetic programs of Section 3.2.1 that
+//     interleave computation and sleep to hit a target usage;
+//   - completely CPU-bound guest programs;
+//   - the application profiles of Table 1: the four SPEC CPU2000 guests
+//     (apsi, galgel, bzip2, mcf) and the six Musbus-derived interactive
+//     host workloads H1..H6, with their published CPU usage and memory
+//     footprints;
+//   - a host-group composer that randomly decomposes a target group load
+//     LH into M individual processes, replicating the experimental
+//     protocol of Figure 1.
+package workload

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// InteractiveSession models a Musbus-style interactive user (the kind the
+// paper simulates host users with): short editing keystrokes and command
+// bursts separated by think time, punctuated by occasional long compile
+// bursts. Unlike DutyCycle it is bursty at two time scales, so the
+// interactivity credit protects the editing phases while compiles can
+// drain it — realistic input for the detector and the node agents.
+type InteractiveSession struct {
+	// EditBurst is the CPU cost of one editing/command action.
+	EditBurst time.Duration
+	// ThinkTime is the mean pause between actions (exponential).
+	ThinkTime time.Duration
+	// CompileEvery is the mean number of actions between compiles.
+	CompileEvery int
+	// CompileBurst is the CPU cost of one compile (log-uniform between
+	// half and double this value).
+	CompileBurst time.Duration
+	// Lifetime caps the session's total wall activity; 0 = unbounded.
+	Lifetime time.Duration
+
+	elapsed time.Duration
+	started bool
+}
+
+// DefaultInteractiveSession returns a session shaped like the paper's
+// Musbus workloads: sub-second edits, seconds of think time, multi-second
+// compiles every dozen actions.
+func DefaultInteractiveSession() *InteractiveSession {
+	return &InteractiveSession{
+		EditBurst:    80 * time.Millisecond,
+		ThinkTime:    2 * time.Second,
+		CompileEvery: 12,
+		CompileBurst: 4 * time.Second,
+	}
+}
+
+// NextPhase implements simos.Behavior.
+func (s *InteractiveSession) NextPhase(r *rand.Rand) (compute, sleep time.Duration, ok bool) {
+	if s.Lifetime > 0 && s.elapsed >= s.Lifetime {
+		return 0, 0, false
+	}
+	edit := s.EditBurst
+	if edit <= 0 {
+		edit = 80 * time.Millisecond
+	}
+	think := s.ThinkTime
+	if think <= 0 {
+		think = 2 * time.Second
+	}
+	every := s.CompileEvery
+	if every <= 0 {
+		every = 12
+	}
+	if !s.started {
+		s.started = true
+		// Random initial offset desynchronizes concurrent sessions.
+		off := time.Duration(r.Int63n(int64(think) + 1))
+		s.elapsed += off
+		return 0, off, true
+	}
+
+	if r.Intn(every) == 0 {
+		// Compile: a long CPU burst, then a review pause.
+		base := s.CompileBurst
+		if base <= 0 {
+			base = 4 * time.Second
+		}
+		compute = base/2 + time.Duration(r.Int63n(int64(base)+1))*3/2
+		sleep = think * 2
+	} else {
+		compute = edit
+		sleep = time.Duration(float64(think) * r.ExpFloat64())
+		if sleep > 10*think {
+			sleep = 10 * think
+		}
+	}
+	s.elapsed += compute + sleep
+	return compute, sleep, true
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simos"
+)
+
+func TestInteractiveSessionShape(t *testing.T) {
+	r := rng(11)
+	s := DefaultInteractiveSession()
+	s.NextPhase(r) // skip the offset phase
+	var edits, compiles int
+	var compute, total time.Duration
+	for i := 0; i < 2000; i++ {
+		c, sl, ok := s.NextPhase(r)
+		if !ok {
+			t.Fatal("unbounded session terminated")
+		}
+		if c > time.Second {
+			compiles++
+		} else if c > 0 {
+			edits++
+		}
+		compute += c
+		total += c + sl
+	}
+	if edits == 0 || compiles == 0 {
+		t.Fatalf("expected both edits (%d) and compiles (%d)", edits, compiles)
+	}
+	// Compiles are rare relative to edits.
+	if compiles*4 > edits {
+		t.Errorf("too many compiles: %d vs %d edits", compiles, edits)
+	}
+	// The session is interactive: a light aggregate load.
+	usage := float64(compute) / float64(total)
+	if usage < 0.02 || usage > 0.45 {
+		t.Errorf("session duty = %v, want light-to-moderate", usage)
+	}
+}
+
+func TestInteractiveSessionLifetime(t *testing.T) {
+	r := rng(12)
+	s := DefaultInteractiveSession()
+	s.Lifetime = 30 * time.Second
+	var wall time.Duration
+	steps := 0
+	for {
+		c, sl, ok := s.NextPhase(r)
+		if !ok {
+			break
+		}
+		wall += c + sl
+		steps++
+		if steps > 10000 {
+			t.Fatal("session never terminated")
+		}
+	}
+	if wall < 30*time.Second {
+		t.Errorf("session ended after %v, before its lifetime", wall)
+	}
+}
+
+func TestInteractiveSessionProtectedByCredit(t *testing.T) {
+	// An interactive session competing with a CPU-bound guest keeps its
+	// responsiveness: its achieved usage stays close to isolated usage.
+	isolated := simos.MustNewMachine(simos.LinuxLabMachine(51))
+	alone := isolated.Spawn("user", simos.Host, 0, 50*simos.MB, DefaultInteractiveSession())
+	isolated.Run(10 * time.Minute)
+
+	contended := simos.MustNewMachine(simos.LinuxLabMachine(51))
+	user := contended.Spawn("user", simos.Host, 0, 50*simos.MB, DefaultInteractiveSession())
+	contended.Spawn("guest", simos.Guest, 0, 10*simos.MB, CPUBound{})
+	contended.Run(10 * time.Minute)
+
+	if alone.Usage() <= 0 {
+		t.Fatal("isolated session did nothing")
+	}
+	drop := 1 - user.Usage()/alone.Usage()
+	if drop > 0.25 {
+		t.Errorf("interactive session slowed %.0f%% by a guest; credit should protect it", drop*100)
+	}
+}
