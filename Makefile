@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all vet build test race bench-smoke bench ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with concurrent hot paths: the iShare network
+# layer, the parallel testbed runner and the contention harness (whose
+# calibration cache is shared across worker goroutines).
+race:
+	$(GO) test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/
+
+# A short benchmark pass that exercises the performance-critical paths
+# without producing stable numbers; full runs go through cmd/fgcs-bench.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|BenchmarkDetectorObserve' -benchtime 10x ./internal/testbed/ ./internal/simos/ ./internal/availability/
+
+# Full core benchmarks, written to BENCH_core.json.
+bench:
+	$(GO) run ./cmd/fgcs-bench -out BENCH_core.json
+
+ci: vet build test race bench-smoke

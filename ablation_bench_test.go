@@ -32,6 +32,7 @@ func ablationOptions() contention.Options {
 // decides how much of a host burst runs immune to an equal-priority guest,
 // so Th1 (the Figure 1(a) crossing) must rise with it.
 func BenchmarkAblationCreditCap(b *testing.B) {
+	b.ReportAllocs()
 	for _, cap := range []time.Duration{125 * time.Millisecond, 500 * time.Millisecond, 1500 * time.Millisecond} {
 		b.Run(cap.String(), func(b *testing.B) {
 			opt := ablationOptions()
@@ -55,6 +56,7 @@ func BenchmarkAblationCreditCap(b *testing.B) {
 // gives a reniced guest a larger minimum share, which must pull Th2 (the
 // Figure 1(b) crossing) down.
 func BenchmarkAblationNiceFloor(b *testing.B) {
+	b.ReportAllocs()
 	for _, base := range []float64{20.5, 22, 26} {
 		b.Run(fmt.Sprintf("base-%.1f", base), func(b *testing.B) {
 			opt := ablationOptions()
@@ -80,6 +82,7 @@ func BenchmarkAblationNiceFloor(b *testing.B) {
 // The slowdown must grow as the factor shrinks, and must not depend on
 // guest priority (the separability claim).
 func BenchmarkAblationThrashFactor(b *testing.B) {
+	b.ReportAllocs()
 	for _, tf := range []float64{0.05, 0.1, 0.3} {
 		b.Run(fmt.Sprintf("factor-%.2f", tf), func(b *testing.B) {
 			opt := ablationOptions()
@@ -116,6 +119,7 @@ func idxOf(xs []string, want string) int {
 // spike as S3, multiplying events and flooding the sub-5-minute interval
 // bucket — the reason the paper's model suspends rather than kills.
 func BenchmarkAblationTransientWindow(b *testing.B) {
+	b.ReportAllocs()
 	for _, w := range []time.Duration{1, 60 * time.Second, 180 * time.Second} {
 		name := w.String()
 		if w == 1 {
@@ -144,6 +148,7 @@ func BenchmarkAblationTransientWindow(b *testing.B) {
 // fraction, quantifying the paper's suggestion to use robust statistics
 // against irregular days.
 func BenchmarkAblationTrimmedMean(b *testing.B) {
+	b.ReportAllocs()
 	cfg := testbed.DefaultConfig()
 	cfg.Machines = 8
 	cfg.Days = 70
@@ -171,6 +176,7 @@ func BenchmarkAblationTrimmedMean(b *testing.B) {
 // sampling misses short events, trading monitoring overhead against
 // detection completeness.
 func BenchmarkAblationMonitorPeriod(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []time.Duration{5 * time.Second, 15 * time.Second, 60 * time.Second} {
 		b.Run(p.String(), func(b *testing.B) {
 			cfg := testbed.DefaultConfig()
@@ -193,6 +199,7 @@ func BenchmarkAblationMonitorPeriod(b *testing.B) {
 // weekday availability intervals in the paper's 2-4 hour band; Poisson
 // scatter spreads the interval distribution out.
 func BenchmarkAblationPlacement(b *testing.B) {
+	b.ReportAllocs()
 	for _, poisson := range []bool{false, true} {
 		name := "stratified"
 		if poisson {

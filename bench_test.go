@@ -67,6 +67,7 @@ func fullTrace(b *testing.B) *trace.Trace {
 
 // BenchmarkTable1 regenerates Table 1 (application resource profiles).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := contention.Table1()
 		if i == 0 {
@@ -78,6 +79,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFigure1a regenerates Figure 1(a): host slowdown vs LH and group
 // size with the guest at default priority; reports the derived Th1.
 func BenchmarkFigure1a(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchContention()
 	for i := 0; i < b.N; i++ {
 		res, err := contention.RunFigure1(opt, 0)
@@ -96,6 +98,7 @@ func BenchmarkFigure1a(b *testing.B) {
 // BenchmarkFigure1b regenerates Figure 1(b): the same sweep at nice 19;
 // reports the derived Th2.
 func BenchmarkFigure1b(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchContention()
 	for i := 0; i < b.N; i++ {
 		res, err := contention.RunFigure1(opt, availability.LowestNice)
@@ -114,6 +117,7 @@ func BenchmarkFigure1b(b *testing.B) {
 // BenchmarkFigure2 regenerates Figure 2: the guest-priority sweep showing
 // gradual renicing buys no protection between Th1 and Th2.
 func BenchmarkFigure2(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchContention()
 	for i := 0; i < b.N; i++ {
 		res, err := contention.RunFigure2(opt)
@@ -130,6 +134,7 @@ func BenchmarkFigure2(b *testing.B) {
 // lowest priority under light host load; reports the mean gain (~2% in the
 // paper).
 func BenchmarkFigure3(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchContention()
 	for i := 0; i < b.N; i++ {
 		res, err := contention.RunFigure3(opt)
@@ -146,6 +151,7 @@ func BenchmarkFigure3(b *testing.B) {
 // BenchmarkFigure4 regenerates Figure 4: SPEC-like guests against
 // Musbus-like hosts on the 384 MB machine, with thrashing stars.
 func BenchmarkFigure4(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchContention()
 	opt.Measure = 120 * time.Second
 	for i := 0; i < b.N; i++ {
@@ -162,6 +168,7 @@ func BenchmarkFigure4(b *testing.B) {
 // BenchmarkTable2 regenerates Table 2: the full 20-machine, 92-day testbed
 // simulation and per-cause unavailability ranges.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr, err := testbed.Run(testbed.DefaultConfig())
 		if err != nil {
@@ -188,6 +195,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkFigure6 regenerates Figure 6: the CDF of availability-interval
 // lengths, weekday vs weekend.
 func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
 	base := fullTrace(b)
 	_ = base
 	for i := 0; i < b.N; i++ {
@@ -214,6 +222,7 @@ func BenchmarkFigure6(b *testing.B) {
 // BenchmarkFigure7 regenerates Figure 7: unavailability occurrences per
 // hour of day with across-day ranges; reports the 4-5 AM updatedb spike.
 func BenchmarkFigure7(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr, err := testbed.Run(testbed.DefaultConfig())
 		if err != nil {
@@ -239,6 +248,7 @@ func BenchmarkFigure7(b *testing.B) {
 // accuracy comparison on the testbed trace; reports the paper-predictor's
 // MAE and Brier score.
 func BenchmarkPrediction(b *testing.B) {
+	b.ReportAllocs()
 	tr := fullTrace(b)
 	cfg := predict.EvalConfig{TrainDays: 28, Window: 3 * time.Hour}
 	for i := 0; i < b.N; i++ {
@@ -261,6 +271,7 @@ func BenchmarkPrediction(b *testing.B) {
 // one-week and six-week MAEs, whose closeness quantifies how quickly the
 // daily pattern saturates.
 func BenchmarkLearningCurve(b *testing.B) {
+	b.ReportAllocs()
 	tr := fullTrace(b)
 	for i := 0; i < b.N; i++ {
 		points, err := predict.LearningCurve(tr,
@@ -281,6 +292,7 @@ func BenchmarkLearningCurve(b *testing.B) {
 // BenchmarkMigration regenerates the extension experiment E13: proactive
 // mid-job migration on top of predictive placement.
 func BenchmarkMigration(b *testing.B) {
+	b.ReportAllocs()
 	cfg := testbed.DefaultConfig()
 	cfg.Machines = 10
 	cfg.Days = 70
@@ -315,6 +327,7 @@ func BenchmarkMigration(b *testing.B) {
 // BenchmarkCalibration regenerates the extension experiment E14: the
 // reliability diagram of the paper predictor's survival forecasts.
 func BenchmarkCalibration(b *testing.B) {
+	b.ReportAllocs()
 	tr := fullTrace(b)
 	for i := 0; i < b.N; i++ {
 		bins, err := predict.Calibration(tr, &predict.HistoryWindow{Trim: 0.1},
@@ -332,6 +345,7 @@ func BenchmarkCalibration(b *testing.B) {
 // BenchmarkWindowSensitivity regenerates the extension experiment E15:
 // predictor accuracy across prediction-window lengths.
 func BenchmarkWindowSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	tr := fullTrace(b)
 	for i := 0; i < b.N; i++ {
 		scores, err := predict.WindowSensitivity(tr,
@@ -354,6 +368,7 @@ func BenchmarkWindowSensitivity(b *testing.B) {
 // weekly lags — the paper's "daily patterns are comparable" claim as one
 // number.
 func BenchmarkPeriodicity(b *testing.B) {
+	b.ReportAllocs()
 	tr := fullTrace(b)
 	for i := 0; i < b.N; i++ {
 		series := tr.HourlyCountSeries()
@@ -373,6 +388,7 @@ func BenchmarkPeriodicity(b *testing.B) {
 // vs oblivious guest-job placement on a heterogeneous testbed; reports the
 // failure reduction of the predictive policy versus random placement.
 func BenchmarkProactive(b *testing.B) {
+	b.ReportAllocs()
 	cfg := testbed.DefaultConfig()
 	cfg.Machines = 10
 	cfg.Days = 70

@@ -1,0 +1,182 @@
+// Command fgcs-bench runs the repository's core performance benchmarks —
+// the full 20x92 testbed simulation, one machine-week, and the contention
+// figures behind the Th1/Th2 calibration — and writes the results as JSON
+// (default BENCH_core.json). Each entry carries ns/op and allocs/op plus,
+// where meaningful, simulation throughput in machine-days per wall second,
+// the seed revision's baseline and the resulting speedup, so performance
+// regressions show up as a single diffable file.
+//
+// Usage:
+//
+//	fgcs-bench
+//	fgcs-bench -out BENCH_core.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/contention"
+	"repro/internal/testbed"
+)
+
+// Baselines measured at the seed revision on the reference container
+// (single-core linux/amd64, go1.24) with the same configurations used
+// below; they are the denominators of the speedup column.
+const (
+	baselineFullTestbedNs   = 663587048.0
+	baselineMachineWeekNs   = 3299257.0
+	baselineFigure1aNs      = 874304206.0
+	baselineFigure2Ns       = 527774191.0
+	baselineMachineDaysPerS = 2773.0
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// BaselineNsPerOp and Speedup are set for benchmarks with a recorded
+	// seed-revision baseline.
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+	// MachineDaysPerS is simulation throughput (testbed benchmarks only).
+	MachineDaysPerS         float64 `json:"machine_days_per_s,omitempty"`
+	BaselineMachineDaysPerS float64 `json:"baseline_machine_days_per_s,omitempty"`
+}
+
+type report struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	Thresholds struct {
+		Th1 float64 `json:"th1"`
+		Th2 float64 `json:"th2"`
+	} `json:"thresholds"`
+	AloneCache struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+	} `json:"alone_cache"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fgcs-bench: ")
+	out := flag.String("out", "BENCH_core.json", "output JSON file (empty = stdout only)")
+	flag.Parse()
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	// Full paper-scale testbed: 20 machines x 92 days per op.
+	tbCfg := testbed.DefaultConfig()
+	var machineDays float64
+	full, res := run("testbed/full", baselineFullTestbedNs, func(b *testing.B) {
+		b.ReportAllocs()
+		machineDays = 0
+		for i := 0; i < b.N; i++ {
+			tr, err := testbed.Run(tbCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			machineDays += tr.MachineDays()
+		}
+	})
+	full.MachineDaysPerS = machineDays / res.T.Seconds()
+	full.BaselineMachineDaysPerS = baselineMachineDaysPerS
+	rep.Benchmarks = append(rep.Benchmarks, full)
+
+	weekCfg := testbed.DefaultConfig()
+	weekCfg.Machines = 1
+	weekCfg.Days = 7
+	week, _ := run("testbed/machine-week", baselineMachineWeekNs, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := testbed.Run(weekCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Benchmarks = append(rep.Benchmarks, week)
+
+	// Contention figures, with the same reduced windows the root
+	// benchmarks use so the baselines are comparable. The calibration
+	// cache is part of what is measured; its hit counts are reported
+	// below.
+	opt := contention.DefaultOptions()
+	opt.Measure = 150 * time.Second
+	opt.Combos = 2
+	contention.ResetAloneCache()
+
+	fig1a, _ := run("contention/fig1a", baselineFigure1aNs, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := contention.RunFigure1(opt, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Benchmarks = append(rep.Benchmarks, fig1a)
+
+	fig2, _ := run("contention/fig2", baselineFigure2Ns, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := contention.RunFigure2(opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Benchmarks = append(rep.Benchmarks, fig2)
+
+	th, _, _, err := contention.FindThresholds(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Thresholds.Th1 = th.Th1
+	rep.Thresholds.Th2 = th.Th2
+	rep.AloneCache.Hits, rep.AloneCache.Misses = contention.AloneCacheStats()
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	os.Stdout.Write(buf)
+}
+
+// run executes one benchmark closure via testing.Benchmark and folds the
+// result into a benchResult, returning the raw result for callers needing
+// totals (elapsed time, iteration count).
+func run(name string, baselineNs float64, f func(b *testing.B)) (benchResult, testing.BenchmarkResult) {
+	fmt.Fprintf(os.Stderr, "running %s...\n", name)
+	r := testing.Benchmark(f)
+	out := benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if baselineNs > 0 && r.NsPerOp() > 0 {
+		out.BaselineNsPerOp = baselineNs
+		out.Speedup = baselineNs / float64(r.NsPerOp())
+	}
+	return out, r
+}

@@ -140,9 +140,12 @@ func (c *Controller) applyNice(state State) Action {
 }
 
 // TimeInState accumulates, per state, how much virtual time a detector
-// spent there; useful for availability summaries and tests.
+// spent there; useful for availability summaries and tests. Totals are
+// held in a small array indexed by state (S1..S5), keeping Advance free
+// of map operations on the monitoring hot path; out-of-range states are
+// accumulated in the spill slot 0.
 type TimeInState struct {
-	totals map[State]sim.Time
+	totals [6]sim.Time
 	last   sim.Time
 	state  State
 	primed bool
@@ -150,14 +153,23 @@ type TimeInState struct {
 
 // NewTimeInState returns an accumulator starting in the given state.
 func NewTimeInState(initial State) *TimeInState {
-	return &TimeInState{totals: make(map[State]sim.Time), state: initial}
+	return &TimeInState{state: initial}
+}
+
+func (t *TimeInState) slot(s State) int {
+	if s >= 1 && int(s) < len(t.totals) {
+		return int(s)
+	}
+	return 0
 }
 
 // Advance credits the elapsed time to the current state, then switches to
-// next. Calls must have nondecreasing now.
+// next. Calls must have nondecreasing now. Because consecutive calls with
+// an unchanged state telescope, callers that know the state was constant
+// over a span may call Advance only at its ends.
 func (t *TimeInState) Advance(now sim.Time, next State) {
 	if t.primed {
-		t.totals[t.state] += now - t.last
+		t.totals[t.slot(t.state)] += now - t.last
 	}
 	t.last = now
 	t.state = next
@@ -165,7 +177,7 @@ func (t *TimeInState) Advance(now sim.Time, next State) {
 }
 
 // Total returns the accumulated time in state s.
-func (t *TimeInState) Total(s State) sim.Time { return t.totals[s] }
+func (t *TimeInState) Total(s State) sim.Time { return t.totals[t.slot(s)] }
 
 // Fraction returns the share of all accumulated time spent in s.
 func (t *TimeInState) Fraction(s State) float64 {
@@ -176,5 +188,5 @@ func (t *TimeInState) Fraction(s State) float64 {
 	if sum == 0 {
 		return 0
 	}
-	return float64(t.totals[s]) / float64(sum)
+	return float64(t.totals[t.slot(s)]) / float64(sum)
 }

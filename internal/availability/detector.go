@@ -247,6 +247,21 @@ func (d *Detector) classify(obs Observation) State {
 	}
 }
 
+// FastForward resynchronizes the detector after a caller advanced the
+// availability computation out of band (the testbed's span-skipping
+// runner): it adopts the given state and observation without running the
+// classifier. The caller must guarantee that state is exactly what
+// Observe would have produced for every skipped observation and that no
+// spike can be in progress over the skipped span (host CPU at or below
+// Th2, or the machine dead throughout).
+func (d *Detector) FastForward(state State, obs Observation) {
+	d.state = state
+	d.lastObs = obs
+	d.observed = true
+	d.spikeActive = false
+	d.suspended = false
+}
+
 // LastObservation returns the most recent observation and whether any
 // observation has been consumed.
 func (d *Detector) LastObservation() (Observation, bool) {

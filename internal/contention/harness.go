@@ -1,9 +1,13 @@
 package contention
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -168,12 +172,92 @@ func Reduction(alone, together float64) float64 {
 	return r
 }
 
+// aloneKey identifies one "alone" calibration run completely: the machine
+// configuration (its Seed is overwritten by the run seed, captured
+// separately), the harness timing, and the host group composition. Two
+// runs with equal keys are the same deterministic simulation.
+type aloneKey struct {
+	machine simos.MachineConfig
+	period  time.Duration
+	warmup  time.Duration
+	measure time.Duration
+	seed    int64
+	usages  string
+}
+
+// aloneCache memoizes alone-run calibrations across figures and repeated
+// threshold searches. Entries are runResult values; the simulations they
+// replace are self-contained (each builds a fresh machine from the seed),
+// so serving a cached result never perturbs any other random stream. The
+// experiment grids keep the key space small (hundreds of entries), so the
+// cache is unbounded.
+var (
+	aloneCache       sync.Map // aloneKey -> runResult
+	aloneCacheHits   atomic.Uint64
+	aloneCacheMisses atomic.Uint64
+)
+
+// AloneCacheStats returns how many alone-run calibrations were served from
+// the cache versus simulated.
+func AloneCacheStats() (hits, misses uint64) {
+	return aloneCacheHits.Load(), aloneCacheMisses.Load()
+}
+
+// ResetAloneCache empties the calibration cache and its counters.
+func ResetAloneCache() {
+	aloneCache.Range(func(k, _ any) bool {
+		aloneCache.Delete(k)
+		return true
+	})
+	aloneCacheHits.Store(0)
+	aloneCacheMisses.Store(0)
+}
+
+func (o Options) aloneKeyFor(seed int64, group workload.HostGroup) aloneKey {
+	k := aloneKey{
+		machine: o.Machine,
+		period:  o.Period,
+		warmup:  o.Warmup,
+		measure: o.Measure,
+		seed:    seed,
+		usages:  encodeUsages(group.Usages),
+	}
+	k.machine.Seed = 0
+	return k
+}
+
+// encodeUsages packs the group's usages into a string key, bit-exactly.
+func encodeUsages(us []float64) string {
+	buf := make([]byte, len(us)*8)
+	for i, u := range us {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(u))
+	}
+	return string(buf)
+}
+
+// measureAlone is measure without a guest, served from the calibration
+// cache when the identical run was already simulated.
+func (o Options) measureAlone(seed int64, group workload.HostGroup, spawn spawner) (runResult, error) {
+	key := o.aloneKeyFor(seed, group)
+	if v, ok := aloneCache.Load(key); ok {
+		aloneCacheHits.Add(1)
+		return v.(runResult), nil
+	}
+	res, err := o.measure(seed, spawn, nil)
+	if err != nil {
+		return runResult{}, err
+	}
+	aloneCacheMisses.Add(1)
+	aloneCache.Store(key, res)
+	return res, nil
+}
+
 // MeasureGroupReduction runs one full experiment point: calibrate the host
-// group alone, then run it with the guest, and return (measured LH,
-// reduction rate).
+// group alone (memoized), then run it with the guest, and return (measured
+// LH, reduction rate).
 func (o Options) MeasureGroupReduction(seed int64, group workload.HostGroup, guestNice int) (lh, reduction float64, err error) {
 	spawn := func(m *simos.Machine) { group.Spawn(m, o.Period) }
-	alone, err := o.measure(seed, spawn, nil)
+	alone, err := o.measureAlone(seed, group, spawn)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -217,12 +301,15 @@ func parallelFor(n, workers int, fn func(i int)) {
 }
 
 // comboSeed derives a per-run seed from the experiment coordinates so runs
-// are independent and reproducible.
+// are independent and reproducible. The stream name is assembled without
+// fmt so the per-point seeding stays off the allocator's hot path; the
+// bytes match the historical "combo/%d/..." format exactly.
 func comboSeed(base int64, tags ...int) int64 {
-	s := sim.NewSource(base)
-	name := "combo"
+	buf := make([]byte, 0, 48)
+	buf = append(buf, "combo"...)
 	for _, t := range tags {
-		name = fmt.Sprintf("%s/%d", name, t)
+		buf = append(buf, '/')
+		buf = strconv.AppendInt(buf, int64(t), 10)
 	}
-	return int64(s.Stream(name).Uint64())
+	return int64(sim.NewSource(base).StreamBytes(buf).Uint64())
 }

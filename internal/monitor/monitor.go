@@ -103,8 +103,25 @@ func (m *Monitor) Observe(s Sample) availability.Observation {
 		m.Reset()
 		return availability.Observation{At: s.At, Alive: false}
 	}
-	m.ring[m.next] = s.HostCPU
-	m.next = (m.next + 1) % len(m.ring)
+	return availability.Observation{
+		At:          s.At,
+		HostCPU:     m.Smooth(s.HostCPU),
+		FreeMem:     s.FreeMem,
+		GuestDemand: m.cfg.GuestDemand,
+		Alive:       true,
+	}
+}
+
+// Smooth pushes one raw CPU value through the smoothing window and returns
+// the resulting moving average. It is the smoothing core of Observe,
+// exposed for callers (the testbed's span-skipping runner) that advance
+// the window without building full samples.
+func (m *Monitor) Smooth(v float64) float64 {
+	m.ring[m.next] = v
+	m.next++
+	if m.next == len(m.ring) {
+		m.next = 0
+	}
 	if m.n < len(m.ring) {
 		m.n++
 	}
@@ -112,12 +129,21 @@ func (m *Monitor) Observe(s Sample) availability.Observation {
 	for i := 0; i < m.n; i++ {
 		sum += m.ring[i]
 	}
-	return availability.Observation{
-		At:          s.At,
-		HostCPU:     sum / float64(m.n),
-		FreeMem:     s.FreeMem,
-		GuestDemand: m.cfg.GuestDemand,
-		Alive:       true,
+	return sum / float64(m.n)
+}
+
+// Prime resets the smoothing window and replays the given values, oldest
+// first — the state a monitor reaches after observing exactly those CPU
+// values since its last reset. Callers that advance the smoothing
+// computation out of band (the testbed's span-skipping runner) use it to
+// resync with the window's last SmoothWindow raw values. With the default
+// two-sample window this reproduces future smoothed values bit-for-bit:
+// the replay may rotate the ring relative to stepping sample-by-sample,
+// but a two-term sum is exactly commutative.
+func (m *Monitor) Prime(vals ...float64) {
+	m.Reset()
+	for _, v := range vals {
+		m.Smooth(v)
 	}
 }
 

@@ -55,6 +55,7 @@ func BenchmarkSemiMarkovPredictSurvival(b *testing.B) {
 func BenchmarkEvaluateAllPredictors(b *testing.B) {
 	tr := benchHistory(b)
 	cfg := EvalConfig{TrainDays: 28, Window: 3 * time.Hour, MaxMachines: 4}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Evaluate(tr, DefaultPredictors(), cfg); err != nil {
 			b.Fatal(err)

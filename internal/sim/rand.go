@@ -24,6 +24,17 @@ func (s *Source) Seed() int64 { return s.seed }
 // (seed, name) pair always yields the same stream. The returned *rand.Rand
 // is not safe for concurrent use; derive one stream per goroutine.
 func (s *Source) Stream(name string) *rand.Rand {
+	return rand.New(rand.NewSource(s.streamSeed([]byte(name))))
+}
+
+// StreamBytes is Stream for a name already held as bytes, sparing callers
+// that assemble names incrementally (e.g. with strconv.AppendInt) the
+// string conversion. StreamBytes(b) equals Stream(string(b)).
+func (s *Source) StreamBytes(name []byte) *rand.Rand {
+	return rand.New(rand.NewSource(s.streamSeed(name)))
+}
+
+func (s *Source) streamSeed(name []byte) int64 {
 	h := fnv.New64a()
 	// The seed is mixed through the hash together with the name so distinct
 	// seeds decorrelate even for equal names.
@@ -33,8 +44,8 @@ func (s *Source) Stream(name string) *rand.Rand {
 		buf[i] = byte(v >> (8 * i))
 	}
 	h.Write(buf[:])
-	h.Write([]byte(name))
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	h.Write(name)
+	return int64(h.Sum64())
 }
 
 // Exp draws an exponentially distributed duration with the given mean.

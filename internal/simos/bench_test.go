@@ -49,6 +49,7 @@ func BenchmarkSimulatedMinute(b *testing.B) {
 	m := MustNewMachine(MachineConfig{Name: "bench", Seed: 4})
 	m.Spawn("h", Host, 0, 10*MB, fixedBehavior{compute: 500 * time.Millisecond, sleep: 2 * time.Second})
 	m.Spawn("g", Guest, 0, 10*MB, hog{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Run(time.Minute)

@@ -1,0 +1,190 @@
+package simos_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simos"
+	"repro/internal/workload"
+)
+
+// buildPair spawns identical workloads on two identically seeded machines;
+// the second has the batching fast path disabled so it steps tick by tick
+// (the naive oracle).
+func buildPair(t *testing.T, cfg simos.MachineConfig) (fast, naive *simos.Machine) {
+	t.Helper()
+	fast = simos.MustNewMachine(cfg)
+	naive = simos.MustNewMachine(cfg)
+	naive.DisableFastPath()
+	return fast, naive
+}
+
+// mirror runs the same mutation against both machines.
+func mirror(ms [2]*simos.Machine, f func(m *simos.Machine) *simos.Process) [2]*simos.Process {
+	return [2]*simos.Process{f(ms[0]), f(ms[1])}
+}
+
+func compareMachines(t *testing.T, fast, naive *simos.Machine, tag string) {
+	t.Helper()
+	if fast.Now() != naive.Now() {
+		t.Fatalf("%s: now fast=%v naive=%v", tag, fast.Now(), naive.Now())
+	}
+	for _, cls := range []simos.Class{simos.Host, simos.Guest} {
+		if fast.CPUTime(cls) != naive.CPUTime(cls) {
+			t.Errorf("%s: cpuTime[%v] fast=%v naive=%v", tag, cls, fast.CPUTime(cls), naive.CPUTime(cls))
+		}
+		if fast.ResidentMem(cls) != naive.ResidentMem(cls) {
+			t.Errorf("%s: resident[%v] fast=%d naive=%d", tag, cls, fast.ResidentMem(cls), naive.ResidentMem(cls))
+		}
+	}
+	if fast.IdleTime() != naive.IdleTime() {
+		t.Errorf("%s: idle fast=%v naive=%v", tag, fast.IdleTime(), naive.IdleTime())
+	}
+	if fast.ThrashTime() != naive.ThrashTime() {
+		t.Errorf("%s: thrash fast=%v naive=%v", tag, fast.ThrashTime(), naive.ThrashTime())
+	}
+	fp, np := fast.Processes(), naive.Processes()
+	if len(fp) != len(np) {
+		t.Fatalf("%s: proc count fast=%d naive=%d", tag, len(fp), len(np))
+	}
+	for i := range fp {
+		if fp[i].State() != np[i].State() {
+			t.Errorf("%s: proc %s state fast=%v naive=%v", tag, fp[i].Name(), fp[i].State(), np[i].State())
+		}
+		if fp[i].CPUTime() != np[i].CPUTime() {
+			t.Errorf("%s: proc %s cpuTime fast=%v naive=%v", tag, fp[i].Name(), fp[i].CPUTime(), np[i].CPUTime())
+		}
+	}
+	if msg := fast.CheckAggregates(); msg != "" {
+		t.Errorf("%s: fast aggregates: %s", tag, msg)
+	}
+	if msg := naive.CheckAggregates(); msg != "" {
+		t.Errorf("%s: naive aggregates: %s", tag, msg)
+	}
+}
+
+// TestFastPathEquivalence drives the batched fast path and the naive
+// per-tick oracle through a mixed scenario — duty cycles with jitter, a
+// CPU-bound guest, spawn/kill/suspend/resume mid-run, and a thrashing
+// episode — asserting bit-identical accounting throughout. Because both
+// machines share one RNG stream per config, any divergence in the number
+// or order of random draws shows up as a hard mismatch.
+func TestFastPathEquivalence(t *testing.T) {
+	fast, naive := buildPair(t, simos.LinuxLabMachine(7))
+	ms := [2]*simos.Machine{fast, naive}
+
+	mirror(ms, func(m *simos.Machine) *simos.Process {
+		return m.Spawn("h1", simos.Host, 0, 200*simos.MB, &workload.DutyCycle{Usage: 0.4, Period: 2 * time.Second, Jitter: 0.2})
+	})
+	mirror(ms, func(m *simos.Machine) *simos.Process {
+		return m.Spawn("h2", simos.Host, 0, 300*simos.MB, &workload.DutyCycle{Usage: 0.7, Period: 3 * time.Second})
+	})
+	g := mirror(ms, func(m *simos.Machine) *simos.Process {
+		return m.Spawn("g", simos.Guest, 19, 150*simos.MB, workload.CPUBound{})
+	})
+	for _, m := range ms {
+		m.Run(30 * time.Second)
+	}
+	compareMachines(t, fast, naive, "after mixed load")
+
+	// Spawning a 1.2 GB host pushes the machine into thrashing.
+	h3 := mirror(ms, func(m *simos.Machine) *simos.Process {
+		return m.Spawn("h3", simos.Host, 0, 1200*simos.MB, &workload.DutyCycle{Usage: 0.9, Period: time.Second})
+	})
+	for _, m := range ms {
+		m.Run(20 * time.Second)
+	}
+	compareMachines(t, fast, naive, "while thrashing")
+
+	for i, m := range ms {
+		h3[i].Kill()
+		g[i].Suspend()
+		m.Run(10 * time.Second)
+	}
+	compareMachines(t, fast, naive, "guest suspended")
+
+	for i, m := range ms {
+		g[i].Resume()
+		m.Run(25 * time.Second)
+	}
+	compareMachines(t, fast, naive, "after resume")
+}
+
+// TestFastPathEquivalenceSingleRunnable exercises the cases the fast path
+// batches hardest: one CPU-bound process alone (case C), only sleepers
+// (case B), and an empty machine (case A).
+func TestFastPathEquivalenceSingleRunnable(t *testing.T) {
+	fast, naive := buildPair(t, simos.LinuxLabMachine(11))
+	ms := [2]*simos.Machine{fast, naive}
+
+	for _, m := range ms {
+		m.Run(5 * time.Second) // empty machine
+	}
+	compareMachines(t, fast, naive, "empty")
+
+	mirror(ms, func(m *simos.Machine) *simos.Process {
+		return m.Spawn("solo", simos.Guest, 0, 100*simos.MB, workload.CPUBound{})
+	})
+	for _, m := range ms {
+		m.Run(20 * time.Second)
+	}
+	compareMachines(t, fast, naive, "single cpu-bound")
+
+	// A sparse duty cycle spends most time sleeping (case B between bursts).
+	mirror(ms, func(m *simos.Machine) *simos.Process {
+		return m.Spawn("sparse", simos.Host, 0, 50*simos.MB, &workload.DutyCycle{Usage: 0.05, Period: 10 * time.Second})
+	})
+	for _, m := range ms {
+		m.Run(60 * time.Second)
+	}
+	compareMachines(t, fast, naive, "sparse duty cycle")
+}
+
+// TestFastPathEquivalenceSMP checks the fast path on a multi-CPU machine
+// and under Solaris scheduler parameters.
+func TestFastPathEquivalenceSMP(t *testing.T) {
+	cfg := simos.LinuxLabMachine(3)
+	cfg.CPUs = 2
+	fast, naive := buildPair(t, cfg)
+	ms := [2]*simos.Machine{fast, naive}
+	mirror(ms, func(m *simos.Machine) *simos.Process {
+		return m.Spawn("a", simos.Host, 0, 100*simos.MB, &workload.DutyCycle{Usage: 0.6, Period: 2 * time.Second, Jitter: 0.1})
+	})
+	mirror(ms, func(m *simos.Machine) *simos.Process {
+		return m.Spawn("b", simos.Guest, 19, 150*simos.MB, workload.CPUBound{})
+	})
+	for _, m := range ms {
+		m.Run(45 * time.Second)
+	}
+	compareMachines(t, fast, naive, "smp")
+
+	scfg := simos.SolarisMachine(9)
+	sfast, snaive := buildPair(t, scfg)
+	sms := [2]*simos.Machine{sfast, snaive}
+	mirror(sms, func(m *simos.Machine) *simos.Process {
+		return m.Spawn("x", simos.Host, 0, 80*simos.MB, &workload.DutyCycle{Usage: 0.3, Period: time.Second, Jitter: 0.4})
+	})
+	mirror(sms, func(m *simos.Machine) *simos.Process {
+		return m.Spawn("y", simos.Guest, 0, 60*simos.MB, workload.CPUBound{})
+	})
+	for _, m := range sms {
+		m.Run(45 * time.Second)
+	}
+	compareMachines(t, sfast, snaive, "solaris")
+}
+
+// TestRunZeroAlloc asserts the steady-state simulation loop does not
+// allocate: aggregates are incremental and the lottery reuses its scratch
+// weight buffer.
+func TestRunZeroAlloc(t *testing.T) {
+	m := simos.MustNewMachine(simos.LinuxLabMachine(5))
+	m.Spawn("h", simos.Host, 0, 200*simos.MB, &workload.DutyCycle{Usage: 0.5, Period: 2 * time.Second})
+	m.Spawn("g", simos.Guest, 19, 150*simos.MB, workload.CPUBound{})
+	m.Run(2 * time.Second) // warm up scratch buffers
+	allocs := testing.AllocsPerRun(5, func() {
+		m.Run(2 * time.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("Run allocated %v times per call; want 0", allocs)
+	}
+}

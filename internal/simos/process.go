@@ -101,6 +101,26 @@ type Process struct {
 	lastRun sim.Time
 }
 
+// setState is the single mutation point for a process's lifecycle state.
+// It keeps the machine's incremental aggregates — per-state counts, the
+// per-class resident-set totals, and the cached runnable set — consistent,
+// which is what makes Thrashing/ResidentMem/LiveCount O(1).
+func (p *Process) setState(next ProcState) {
+	if p.state == next {
+		return
+	}
+	m := p.m
+	m.stateCount[p.state]--
+	m.stateCount[next]++
+	if p.state == Runnable || next == Runnable {
+		m.runnableDirty = true
+	}
+	if next == Dead {
+		m.resident[p.class] -= p.rss
+	}
+	p.state = next
+}
+
 // Name returns the process name.
 func (p *Process) Name() string { return p.name }
 
@@ -131,7 +151,7 @@ func (p *Process) Suspend() {
 		return
 	}
 	p.resumeRunnable = p.state == Runnable
-	p.state = Suspended
+	p.setState(Suspended)
 }
 
 // Resume continues a suspended process.
@@ -140,9 +160,9 @@ func (p *Process) Resume() {
 		return
 	}
 	if p.resumeRunnable {
-		p.state = Runnable
+		p.setState(Runnable)
 	} else {
-		p.state = Sleeping
+		p.setState(Sleeping)
 	}
 }
 
@@ -151,7 +171,7 @@ func (p *Process) Kill() {
 	if p.state == Dead {
 		return
 	}
-	p.state = Dead
+	p.setState(Dead)
 	p.ended = p.m.Now()
 }
 
@@ -176,26 +196,26 @@ func (p *Process) advancePhase(r *rand.Rand) {
 	for i := 0; i < 16; i++ {
 		compute, sleep, ok := p.behavior.NextPhase(r)
 		if !ok {
-			p.state = Dead
+			p.setState(Dead)
 			p.ended = p.m.Now()
 			return
 		}
 		if compute > 0 {
 			p.burstLeft = compute
 			p.sleepLeft = sleep
-			p.state = Runnable
+			p.setState(Runnable)
 			return
 		}
 		if sleep > 0 {
 			p.burstLeft = 0
 			p.sleepLeft = sleep
-			p.state = Sleeping
+			p.setState(Sleeping)
 			return
 		}
 	}
 	// A behavior that returns 16 consecutive empty phases is broken;
 	// treat it as terminated rather than spinning.
-	p.state = Dead
+	p.setState(Dead)
 	p.ended = p.m.Now()
 }
 

@@ -221,6 +221,12 @@ func planMachine(cfg Config, r *rand.Rand) (contribs []contribution, outages []o
 // ambient models the background host load: a diurnal baseline from student
 // sessions plus slowly wandering noise, kept safely below Th2 so only
 // explicit spikes cause unavailability.
+//
+// The diurnal component (base + amp*shape) is constant within each hour,
+// so it is cached and recomputed only at hour boundaries; per sample only
+// the AR(1) noise advances. The cached sum is bit-identical to evaluating
+// base + amp*shape + noise afresh, because Go's left-to-right evaluation
+// groups the expression the same way.
 type ambient struct {
 	cfg   Config
 	cal   sim.Calendar
@@ -228,44 +234,70 @@ type ambient struct {
 	r     *rand.Rand
 	// baseMem is the resident memory of everyday host processes.
 	baseMem int64
+
+	// level is AmbientBase + AmbientAmp*shape for the hour containing the
+	// last refresh; nextRecalc is the first instant it must be recomputed.
+	level                  float64
+	nextRecalc             sim.Time
+	maxWeekday, maxWeekend float64
 }
 
 func newAmbient(cfg Config, r *rand.Rand) *ambient {
 	return &ambient{
-		cfg:     cfg,
-		cal:     sim.Calendar{StartWeekday: cfg.StartWeekday},
-		r:       r,
-		baseMem: 250*mb + r.Int63n(150*mb),
+		cfg:        cfg,
+		cal:        sim.Calendar{StartWeekday: cfg.StartWeekday},
+		r:          r,
+		baseMem:    250*mb + r.Int63n(150*mb),
+		maxWeekday: maxWeight(cfg.Workload.DiurnalWeekday),
+		maxWeekend: maxWeight(cfg.Workload.DiurnalWeekend),
 	}
 }
 
 const mb = int64(1) << 20
 
-// step advances the noise and returns (cpu load, host resident memory).
-func (a *ambient) step(t sim.Time) (float64, int64) {
-	w := a.cfg.Workload
-	profile := w.DiurnalWeekday
-	if a.cal.DayType(t) == sim.Weekend {
-		profile = w.DiurnalWeekend
-	}
+// ambientLoadCap clamps the ambient load; keeping it at or below Th2 is
+// what makes the testbed's calm-span fast path sound (see simulateMachine).
+const ambientLoadCap = 0.5
+
+func maxWeight(profile [24]float64) float64 {
 	maxW := 0.0
 	for _, v := range profile {
 		if v > maxW {
 			maxW = v
 		}
 	}
+	return maxW
+}
+
+// refresh recomputes the cached diurnal level when t has crossed an hour
+// boundary (day type and hour of day are both constant within an hour).
+func (a *ambient) refresh(t sim.Time) {
+	w := a.cfg.Workload
+	profile, maxW := w.DiurnalWeekday, a.maxWeekday
+	if a.cal.DayType(t) == sim.Weekend {
+		profile, maxW = w.DiurnalWeekend, a.maxWeekend
+	}
 	shape := 0.0
 	if maxW > 0 {
 		shape = profile[a.cal.HourOfDay(t)] / maxW
 	}
+	a.level = w.AmbientBase + w.AmbientAmp*shape
+	a.nextRecalc = (t/sim.Time(time.Hour) + 1) * sim.Time(time.Hour)
+}
+
+// step advances the noise and returns (cpu load, host resident memory).
+func (a *ambient) step(t sim.Time) (float64, int64) {
+	if t >= a.nextRecalc {
+		a.refresh(t)
+	}
 	// AR(1) wander.
 	a.noise = 0.97*a.noise + 0.03*a.r.NormFloat64()*0.08
-	load := w.AmbientBase + w.AmbientAmp*shape + a.noise
+	load := a.level + a.noise
 	if load < 0 {
 		load = 0
 	}
-	if load > 0.5 {
-		load = 0.5
+	if load > ambientLoadCap {
+		load = ambientLoadCap
 	}
 	return load, a.baseMem
 }

@@ -59,6 +59,7 @@ func BenchmarkMakeTable2(b *testing.B) {
 
 func BenchmarkHourlyOccurrences(b *testing.B) {
 	tr := randomTrace(6, 9000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.HourlyOccurrences(sim.Weekday)

@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI entry point: vet, build, test, race-check the concurrent packages and
+# smoke the benchmarks. Mirrors `make ci` for environments without make.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/
+go test -run '^$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|BenchmarkDetectorObserve' \
+    -benchtime 10x ./internal/testbed/ ./internal/simos/ ./internal/availability/
