@@ -23,6 +23,7 @@ race:
 # without producing stable numbers; full runs go through cmd/fgcs-bench.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|BenchmarkDetectorObserve' -benchtime 10x ./internal/testbed/ ./internal/simos/ ./internal/availability/
+	$(GO) test -run '^$$' -bench 'BenchmarkRunShardedFleet|BenchmarkWriteBinary|BenchmarkReadBinary|BenchmarkStreamAnalyzer|BenchmarkEvaluateHistoryWindow' -benchtime 1x ./internal/testbed/ ./internal/trace/ ./internal/predict/
 
 # Full core benchmarks, written to BENCH_core.json.
 bench:

@@ -8,13 +8,25 @@
 //	fgcs-analyze -trace trace.json
 //	fgcs-analyze -report fig6
 //	fgcs-analyze                     # simulate the default testbed inline
+//	fgcs-analyze -shards shards/     # stream binary shard files
+//
+// -trace accepts JSON or binary codec files (detected by content). -shards
+// streams a directory of shard files written by fgcs-testbed -shard-dir
+// through the one-pass analyzer: memory stays bounded however large the
+// fleet is, so the table2/fig6/fig7 reports scale to fleets that could
+// never be loaded whole. The summary and acf reports need the full trace
+// in memory and are not available in streaming mode.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/sim"
@@ -28,25 +40,57 @@ func main() {
 	log.SetPrefix("fgcs-analyze: ")
 
 	var (
-		traceFile = flag.String("trace", "", "trace JSON file (empty = simulate the default testbed)")
+		traceFile = flag.String("trace", "", "trace file, JSON or binary (empty = simulate the default testbed)")
+		shardDir  = flag.String("shards", "", "directory of binary shard files to stream (bounded memory)")
 		report    = flag.String("report", "all", "report: table2, fig6, fig7, summary, acf, all")
 	)
 	flag.Parse()
+
+	switch *report {
+	case "all", "table2", "fig6", "fig7", "summary", "acf":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown report %q\n", *report)
+		flag.Usage()
+		os.Exit(2)
+	}
+	want := func(name string) bool { return *report == "all" || *report == name }
+
+	if *shardDir != "" {
+		if *traceFile != "" {
+			log.Fatal("-trace and -shards are mutually exclusive")
+		}
+		if *report == "summary" || *report == "acf" {
+			log.Fatalf("report %q needs the full trace in memory; not available with -shards", *report)
+		}
+		a, err := streamShards(*shardDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if want("table2") {
+			printTable2(a.Table2())
+		}
+		if want("fig6") {
+			printFigure6(a.IntervalECDF(sim.Weekday), a.IntervalECDF(sim.Weekend))
+		}
+		if want("fig7") {
+			printFigure7(a.HourlyOccurrences(sim.Weekday), a.HourlyOccurrences(sim.Weekend))
+		}
+		return
+	}
 
 	tr, err := loadTrace(*traceFile)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	want := func(name string) bool { return *report == "all" || *report == name }
 	if want("table2") {
-		printTable2(tr)
+		printTable2(tr.MakeTable2())
 	}
 	if want("fig6") {
-		printFigure6(tr)
+		printFigure6(tr.IntervalECDF(sim.Weekday), tr.IntervalECDF(sim.Weekend))
 	}
 	if want("fig7") {
-		printFigure7(tr)
+		printFigure7(tr.HourlyOccurrences(sim.Weekday), tr.HourlyOccurrences(sim.Weekend))
 	}
 	if want("summary") {
 		fmt.Println("Dependability summary (extension; not in the paper)")
@@ -55,13 +99,43 @@ func main() {
 	if want("acf") {
 		printPeriodicity(tr)
 	}
-	switch *report {
-	case "all", "table2", "fig6", "fig7", "summary", "acf":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown report %q\n", *report)
-		flag.Usage()
-		os.Exit(2)
+}
+
+// streamShards merges a directory of binary shard files and drains them
+// through the one-pass analyzer without materializing a trace.
+func streamShards(dir string) (*trace.StreamAnalyzer, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.fgcb"))
+	if err != nil {
+		return nil, err
 	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no *.fgcb shard files in %s", dir)
+	}
+	sort.Strings(paths)
+	decs := make([]*trace.Decoder, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		dec, err := trace.NewDecoder(bufio.NewReader(f))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		decs = append(decs, dec)
+	}
+	mr, err := trace.NewMergeReader(decs...)
+	if err != nil {
+		return nil, err
+	}
+	a := trace.NewStreamAnalyzerFor(mr.Header())
+	if err := a.Drain(mr.Next); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "streamed %d events from %d shards (%.0f machine-days)\n",
+		a.Events(), len(paths), a.MachineDays())
+	return a, nil
 }
 
 func loadTrace(path string) (*trace.Trace, error) {
@@ -74,11 +148,15 @@ func loadTrace(path string) (*trace.Trace, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return trace.ReadJSON(f)
+	br := bufio.NewReader(f)
+	// The binary codec opens with its magic; anything else is JSON.
+	if head, err := br.Peek(4); err == nil && bytes.Equal(head, []byte("FGCB")) {
+		return trace.ReadBinary(br)
+	}
+	return trace.ReadJSON(br)
 }
 
-func printTable2(tr *trace.Trace) {
-	tb := tr.MakeTable2()
+func printTable2(tb trace.Table2) {
 	fmt.Println("Table 2 — resource unavailability due to different causes (per machine)")
 	fmt.Printf("%-12s %-12s %-18s %-18s %-10s\n", "", "total", "cpu contention", "mem contention", "URR")
 	fmt.Printf("%-12s %4d-%-7d %6d-%-11d %6d-%-11d %3d-%-6d\n", "frequency",
@@ -92,11 +170,9 @@ func printTable2(tr *trace.Trace) {
 	fmt.Printf("URR from reboots (outage < %v): %.0f%%  (paper: ~90%%)\n\n", tb.RebootCutoff, tb.RebootShare*100)
 }
 
-func printFigure6(tr *trace.Trace) {
+func printFigure6(wd, we *stats.ECDF) {
 	fmt.Println("Figure 6 — cumulative distribution of availability-interval lengths")
 	fmt.Printf("%-8s %10s %10s\n", "hours", "weekday", "weekend")
-	wd := tr.IntervalECDF(sim.Weekday)
-	we := tr.IntervalECDF(sim.Weekend)
 	grid := []float64{1.0 / 12, 0.5, 1, 2, 3, 4, 5, 6, 8, 10, 12}
 	for _, h := range grid {
 		fmt.Printf("%-8.2f %9.1f%% %9.1f%%\n", h, wd.At(h)*100, we.At(h)*100)
@@ -115,12 +191,14 @@ func printPeriodicity(tr *trace.Trace) {
 	fmt.Println()
 }
 
-func printFigure7(tr *trace.Trace) {
-	for _, dt := range []sim.DayType{sim.Weekday, sim.Weekend} {
-		sums := tr.HourlyOccurrences(dt)
-		fmt.Printf("Figure 7 — unavailability occurrences per hour (%ss)\n", dt)
+func printFigure7(weekday, weekend []stats.Summary) {
+	for _, day := range []struct {
+		dt   sim.DayType
+		sums []stats.Summary
+	}{{sim.Weekday, weekday}, {sim.Weekend, weekend}} {
+		fmt.Printf("Figure 7 — unavailability occurrences per hour (%ss)\n", day.dt)
 		fmt.Printf("%-6s %8s %8s %8s  %s\n", "hour", "mean", "min", "max", "")
-		for h, s := range sums {
+		for h, s := range day.sums {
 			bar := strings.Repeat("#", int(s.Mean+0.5))
 			// The paper labels hours 1..24 where hour i covers (i-1, i).
 			fmt.Printf("%-6d %8.1f %8.0f %8.0f  %s\n", h+1, s.Mean, s.Min, s.Max, bar)

@@ -1,18 +1,27 @@
 // Command fgcs-bench runs the repository's core performance benchmarks —
-// the full 20x92 testbed simulation, one machine-week, and the contention
-// figures behind the Th1/Th2 calibration — and writes the results as JSON
-// (default BENCH_core.json). Each entry carries ns/op and allocs/op plus,
-// where meaningful, simulation throughput in machine-days per wall second,
-// the seed revision's baseline and the resulting speedup, so performance
-// regressions show up as a single diffable file.
+// the full 20x92 testbed simulation, one machine-week, the sharded fleet
+// pipeline at 500 machines x 365 days, the binary trace codec, predictor
+// evaluation, and the contention figures behind the Th1/Th2 calibration —
+// and writes the results as JSON (default BENCH_core.json). Each entry
+// carries ns/op and allocs/op plus, where meaningful, throughput
+// (machine-days/s, MB/s, windows/s), the recorded baseline and the
+// resulting speedup, so performance regressions show up as a single
+// diffable file.
+//
+// The tool also acts as a regression gate: benchmarks with a recorded
+// expectation fail the run (nonzero exit, after the JSON is written) when
+// they come in more than -max-regress slower than expected.
 //
 // Usage:
 //
 //	fgcs-bench
 //	fgcs-bench -out BENCH_core.json
+//	fgcs-bench -max-regress 0.5      # tolerate 50% slowdown
+//	fgcs-bench -max-regress 0        # disable the gate
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,19 +32,39 @@ import (
 	"time"
 
 	"repro/internal/contention"
+	"repro/internal/predict"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 )
 
 // Baselines measured at the seed revision on the reference container
 // (single-core linux/amd64, go1.24) with the same configurations used
-// below; they are the denominators of the speedup column.
+// below; they are the denominators of the speedup column. The predict and
+// codec baselines were measured immediately before their optimizations
+// landed (the codec baseline is the JSON reader on the same trace, the
+// predict baseline the per-day binary-search evaluation path).
 const (
 	baselineFullTestbedNs   = 663587048.0
 	baselineMachineWeekNs   = 3299257.0
 	baselineFigure1aNs      = 874304206.0
 	baselineFigure2Ns       = 527774191.0
 	baselineMachineDaysPerS = 2773.0
+	baselinePredictEvalNs   = 33736025.0
 )
+
+// Expected ns/op recorded on the reference container at the fleet-pipeline
+// revision; the -max-regress gate measures against these. Entries are
+// deliberately conservative (slower than typical) so scheduler noise does
+// not trip the gate.
+var expectedNs = map[string]float64{
+	"testbed/full":         160e6,
+	"testbed/machine-week": 0.55e6,
+	"testbed/fleet":        14e9,
+	"trace/codec":          2.6e6,
+	"predict/eval":         11e6,
+	"contention/fig1a":     170e6,
+	"contention/fig2":      140e6,
+}
 
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -49,6 +78,13 @@ type benchResult struct {
 	// MachineDaysPerS is simulation throughput (testbed benchmarks only).
 	MachineDaysPerS         float64 `json:"machine_days_per_s,omitempty"`
 	BaselineMachineDaysPerS float64 `json:"baseline_machine_days_per_s,omitempty"`
+	// MBPerS is codec throughput (encode+decode, payload bytes).
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// WindowsPerS is prediction-evaluation throughput.
+	WindowsPerS float64 `json:"windows_per_s,omitempty"`
+	// PeakHeapMB is the peak live heap sampled at shard boundaries
+	// (sharded fleet benchmark only).
+	PeakHeapMB float64 `json:"peak_heap_mb,omitempty"`
 }
 
 type report struct {
@@ -67,10 +103,33 @@ type report struct {
 	} `json:"alone_cache"`
 }
 
+// fleetSink counts streamed events and samples the live heap at shard
+// boundaries, where the previous shard's buffers are still reachable — the
+// honest peak of the bounded-memory pipeline.
+type fleetSink struct {
+	events   int
+	peakHeap uint64
+}
+
+func (s *fleetSink) Machine(_ trace.MachineID, events []trace.Event) error {
+	s.events += len(events)
+	return nil
+}
+
+func (s *fleetSink) ShardDone(trace.MachineID, int) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > s.peakHeap {
+		s.peakHeap = ms.HeapAlloc
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fgcs-bench: ")
 	out := flag.String("out", "BENCH_core.json", "output JSON file (empty = stdout only)")
+	maxRegress := flag.Float64("max-regress", 0.20, "fail when a benchmark runs this fraction slower than its recorded expectation (0 disables)")
 	flag.Parse()
 
 	rep := report{
@@ -110,6 +169,76 @@ func main() {
 		}
 	})
 	rep.Benchmarks = append(rep.Benchmarks, week)
+
+	// Sharded fleet pipeline: 500 machines x 365 days streamed through the
+	// bounded-memory runner. The in-memory Run path would hold the whole
+	// fleet's events at once; here peak heap is bounded by the shard size.
+	fleetCfg := testbed.DefaultConfig()
+	fleetCfg.Machines = 500
+	fleetCfg.Days = 365
+	var fleetDays float64
+	var fleetPeak uint64
+	fleet, fres := run("testbed/fleet", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		fleetDays, fleetPeak = 0, 0
+		for i := 0; i < b.N; i++ {
+			sink := &fleetSink{}
+			if err := testbed.RunSharded(fleetCfg, 50, sink); err != nil {
+				b.Fatal(err)
+			}
+			if sink.peakHeap > fleetPeak {
+				fleetPeak = sink.peakHeap
+			}
+			fleetDays += float64(fleetCfg.Machines) * float64(fleetCfg.Days)
+		}
+	})
+	fleet.MachineDaysPerS = fleetDays / fres.T.Seconds()
+	fleet.PeakHeapMB = float64(fleetPeak) / (1 << 20)
+	rep.Benchmarks = append(rep.Benchmarks, fleet)
+
+	// Binary trace codec: encode + decode the paper-scale trace.
+	codecTr, err := testbed.Run(tbCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var codecBytes int
+	codec, cres := run("trace/codec", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		codecBytes = 0
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := codecTr.WriteBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+			codecBytes += buf.Len()
+			if _, err := trace.ReadBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	codec.MBPerS = float64(codecBytes) / (1 << 20) / cres.T.Seconds()
+	rep.Benchmarks = append(rep.Benchmarks, codec)
+
+	// Predictor evaluation on the paper-scale trace: the HistoryWindow pair
+	// the paper proposes, against the recorded pre-optimization baseline.
+	var evalWindows float64
+	eval, eres := run("predict/eval", baselinePredictEvalNs, func(b *testing.B) {
+		b.ReportAllocs()
+		evalWindows = 0
+		cfg := predict.EvalConfig{TrainDays: 28, Window: 3 * time.Hour}
+		for i := 0; i < b.N; i++ {
+			preds := []predict.Predictor{&predict.HistoryWindow{}, &predict.HistoryWindow{Trim: 0.1}}
+			ev, err := predict.Evaluate(codecTr, preds, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range ev.Scores {
+				evalWindows += float64(s.Windows)
+			}
+		}
+	})
+	eval.WindowsPerS = evalWindows / eres.T.Seconds()
+	rep.Benchmarks = append(rep.Benchmarks, eval)
 
 	// Contention figures, with the same reduced windows the root
 	// benchmarks use so the baselines are comparable. The calibration
@@ -160,6 +289,26 @@ func main() {
 		log.Printf("wrote %s", *out)
 	}
 	os.Stdout.Write(buf)
+
+	if *maxRegress > 0 {
+		failed := false
+		for _, b := range rep.Benchmarks {
+			exp, ok := expectedNs[b.Name]
+			if !ok || exp <= 0 {
+				continue
+			}
+			limit := exp * (1 + *maxRegress)
+			if b.NsPerOp > limit {
+				failed = true
+				fmt.Fprintf(os.Stderr,
+					"REGRESSION: %s ran at %.0f ns/op, %.0f%% over the expected %.0f ns/op (limit %.0f)\n",
+					b.Name, b.NsPerOp, 100*(b.NsPerOp/exp-1), exp, limit)
+			}
+		}
+		if failed {
+			log.Fatalf("benchmark regression above %.0f%%; see lines above (rerun with -max-regress 0 to bypass)", *maxRegress*100)
+		}
+	}
 }
 
 // run executes one benchmark closure via testing.Benchmark and folds the

@@ -1,18 +1,27 @@
 // Command fgcs-testbed simulates the paper's production testbed — 20
 // student-lab machines traced for three months — and writes the resulting
-// unavailability trace to disk (JSON with full metadata, or CSV events).
+// unavailability trace to disk (JSON with full metadata, CSV events, or the
+// compact binary codec).
 //
 // Usage:
 //
 //	fgcs-testbed -out trace.json
 //	fgcs-testbed -machines 10 -days 30 -format csv -out trace.csv
+//	fgcs-testbed -machines 1000 -days 365 -shard-dir shards/ -shard-size 100
+//
+// With -shard-dir the fleet is simulated in bounded-memory shards, each
+// written as one binary codec file (shard-0000.fgcb, shard-0001.fgcb, ...);
+// fgcs-analyze -shards reads them back as a merged stream. Peak memory then
+// scales with -shard-size, not the fleet, so arbitrarily large testbeds fit.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/testbed"
 )
@@ -22,13 +31,15 @@ func main() {
 	log.SetPrefix("fgcs-testbed: ")
 
 	var (
-		machines = flag.Int("machines", 20, "number of lab machines")
-		days     = flag.Int("days", 92, "traced days")
-		seed     = flag.Int64("seed", 2005, "simulation seed")
-		spread   = flag.Float64("spread", 0, "machine heterogeneity (0 = paper-like homogeneous lab)")
-		profile  = flag.String("profile", "lab", "workload profile: lab (paper) or enterprise (paper's future work)")
-		format   = flag.String("format", "json", "output format: json or csv")
-		out      = flag.String("out", "-", "output file (- = stdout)")
+		machines  = flag.Int("machines", 20, "number of lab machines")
+		days      = flag.Int("days", 92, "traced days")
+		seed      = flag.Int64("seed", 2005, "simulation seed")
+		spread    = flag.Float64("spread", 0, "machine heterogeneity (0 = paper-like homogeneous lab)")
+		profile   = flag.String("profile", "lab", "workload profile: lab (paper) or enterprise (paper's future work)")
+		format    = flag.String("format", "json", "output format: json, csv or binary")
+		out       = flag.String("out", "-", "output file (- = stdout)")
+		shardDir  = flag.String("shard-dir", "", "write binary shard files into this directory instead of a single trace")
+		shardSize = flag.Int("shard-size", 100, "machines per shard with -shard-dir")
 	)
 	flag.Parse()
 
@@ -44,6 +55,13 @@ func main() {
 		log.Fatalf("unknown profile %q (want lab or enterprise)", *profile)
 	}
 	cfg.Workload.MachineRateSpread = *spread
+
+	if *shardDir != "" {
+		if err := runSharded(cfg, *shardDir, *shardSize); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	tr, err := testbed.Run(cfg)
 	if err != nil {
@@ -69,12 +87,33 @@ func main() {
 		err = tr.WriteJSON(w)
 	case "csv":
 		err = tr.WriteCSV(w)
+	case "binary":
+		err = tr.WriteBinary(w)
 	default:
-		log.Fatalf("unknown format %q (want json or csv)", *format)
+		log.Fatalf("unknown format %q (want json, csv or binary)", *format)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d events over %.0f machine-days\n",
 		len(tr.Events), tr.MachineDays())
+}
+
+// runSharded streams the fleet through the bounded-memory runner into one
+// binary codec file per shard.
+func runSharded(cfg testbed.Config, dir string, shardSize int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	shards := 0
+	sink := testbed.NewEncoderSink(cfg, func(shard int) (io.WriteCloser, error) {
+		shards++
+		return os.Create(filepath.Join(dir, fmt.Sprintf("shard-%04d.fgcb", shard)))
+	})
+	if err := testbed.RunSharded(cfg, shardSize, sink); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d shard files to %s (%d machines x %d days, %d per shard)\n",
+		shards, dir, cfg.Machines, cfg.Days, shardSize)
+	return nil
 }

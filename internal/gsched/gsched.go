@@ -244,6 +244,12 @@ type Result struct {
 // The same (trace, cfg) pair presents an identical job stream to every
 // policy, so results are directly comparable.
 func Simulate(tr *trace.Trace, policy Policy, cfg Config) (Result, error) {
+	return simulateIndexed(tr, tr.BuildIndex(), policy, cfg)
+}
+
+// simulateIndexed is Simulate against a prebuilt index, so Compare can
+// amortize one index build across every policy.
+func simulateIndexed(tr *trace.Trace, ix *trace.Index, policy Policy, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -252,7 +258,6 @@ func Simulate(tr *trace.Trace, policy Policy, cfg Config) (Result, error) {
 	if testStart >= tr.Span.End {
 		return Result{}, fmt.Errorf("gsched: training period consumes the trace span")
 	}
-	ix := tr.BuildIndex()
 	jobRNG := sim.NewSource(cfg.Seed).Stream("gsched/jobs")
 
 	// Pre-draw the job stream so every policy sees the same jobs.
@@ -339,11 +344,13 @@ func runJob(ix *trace.Index, policy Policy, cfg Config, machines int, spanEnd si
 	}
 }
 
-// Compare runs every policy against the same trace and job stream.
+// Compare runs every policy against the same trace and job stream. The
+// ground-truth index is built once and shared across policies.
 func Compare(tr *trace.Trace, policies []Policy, cfg Config) ([]Result, error) {
+	ix := tr.BuildIndex()
 	var out []Result
 	for _, p := range policies {
-		r, err := Simulate(tr, p, cfg)
+		r, err := simulateIndexed(tr, ix, p, cfg)
 		if err != nil {
 			return nil, err
 		}

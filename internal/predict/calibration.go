@@ -94,7 +94,7 @@ func Calibration(tr *trace.Trace, p Predictor, cfg EvalConfig, bins int) ([]Cali
 			}
 			sums[bin] += prob
 			counts[bin]++
-			if ix.OverlapExists(id, w) {
+			if ix.AnyOverlap(id, w) {
 				hits[bin]++
 			}
 		}

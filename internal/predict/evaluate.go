@@ -95,12 +95,15 @@ func Evaluate(tr *trace.Trace, preds []Predictor, cfg EvalConfig) (*Evaluation, 
 		machines = cfg.MaxMachines
 	}
 
-	// Collect per-window truths once.
+	// Collect per-window truths once, through the indexed query layer: the
+	// hourly count matrix for hour-aligned windows, the O(log n) index
+	// otherwise and for overlap tests.
 	type sample struct {
 		m trace.MachineID
 		w sim.Window
 	}
 	ix := tr.BuildIndex()
+	hc := tr.BuildHourlyCounts()
 	var samples []sample
 	var truthCounts []float64
 	var truthFail []bool
@@ -109,8 +112,8 @@ func Evaluate(tr *trace.Trace, preds []Predictor, cfg EvalConfig) (*Evaluation, 
 		for start := cut; start+cfg.Window <= tr.Span.End; start += cfg.Stride {
 			w := sim.Window{Start: start, End: start + cfg.Window}
 			samples = append(samples, sample{id, w})
-			truthCounts = append(truthCounts, float64(ix.CountInWindow(id, w)))
-			truthFail = append(truthFail, ix.OverlapExists(id, w))
+			truthCounts = append(truthCounts, float64(groundTruthCount(hc, ix, id, w)))
+			truthFail = append(truthFail, ix.AnyOverlap(id, w))
 		}
 	}
 	if len(samples) == 0 {
@@ -135,6 +138,15 @@ func Evaluate(tr *trace.Trace, preds []Predictor, cfg EvalConfig) (*Evaluation, 
 		})
 	}
 	return ev, nil
+}
+
+// groundTruthCount answers a window count from the hourly matrix when it
+// can, falling back to the index binary search; both count the same events.
+func groundTruthCount(hc *trace.HourlyCounts, ix *trace.Index, m trace.MachineID, w sim.Window) int {
+	if n, ok := hc.CountInWindow(m, w); ok {
+		return n
+	}
+	return ix.CountInWindow(m, w)
 }
 
 // Format renders the comparison table.

@@ -42,8 +42,9 @@ func LearningCurve(tr *trace.Trace, mk func() Predictor, trainDays []int, cfg Ev
 		return nil, fmt.Errorf("predict: longest training prefix (%d days) consumes the trace", maxTrain)
 	}
 
-	// Shared test windows and truths.
+	// Shared test windows and truths, through the indexed query layer.
 	ix := tr.BuildIndex()
+	hc := tr.BuildHourlyCounts()
 	type sample struct {
 		m trace.MachineID
 		w sim.Window
@@ -60,8 +61,8 @@ func LearningCurve(tr *trace.Trace, mk func() Predictor, trainDays []int, cfg Ev
 		for start := testStart; start+cfg.Window <= tr.Span.End; start += cfg.Stride {
 			w := sim.Window{Start: start, End: start + cfg.Window}
 			samples = append(samples, sample{id, w})
-			truthCounts = append(truthCounts, float64(ix.CountInWindow(id, w)))
-			truthFail = append(truthFail, ix.OverlapExists(id, w))
+			truthCounts = append(truthCounts, float64(groundTruthCount(hc, ix, id, w)))
+			truthFail = append(truthFail, ix.AnyOverlap(id, w))
 		}
 	}
 	if len(samples) == 0 {

@@ -1,0 +1,92 @@
+package predict
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestHourlyMatrixScoresIdentical pins the acceptance criterion for the
+// hourly-count acceleration: predictor scores with the matrix enabled must
+// be bit-identical to the pre-matrix per-day binary-search path, for both
+// the default hour-aligned config and a deliberately misaligned one that
+// forces the index fallback.
+func TestHourlyMatrixScoresIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testbed simulation")
+	}
+	tr := testbedTrace(t)
+	configs := []EvalConfig{
+		{TrainDays: 28, Window: 3 * time.Hour},
+		{TrainDays: 28, Window: 3 * time.Hour, Stride: 90 * time.Minute},
+		{TrainDays: 21, Window: 100 * time.Minute},
+	}
+	for _, cfg := range configs {
+		fast, err := Evaluate(tr, []Predictor{&HistoryWindow{}, &HistoryWindow{Trim: 0.1}, &LastDay{}, &EWMADaily{}}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := Evaluate(tr, []Predictor{
+			&HistoryWindow{DisableHourlyMatrix: true},
+			&HistoryWindow{Trim: 0.1, DisableHourlyMatrix: true},
+			&LastDay{},
+			&EWMADaily{},
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fast.Scores {
+			// Names differ only via struct config, not output; compare values.
+			f, s := fast.Scores[i], slow.Scores[i]
+			if f.MAE != s.MAE || f.RMSE != s.RMSE || f.Brier != s.Brier || f.Windows != s.Windows {
+				t.Errorf("config %+v predictor %s: matrix scores %+v, linear scores %+v",
+					cfg, f.Name, f, s)
+			}
+		}
+	}
+}
+
+// TestHourlyMatrixPredictionsIdentical compares raw predictions, not just
+// aggregate scores, across aligned and misaligned windows.
+func TestHourlyMatrixPredictionsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testbed simulation")
+	}
+	tr := testbedTrace(t)
+	cut := tr.Span.End - 14*24*time.Hour
+	hist := tr.Before(cut)
+
+	fast := &HistoryWindow{}
+	slow := &HistoryWindow{DisableHourlyMatrix: true}
+	fast.Train(hist)
+	slow.Train(hist)
+
+	windows := []sim.Window{
+		{Start: cut, End: cut + 3*time.Hour},                                  // hour-aligned
+		{Start: cut + 30*time.Minute, End: cut + 2*time.Hour},                 // misaligned start
+		{Start: cut + 5*time.Hour, End: cut + 5*time.Hour + 100*time.Minute},  // misaligned end
+		{Start: cut + sim.Day, End: cut + sim.Day + 24*time.Hour},             // day-long
+		{Start: cut + 7*time.Hour + time.Nanosecond, End: cut + 10*time.Hour}, // off by a tick
+	}
+	for m := 0; m < tr.Machines; m++ {
+		id := trace.MachineID(m)
+		for _, w := range windows {
+			pf := fast.PredictCount(id, w)
+			ps := slow.PredictCount(id, w)
+			if pf != ps {
+				t.Fatalf("machine %d window %v: matrix %v, linear %v", m, w, pf, ps)
+			}
+			sf := fast.PredictSurvival(id, w)
+			ss := slow.PredictSurvival(id, w)
+			if sf != ss {
+				t.Fatalf("machine %d window %v survival: matrix %v, linear %v", m, w, sf, ss)
+			}
+		}
+	}
+	if !reflect.DeepEqual(fast.Name(), slow.Name()) {
+		t.Errorf("names diverged: %q vs %q", fast.Name(), slow.Name())
+	}
+}

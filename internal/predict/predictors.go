@@ -39,9 +39,23 @@ type HistoryWindow struct {
 	PoolMachines bool
 	// MinHistoryDays guards against predicting from almost no data.
 	MinHistoryDays int
+	// DisableHourlyMatrix forces every history count through the O(log n)
+	// index search instead of the hourly count matrix. The matrix and the
+	// search agree exactly (the equivalence tests pin this); the switch
+	// exists so benchmarks can measure the unaccelerated path.
+	DisableHourlyMatrix bool
 
 	tr *trace.Trace
 	ix *trace.Index
+	hc *trace.HourlyCounts
+
+	// Last historyCounts query, memoized: evaluation asks PredictCount and
+	// PredictSurvival for the same (machine, window) back to back, and the
+	// history scan is the expensive part of both. Not goroutine-safe.
+	memoM      trace.MachineID
+	memoW      sim.Window
+	memoCounts []float64
+	memoValid  bool
 }
 
 // Name implements Predictor.
@@ -56,6 +70,20 @@ func (h *HistoryWindow) Name() string {
 func (h *HistoryWindow) Train(tr *trace.Trace) {
 	h.tr = tr
 	h.ix = tr.BuildIndex()
+	h.hc = tr.BuildHourlyCounts()
+	h.memoValid = false
+}
+
+// count answers one history-window count, through the hourly matrix when
+// the window is hour-aligned and through the index otherwise. Both paths
+// count exactly the same events.
+func (h *HistoryWindow) count(m trace.MachineID, w sim.Window) int {
+	if !h.DisableHourlyMatrix && h.hc != nil {
+		if n, ok := h.hc.CountInWindow(m, w); ok {
+			return n
+		}
+	}
+	return h.ix.CountInWindow(m, w)
 }
 
 // historyCounts returns the event counts in the clock window matching w on
@@ -64,12 +92,15 @@ func (h *HistoryWindow) historyCounts(m trace.MachineID, w sim.Window) []float64
 	if h.tr == nil {
 		return nil
 	}
+	if h.memoValid && h.memoM == m && h.memoW == w {
+		return h.memoCounts
+	}
 	cal := h.tr.Calendar
 	dayType := cal.DayType(w.Start)
 	offStart := cal.TimeOfDay(w.Start)
 	dur := w.Duration()
 
-	var counts []float64
+	counts := h.memoCounts[:0]
 	firstDay := cal.DayIndex(h.tr.Span.Start)
 	lastFull := cal.DayIndex(h.tr.Span.End - 1)
 	for d := firstDay; d <= lastFull; d++ {
@@ -88,12 +119,13 @@ func (h *HistoryWindow) historyCounts(m trace.MachineID, w sim.Window) []float64
 		}
 		if h.PoolMachines {
 			for mm := 0; mm < h.tr.Machines; mm++ {
-				counts = append(counts, float64(h.ix.CountInWindow(trace.MachineID(mm), hw)))
+				counts = append(counts, float64(h.count(trace.MachineID(mm), hw)))
 			}
 		} else {
-			counts = append(counts, float64(h.ix.CountInWindow(m, hw)))
+			counts = append(counts, float64(h.count(m, hw)))
 		}
 	}
+	h.memoM, h.memoW, h.memoCounts, h.memoValid = m, w, counts, true
 	return counts
 }
 
@@ -161,6 +193,7 @@ func (g *GlobalRate) PredictSurvival(m trace.MachineID, w sim.Window) float64 {
 type LastDay struct {
 	tr *trace.Trace
 	ix *trace.Index
+	hc *trace.HourlyCounts
 }
 
 // Name implements Predictor.
@@ -170,6 +203,7 @@ func (l *LastDay) Name() string { return "last-day" }
 func (l *LastDay) Train(tr *trace.Trace) {
 	l.tr = tr
 	l.ix = tr.BuildIndex()
+	l.hc = tr.BuildHourlyCounts()
 }
 
 // PredictCount implements Predictor.
@@ -180,6 +214,9 @@ func (l *LastDay) PredictCount(m trace.MachineID, w sim.Window) float64 {
 	prev := sim.Window{Start: w.Start - sim.Day, End: w.End - sim.Day}
 	if prev.Start < l.tr.Span.Start {
 		return 0
+	}
+	if n, ok := l.hc.CountInWindow(m, prev); ok {
+		return float64(n)
 	}
 	return float64(l.ix.CountInWindow(m, prev))
 }
@@ -200,6 +237,7 @@ type EWMADaily struct {
 
 	tr *trace.Trace
 	ix *trace.Index
+	hc *trace.HourlyCounts
 }
 
 // Name implements Predictor.
@@ -209,6 +247,7 @@ func (e *EWMADaily) Name() string { return "ewma-daily" }
 func (e *EWMADaily) Train(tr *trace.Trace) {
 	e.tr = tr
 	e.ix = tr.BuildIndex()
+	e.hc = tr.BuildHourlyCounts()
 }
 
 // PredictCount implements Predictor.
@@ -232,7 +271,11 @@ func (e *EWMADaily) PredictCount(m trace.MachineID, w sim.Window) float64 {
 		if hw.Start < e.tr.Span.Start || hw.End > e.tr.Span.End || hw.End > w.Start {
 			continue
 		}
-		acc.Add(float64(e.ix.CountInWindow(m, hw)))
+		if n, ok := e.hc.CountInWindow(m, hw); ok {
+			acc.Add(float64(n))
+		} else {
+			acc.Add(float64(e.ix.CountInWindow(m, hw)))
+		}
 	}
 	if !acc.Initialized() {
 		return 0

@@ -40,6 +40,26 @@ func BenchmarkRunFullTestbed(b *testing.B) {
 	b.ReportMetric(machineDays/b.Elapsed().Seconds(), "machine-days/s")
 }
 
+// BenchmarkRunShardedFleet exercises the bounded-memory fleet pipeline on a
+// CI-sized fleet: sharded simulation streamed straight into the one-pass
+// analyzer. The full 500x365 fleet benchmark lives in cmd/fgcs-bench; this
+// one is small enough for -benchtime 1x smoke runs.
+func BenchmarkRunShardedFleet(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Machines = 50
+	cfg.Days = 30
+	b.ReportAllocs()
+	var machineDays float64
+	for i := 0; i < b.N; i++ {
+		sink := NewAnalyzerSink(cfg)
+		if err := RunSharded(cfg, 10, sink); err != nil {
+			b.Fatal(err)
+		}
+		machineDays += sink.Finish().MachineDays()
+	}
+	b.ReportMetric(machineDays/b.Elapsed().Seconds(), "machine-days/s")
+}
+
 // BenchmarkPlanMachine isolates workload generation from sampling.
 func BenchmarkPlanMachine(b *testing.B) {
 	cfg := DefaultConfig()

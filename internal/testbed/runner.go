@@ -28,6 +28,16 @@ func Run(cfg Config) (*trace.Trace, error) {
 	return tr, err
 }
 
+// spanOf returns the observed window of a testbed run.
+func spanOf(cfg Config) sim.Window {
+	return sim.Window{Start: 0, End: sim.Time(cfg.Days) * sim.Day}
+}
+
+// calendarOf anchors the run's virtual time to weekdays.
+func calendarOf(cfg Config) sim.Calendar {
+	return sim.Calendar{StartWeekday: cfg.StartWeekday}
+}
+
 // RunWithOccupancy is Run, additionally returning each machine's
 // state-occupancy fractions.
 //
@@ -40,9 +50,7 @@ func RunWithOccupancy(cfg Config) (*trace.Trace, []Occupancy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
-	span := sim.Window{Start: 0, End: sim.Time(cfg.Days) * sim.Day}
-	cal := sim.Calendar{StartWeekday: cfg.StartWeekday}
-	tr := trace.New(span, cal, cfg.Machines)
+	tr := trace.New(spanOf(cfg), calendarOf(cfg), cfg.Machines)
 	occ := make([]Occupancy, cfg.Machines)
 	events := make([][]trace.Event, cfg.Machines)
 	errs := make([]error, cfg.Machines)

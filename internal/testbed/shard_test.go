@@ -1,0 +1,228 @@
+package testbed
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Machines = 9
+	cfg.Days = 6
+	cfg.Seed = 77
+	return cfg
+}
+
+// TestRunShardedMatchesRun pins the central sharding guarantee: for a fixed
+// seed, the streamed event sequence is byte-identical to the in-memory Run
+// path, whatever the shard size.
+func TestRunShardedMatchesRun(t *testing.T) {
+	cfg := smallConfig()
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shardSize := range []int{1, 2, 4, 7, 9, 100, 0} {
+		sink := NewCollectSink(cfg)
+		if err := RunSharded(cfg, shardSize, sink); err != nil {
+			t.Fatalf("shard size %d: %v", shardSize, err)
+		}
+		got := sink.Trace
+		if got.Span != want.Span || got.Calendar != want.Calendar || got.Machines != want.Machines {
+			t.Fatalf("shard size %d changed metadata", shardSize)
+		}
+		if len(got.Events) != len(want.Events) {
+			t.Fatalf("shard size %d: %d events, want %d", shardSize, len(got.Events), len(want.Events))
+		}
+		for i := range got.Events {
+			if got.Events[i] != want.Events[i] {
+				t.Fatalf("shard size %d: event %d = %+v, want %+v", shardSize, i, got.Events[i], want.Events[i])
+			}
+		}
+	}
+}
+
+// TestRunShardedMatchesRunFull repeats the equivalence on the paper's full
+// fixed-seed 20x92 testbed — the acceptance check that sharded streaming
+// leaves every downstream figure untouched.
+func TestRunShardedMatchesRunFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 1840 machine-day simulation")
+	}
+	want := fullTestbedTrace(t)
+	cfg := DefaultConfig()
+	sink := NewCollectSink(cfg)
+	if err := RunSharded(cfg, 7, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Trace.Events) != len(want.Events) {
+		t.Fatalf("sharded run: %d events, want %d", len(sink.Trace.Events), len(want.Events))
+	}
+	for i := range sink.Trace.Events {
+		if sink.Trace.Events[i] != want.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+// TestAnalyzerSinkEquivalence checks the one-pass pipeline end to end:
+// RunSharded -> StreamAnalyzer reproduces Table 2 and the Figure 6/7 inputs
+// computed from the in-memory trace.
+func TestAnalyzerSinkEquivalence(t *testing.T) {
+	cfg := smallConfig()
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewAnalyzerSink(cfg)
+	if err := RunSharded(cfg, 4, sink); err != nil {
+		t.Fatal(err)
+	}
+	a := sink.Finish()
+	if got, want := a.Table2(), tr.MakeTable2(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Table2 mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	for _, dt := range []sim.DayType{sim.Weekday, sim.Weekend} {
+		if !reflect.DeepEqual(a.IntervalECDF(dt), tr.IntervalECDF(dt)) {
+			t.Errorf("IntervalECDF(%v) mismatch", dt)
+		}
+		if got, want := a.HourlyOccurrences(dt), tr.HourlyOccurrences(dt); !reflect.DeepEqual(got, want) {
+			t.Errorf("HourlyOccurrences(%v) mismatch", dt)
+		}
+	}
+}
+
+// TestAnalyzerSinkEquivalenceFull is satellite coverage for the acceptance
+// criterion on the full fixed-seed 20x92 trace.
+func TestAnalyzerSinkEquivalenceFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 1840 machine-day simulation")
+	}
+	tr := fullTestbedTrace(t)
+	cfg := DefaultConfig()
+	sink := NewAnalyzerSink(cfg)
+	if err := RunSharded(cfg, 5, sink); err != nil {
+		t.Fatal(err)
+	}
+	a := sink.Finish()
+	if got, want := a.Table2(), tr.MakeTable2(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Table2 mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	for _, dt := range []sim.DayType{sim.Weekday, sim.Weekend} {
+		if !reflect.DeepEqual(a.IntervalECDF(dt), tr.IntervalECDF(dt)) {
+			t.Errorf("IntervalECDF(%v) mismatch", dt)
+		}
+		if got, want := a.HourlyOccurrences(dt), tr.HourlyOccurrences(dt); !reflect.DeepEqual(got, want) {
+			t.Errorf("HourlyOccurrences(%v) mismatch", dt)
+		}
+	}
+}
+
+// memShard is an in-memory io.WriteCloser standing in for a shard file.
+type memShard struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (m *memShard) Close() error {
+	m.closed = true
+	return nil
+}
+
+// TestEncoderSinkRoundTrip writes a sharded run through the binary codec
+// and merges the shards back, expecting the exact Run event stream.
+func TestEncoderSinkRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*memShard
+	sink := NewEncoderSink(cfg, func(int) (io.WriteCloser, error) {
+		s := &memShard{}
+		shards = append(shards, s)
+		return s, nil
+	})
+	if err := RunSharded(cfg, 4, sink); err != nil {
+		t.Fatal(err)
+	}
+	if wantShards := (cfg.Machines + 3) / 4; len(shards) != wantShards {
+		t.Fatalf("wrote %d shards, want %d", len(shards), wantShards)
+	}
+	var decs []*trace.Decoder
+	for i, s := range shards {
+		if !s.closed {
+			t.Fatalf("shard %d left open", i)
+		}
+		dec, err := trace.NewDecoder(bytes.NewReader(s.Bytes()))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		decs = append(decs, dec)
+	}
+	mr, err := trace.NewMergeReader(decs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []trace.Event
+	for {
+		e, err := mr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != len(want.Events) {
+		t.Fatalf("merged %d events, want %d", len(got), len(want.Events))
+	}
+	for i := range got {
+		if got[i] != want.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want.Events[i])
+		}
+	}
+}
+
+// errSink fails on a chosen call, checking error propagation out of
+// RunSharded.
+type errSink struct {
+	failOn   int
+	calls    int
+	sentinel error
+}
+
+func (s *errSink) Machine(trace.MachineID, []trace.Event) error {
+	s.calls++
+	if s.calls == s.failOn {
+		return s.sentinel
+	}
+	return nil
+}
+
+func (s *errSink) ShardDone(trace.MachineID, int) error { return nil }
+
+func TestRunShardedPropagatesSinkError(t *testing.T) {
+	cfg := smallConfig()
+	sentinel := fmt.Errorf("sink full")
+	err := RunSharded(cfg, 3, &errSink{failOn: 2, sentinel: sentinel})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("RunSharded returned %v, want the sink's error", err)
+	}
+}
+
+func TestRunShardedRejectsBadConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Machines = -1 // zero means "default", negative is invalid
+	if err := RunSharded(cfg, 4, NewCollectSink(smallConfig())); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -112,7 +112,14 @@ func (t *Trace) MakeTable2() Table2 {
 	return tb
 }
 
-func pct(part, total int) float64 { return float64(part) / float64(total) }
+// pct is the share of part in total, with an empty total reading as 0%
+// rather than NaN so zero-event machines produce clean Table 2 rows.
+func pct(part, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}
 
 func widen(r Range, v int) Range {
 	if v < r.Min {

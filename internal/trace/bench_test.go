@@ -105,3 +105,55 @@ func BenchmarkWriteCSV(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkWriteBinary(b *testing.B) {
+	tr := randomTrace(10, 9000)
+	tr.Sort()
+	var size int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+		size = buf.Len()
+	}
+	b.SetBytes(int64(size))
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	tr := randomTrace(11, 9000)
+	tr.Sort()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamAnalyzer measures the one-pass analyzer over an
+// already-decoded event stream (the analysis cost with codec I/O excluded).
+func BenchmarkStreamAnalyzer(b *testing.B) {
+	tr := randomTrace(12, 9000)
+	tr.Sort()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewStreamAnalyzer(tr.Span, tr.Calendar, tr.Machines)
+		for _, e := range tr.Events {
+			if err := a.Observe(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		a.Finish()
+	}
+}

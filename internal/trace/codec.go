@@ -1,0 +1,388 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/availability"
+	"repro/internal/sim"
+)
+
+// Binary trace codec: a compact streaming encoding for fleet-scale traces.
+//
+// A file is a header followed by a flat sequence of event records and ends
+// at EOF (no trailer), so encoders can stream events as they are produced
+// and decoders can consume arbitrarily large files in constant memory.
+//
+//	magic   "FGCB" (4 bytes)
+//	version uvarint (currently 1)
+//	header  zigzag(span.Start) zigzag(span.End) zigzag(startWeekday)
+//	        uvarint(machines)
+//	event   uvarint(machine)
+//	        zigzag(start - previous start of the same machine)
+//	        uvarint(end - start)
+//	        byte(state)
+//	        8 bytes little-endian float64 bits (avail CPU)
+//	        zigzag(avail mem)
+//
+// Delta-encoding start times per machine keeps records small when events
+// are machine-clustered and time-sorted — the order shard files are
+// written in — while still accepting any event order.
+
+// codecMagic identifies a binary trace stream.
+var codecMagic = [4]byte{'F', 'G', 'C', 'B'}
+
+// codecVersion is the current wire version.
+const codecVersion = 1
+
+// Header carries the trace metadata that precedes the event stream.
+type Header struct {
+	Span     sim.Window
+	Calendar sim.Calendar
+	Machines int
+}
+
+// Encoder writes a binary trace stream. Create with NewEncoder, call Write
+// per event, and Close (or Flush) when done. Memory use is constant in the
+// number of events: only the per-machine previous start times are retained.
+type Encoder struct {
+	w    *bufio.Writer
+	prev map[MachineID]sim.Time
+	buf  []byte
+	err  error
+}
+
+// NewEncoder writes the magic and header to w and returns a streaming
+// encoder for the event records.
+func NewEncoder(w io.Writer, h Header) (*Encoder, error) {
+	e := &Encoder{
+		w:    bufio.NewWriter(w),
+		prev: make(map[MachineID]sim.Time),
+		buf:  make([]byte, 0, 64),
+	}
+	if _, err := e.w.Write(codecMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing codec magic: %w", err)
+	}
+	e.buf = binary.AppendUvarint(e.buf[:0], codecVersion)
+	e.buf = binary.AppendVarint(e.buf, int64(h.Span.Start))
+	e.buf = binary.AppendVarint(e.buf, int64(h.Span.End))
+	e.buf = binary.AppendVarint(e.buf, int64(h.Calendar.StartWeekday))
+	e.buf = binary.AppendUvarint(e.buf, uint64(h.Machines))
+	if _, err := e.w.Write(e.buf); err != nil {
+		return nil, fmt.Errorf("trace: writing codec header: %w", err)
+	}
+	return e, nil
+}
+
+// Write appends one event record. Events may arrive in any order; encoding
+// is densest when each machine's events are time-sorted.
+func (e *Encoder) Write(ev Event) error {
+	if e.err != nil {
+		return e.err
+	}
+	if err := ev.Validate(); err != nil {
+		e.err = err
+		return err
+	}
+	if math.IsNaN(ev.AvailCPU) || math.IsInf(ev.AvailCPU, 0) {
+		e.err = fmt.Errorf("trace: non-finite avail cpu %v on machine %d", ev.AvailCPU, ev.Machine)
+		return e.err
+	}
+	b := e.buf[:0]
+	b = binary.AppendUvarint(b, uint64(ev.Machine))
+	b = binary.AppendVarint(b, int64(ev.Start-e.prev[ev.Machine]))
+	b = binary.AppendUvarint(b, uint64(ev.End-ev.Start))
+	b = append(b, byte(ev.State))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(ev.AvailCPU))
+	b = binary.AppendVarint(b, ev.AvailMem)
+	e.buf = b
+	e.prev[ev.Machine] = ev.Start
+	if _, err := e.w.Write(b); err != nil {
+		e.err = fmt.Errorf("trace: writing event record: %w", err)
+		return e.err
+	}
+	return nil
+}
+
+// Flush forces buffered records to the underlying writer.
+func (e *Encoder) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	if err := e.w.Flush(); err != nil {
+		e.err = err
+		return err
+	}
+	return nil
+}
+
+// Close flushes the stream. The encoder is unusable afterwards.
+func (e *Encoder) Close() error {
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	e.err = fmt.Errorf("trace: encoder closed")
+	return nil
+}
+
+// Decoder reads a binary trace stream event by event in constant memory.
+type Decoder struct {
+	r      *bufio.Reader
+	header Header
+	prev   map[MachineID]sim.Time
+}
+
+// NewDecoder reads and validates the magic and header from r.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	d := &Decoder{r: bufio.NewReader(r), prev: make(map[MachineID]sim.Time)}
+	var magic [4]byte
+	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading codec magic: %w", err)
+	}
+	if magic != codecMagic {
+		return nil, fmt.Errorf("trace: bad codec magic %q", magic[:])
+	}
+	version, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading codec version: %w", err)
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("trace: unsupported codec version %d", version)
+	}
+	spanStart, err := binary.ReadVarint(d.r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading span start: %w", err)
+	}
+	spanEnd, err := binary.ReadVarint(d.r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading span end: %w", err)
+	}
+	weekday, err := binary.ReadVarint(d.r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading start weekday: %w", err)
+	}
+	machines, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading machine count: %w", err)
+	}
+	if machines > math.MaxInt32 {
+		return nil, fmt.Errorf("trace: implausible machine count %d", machines)
+	}
+	d.header = Header{
+		Span:     sim.Window{Start: sim.Time(spanStart), End: sim.Time(spanEnd)},
+		Calendar: sim.Calendar{StartWeekday: int(weekday)},
+		Machines: int(machines),
+	}
+	if d.header.Span.End < d.header.Span.Start {
+		return nil, fmt.Errorf("trace: inverted span %v in codec header", d.header.Span)
+	}
+	return d, nil
+}
+
+// Header returns the stream's trace metadata.
+func (d *Decoder) Header() Header { return d.header }
+
+// Next returns the next event, or io.EOF when the stream ends cleanly at a
+// record boundary. Any other error means a corrupt or truncated stream.
+func (d *Decoder) Next() (Event, error) {
+	machine, err := binary.ReadUvarint(d.r)
+	if err == io.EOF {
+		return Event{}, io.EOF
+	}
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: reading event machine: %w", err)
+	}
+	if machine > math.MaxInt32 {
+		return Event{}, fmt.Errorf("trace: implausible machine id %d", machine)
+	}
+	m := MachineID(machine)
+	if d.header.Machines > 0 && int(m) >= d.header.Machines {
+		return Event{}, fmt.Errorf("trace: event machine %d outside 0..%d", m, d.header.Machines-1)
+	}
+	delta, err := binary.ReadVarint(d.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: reading event start: %w", unexpectedEOF(err))
+	}
+	dur, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: reading event duration: %w", unexpectedEOF(err))
+	}
+	if dur > math.MaxInt64 {
+		return Event{}, fmt.Errorf("trace: implausible event duration %d", dur)
+	}
+	state, err := d.r.ReadByte()
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: reading event state: %w", unexpectedEOF(err))
+	}
+	var bits [8]byte
+	if _, err := io.ReadFull(d.r, bits[:]); err != nil {
+		return Event{}, fmt.Errorf("trace: reading avail cpu: %w", unexpectedEOF(err))
+	}
+	mem, err := binary.ReadVarint(d.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: reading avail mem: %w", unexpectedEOF(err))
+	}
+	start := d.prev[m] + sim.Time(delta)
+	ev := Event{
+		Machine:  m,
+		Start:    start,
+		End:      start + sim.Time(dur),
+		State:    availability.State(state),
+		AvailCPU: math.Float64frombits(binary.LittleEndian.Uint64(bits[:])),
+		AvailMem: mem,
+	}
+	if math.IsNaN(ev.AvailCPU) || math.IsInf(ev.AvailCPU, 0) {
+		// NaN would also defeat Event equality checks downstream, so a
+		// corrupt float is a decode error, not a valid event.
+		return Event{}, fmt.Errorf("trace: non-finite avail cpu on machine %d", m)
+	}
+	if ev.End < ev.Start { // duration addition overflowed
+		return Event{}, fmt.Errorf("trace: event time overflow at start %v", ev.Start)
+	}
+	if err := ev.Validate(); err != nil {
+		return Event{}, err
+	}
+	d.prev[m] = ev.Start
+	return ev, nil
+}
+
+// unexpectedEOF converts a mid-record EOF into io.ErrUnexpectedEOF so
+// truncation is distinguishable from a clean end of stream.
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// WriteBinary writes the whole trace in the binary codec.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	enc, err := NewEncoder(w, Header{Span: t.Span, Calendar: t.Calendar, Machines: t.Machines})
+	if err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if err := enc.Write(e); err != nil {
+			return err
+		}
+	}
+	return enc.Close()
+}
+
+// ReadBinary parses a trace written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	dec, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	h := dec.Header()
+	t := &Trace{Span: h.Span, Calendar: h.Calendar, Machines: h.Machines}
+	for {
+		e, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MergeReader yields the union of several binary trace streams — typically
+// one per testbed shard — in (machine, start, end) order, in constant
+// memory. Every input must already be sorted that way (shard files written
+// by the sharded runner are) and all headers must agree.
+type MergeReader struct {
+	decs   []*Decoder
+	heads  []Event
+	live   []bool
+	header Header
+	lastOK bool
+	last   Event
+}
+
+// NewMergeReader validates header agreement and primes one event per input.
+func NewMergeReader(decs ...*Decoder) (*MergeReader, error) {
+	if len(decs) == 0 {
+		return nil, fmt.Errorf("trace: nothing to merge")
+	}
+	mr := &MergeReader{
+		decs:   decs,
+		heads:  make([]Event, len(decs)),
+		live:   make([]bool, len(decs)),
+		header: decs[0].Header(),
+	}
+	for i, d := range decs {
+		if h := d.Header(); h != mr.header {
+			return nil, fmt.Errorf("trace: shard %d header %+v disagrees with shard 0 %+v", i, h, mr.header)
+		}
+		if err := mr.advance(i); err != nil {
+			return nil, err
+		}
+	}
+	return mr, nil
+}
+
+// Header returns the shared trace metadata.
+func (mr *MergeReader) Header() Header { return mr.header }
+
+// advance pulls the next event from input i.
+func (mr *MergeReader) advance(i int) error {
+	ev, err := mr.decs[i].Next()
+	if err == io.EOF {
+		mr.live[i] = false
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	mr.heads[i] = ev
+	mr.live[i] = true
+	return nil
+}
+
+// eventLess orders events by (machine, start, end) — the Trace.Sort order.
+func eventLess(a, b Event) bool {
+	if a.Machine != b.Machine {
+		return a.Machine < b.Machine
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.End < b.End
+}
+
+// Next returns the globally next event, or io.EOF when all inputs are
+// drained. It verifies the inputs really are sorted and returns an error on
+// the first out-of-order event.
+func (mr *MergeReader) Next() (Event, error) {
+	best := -1
+	for i, ok := range mr.live {
+		if !ok {
+			continue
+		}
+		if best < 0 || eventLess(mr.heads[i], mr.heads[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Event{}, io.EOF
+	}
+	ev := mr.heads[best]
+	if mr.lastOK && eventLess(ev, mr.last) {
+		return Event{}, fmt.Errorf("trace: merge input %d out of order: event %+v after %+v", best, ev, mr.last)
+	}
+	mr.last, mr.lastOK = ev, true
+	if err := mr.advance(best); err != nil {
+		return Event{}, err
+	}
+	return ev, nil
+}

@@ -46,6 +46,45 @@ func FuzzReadCSVEvents(f *testing.F) {
 	})
 }
 
+// FuzzReadBinary checks the binary decoder never panics on hostile input
+// and that accepted traces validate and round-trip bit-exactly.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	if err := func() error {
+		tr := randomTrace(3, 30)
+		tr.Sort()
+		return tr.WriteBinary(&buf)
+	}(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("FGCB"))
+	f.Add([]byte("FGCB\x01\x00\x00\x00\x00"))
+	f.Add(buf.Bytes()[:buf.Len()/2])
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		tr, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadBinary accepted an invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := tr.WriteBinary(&out); err != nil {
+			t.Fatalf("re-encoding failed: %v", err)
+		}
+		tr2, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-parsing own output failed: %v", err)
+		}
+		if !tracesEqual(tr, tr2) {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}
+
 // FuzzReadJSON checks the JSON trace reader never panics and that accepted
 // traces validate and round-trip.
 func FuzzReadJSON(f *testing.F) {

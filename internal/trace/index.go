@@ -28,7 +28,12 @@ func (t *Trace) BuildIndex() *Index {
 		ix.byStart[e.Machine] = append(ix.byStart[e.Machine], e)
 	}
 	for m, evs := range ix.byStart {
-		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].Start != evs[j].Start {
+				return evs[i].Start < evs[j].Start
+			}
+			return evs[i].End < evs[j].End
+		})
 		prefix := make([]sim.Time, len(evs))
 		ends := make([]sim.Time, len(evs))
 		var max sim.Time
@@ -102,6 +107,23 @@ func (ix *Index) OverlapExists(m MachineID, w sim.Window) bool {
 	}
 	// Among them, some event overlaps iff the largest End exceeds w.Start.
 	return ix.maxEnd[m][k-1] > w.Start
+}
+
+// AnyOverlap is OverlapExists under the name Trace uses, so indexed and
+// linear ground-truth call sites read the same.
+func (ix *Index) AnyOverlap(m MachineID, w sim.Window) bool {
+	return ix.OverlapExists(m, w)
+}
+
+// NextEventAfter returns the first event of machine m starting at or after
+// ts, and whether one exists — the O(log n) form of Trace.NextEventAfter.
+func (ix *Index) NextEventAfter(m MachineID, ts sim.Time) (Event, bool) {
+	evs := ix.byStart[m]
+	k := sort.Search(len(evs), func(i int) bool { return evs[i].Start >= ts })
+	if k == len(evs) {
+		return Event{}, false
+	}
+	return evs[k], true
 }
 
 // LastEndBefore returns the latest event end time of machine m at or

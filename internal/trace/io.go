@@ -40,26 +40,34 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSVEvents parses events written by WriteCSV.
+// ReadCSVEvents parses events written by WriteCSV. Rows are consumed
+// incrementally — one record buffer is reused across rows — so ingest
+// memory is the returned slice, not a second copy of the whole file.
 func ReadCSVEvents(r io.Reader) ([]Event, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
-	rows, err := cr.ReadAll()
-	if err != nil {
+	cr.ReuseRecord = true
+	if _, err := cr.Read(); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: empty CSV (missing header)")
+		}
 		return nil, fmt.Errorf("trace: reading CSV: %w", err)
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("trace: empty CSV (missing header)")
-	}
-	var events []Event
-	for i, row := range rows[1:] {
-		e, err := parseCSVRow(row)
+	events := make([]Event, 0, 1024)
+	for row := 2; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return events, nil
+		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: CSV row %d: %w", i+2, err)
+			return nil, fmt.Errorf("trace: reading CSV: %w", err)
+		}
+		e, err := parseCSVRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d: %w", row, err)
 		}
 		events = append(events, e)
 	}
-	return events, nil
 }
 
 func parseCSVRow(row []string) (Event, error) {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -180,6 +181,30 @@ func TestCountByCauseAndTable2(t *testing.T) {
 	// Percentages: machine 0 CPU 50%, machine 1 CPU 100%.
 	if tb.CPUPct[0] != 0.5 || tb.CPUPct[1] != 1.0 {
 		t.Errorf("CPUPct = %+v", tb.CPUPct)
+	}
+}
+
+// TestMakeTable2NoFailures guards the pct helper: a machine with zero
+// events must report 0% shares, not NaN from a 0/0 division.
+func TestMakeTable2NoFailures(t *testing.T) {
+	tr := New(span(10*sim.Day), sim.Calendar{}, 3)
+	tb := tr.MakeTable2()
+	for name, r := range map[string][2]float64{
+		"CPUPct":    tb.CPUPct,
+		"MemoryPct": tb.MemoryPct,
+		"URRPct":    tb.URRPct,
+	} {
+		for _, v := range r {
+			if math.IsNaN(v) {
+				t.Errorf("%s = %v contains NaN for an event-free trace", name, r)
+			}
+		}
+	}
+	if tb.Total != (Range{0, 0}) {
+		t.Errorf("Total range = %+v, want {0 0}", tb.Total)
+	}
+	if got := pct(0, 0); got != 0 {
+		t.Errorf("pct(0, 0) = %v, want 0", got)
 	}
 }
 

@@ -9,3 +9,7 @@ go test ./...
 go test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/
 go test -run '^$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|BenchmarkDetectorObserve' \
     -benchtime 10x ./internal/testbed/ ./internal/simos/ ./internal/availability/
+# Fleet-pipeline smoke: sharded runner + streaming analyzer, binary codec,
+# and the accelerated predictor evaluation, one iteration each.
+go test -run '^$' -bench 'BenchmarkRunShardedFleet|BenchmarkWriteBinary|BenchmarkReadBinary|BenchmarkStreamAnalyzer|BenchmarkEvaluateHistoryWindow' \
+    -benchtime 1x ./internal/testbed/ ./internal/trace/ ./internal/predict/
