@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench ci
+.PHONY: all vet build test race chaos-smoke bench-smoke bench ci
 
 all: ci
 
@@ -14,10 +14,16 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with concurrent hot paths: the iShare network
-# layer, the parallel testbed runner and the contention harness (whose
-# calibration cache is shared across worker goroutines).
+# layer, the parallel testbed runner, the contention harness (whose
+# calibration cache is shared across worker goroutines), the streaming
+# trace codec and the chaos fault injector.
 race:
-	$(GO) test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/
+	$(GO) test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/ ./internal/trace/ ./internal/chaos/
+
+# Deterministic-seed chaos smoke: scripted partition + refusal burst over a
+# live registry and nodes, asserting exactly-once completion.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosSmoke' -count 1 ./internal/chaos/
 
 # A short benchmark pass that exercises the performance-critical paths
 # without producing stable numbers; full runs go through cmd/fgcs-bench.
@@ -29,4 +35,4 @@ bench-smoke:
 bench:
 	$(GO) run ./cmd/fgcs-bench -out BENCH_core.json
 
-ci: vet build test race bench-smoke
+ci: vet build test race chaos-smoke bench-smoke

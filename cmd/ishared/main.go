@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,8 @@ import (
 
 	"repro/internal/ishare"
 )
+
+var ctx = context.Background()
 
 func main() {
 	log.SetFlags(0)
@@ -32,14 +35,17 @@ func main() {
 		name     = flag.String("name", "node-1", "node name (node mode)")
 		load     = flag.Float64("load", 0.1, "initial synthetic host load (node mode)")
 		ttl      = flag.Duration("ttl", 2*time.Second, "registry heartbeat TTL")
+		deadline = flag.Duration("io-deadline", 10*time.Second, "per-exchange server I/O deadline")
+		maxMsg   = flag.Int64("max-message-bytes", 1<<20, "per-exchange message size bound")
 	)
 	flag.Parse()
+	lim := ishare.Limits{MaxMessageBytes: *maxMsg, IODeadline: *deadline}
 
 	switch *mode {
 	case "registry":
-		runRegistry(*addr, *ttl)
+		runRegistry(*addr, *ttl, lim)
 	case "node":
-		runNode(*addr, *registry, *name, *load)
+		runNode(*addr, *registry, *name, *load, lim)
 	case "demo":
 		runDemo(*ttl)
 	default:
@@ -55,8 +61,8 @@ func waitForInterrupt() {
 	<-ch
 }
 
-func runRegistry(addr string, ttl time.Duration) {
-	reg, err := ishare.NewRegistry(addr, ttl)
+func runRegistry(addr string, ttl time.Duration, lim ishare.Limits) {
+	reg, err := ishare.NewRegistryWithLimits(addr, ttl, lim)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,11 +71,12 @@ func runRegistry(addr string, ttl time.Duration) {
 	waitForInterrupt()
 }
 
-func runNode(addr, registry, name string, load float64) {
+func runNode(addr, registry, name string, load float64, lim ishare.Limits) {
 	node, err := ishare.NewNode(addr, ishare.NodeConfig{
 		Name:         name,
 		RegistryAddr: registry,
 		HostLoad:     load,
+		Limits:       lim,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -104,13 +111,13 @@ func runDemo(ttl time.Duration) {
 	}
 
 	client := &ishare.Client{RegistryAddr: reg.Addr()}
-	published, err := client.List()
+	published, err := client.List(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\ndiscovered resources:")
 	for _, n := range published {
-		st, err := client.Info(n.Addr)
+		st, err := client.Info(ctx, n.Addr)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -120,7 +127,7 @@ func runDemo(ttl time.Duration) {
 
 	fmt.Println("\nbroker placement: submitting through the availability-aware broker:")
 	broker := ishare.NewBroker(reg.Addr())
-	bres, bnode, err := broker.SubmitBest(ishare.JobSpec{Name: "brokered-job", CPUSeconds: 300, RSSMB: 96})
+	bres, bnode, err := broker.SubmitBest(ctx, ishare.JobSpec{Name: "brokered-job", CPUSeconds: 300, RSSMB: 96})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -129,7 +136,7 @@ func runDemo(ttl time.Duration) {
 
 	fmt.Println("\nsubmitting a 10-minute guest job to each node:")
 	for i, n := range nodes {
-		res, err := client.Submit(n.Addr(), ishare.JobSpec{Name: "demo-job", CPUSeconds: 600, RSSMB: 128})
+		res, err := client.Submit(ctx, n.Addr(), ishare.JobSpec{Name: "demo-job", CPUSeconds: 600, RSSMB: 128})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -140,12 +147,21 @@ func runDemo(ttl time.Duration) {
 	fmt.Println("\nrevoking lab-1 (its owner pulls the machine)...")
 	nodes[0].Close()
 	time.Sleep(ttl + 500*time.Millisecond)
-	published, err = client.List()
+	published, err = client.List(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, n := range published {
 		fmt.Printf("  %-8s alive=%v\n", n.Name, n.Alive)
 	}
+
+	fmt.Println("\nsubmitting through the broker again: placement must avoid the revoked node")
+	bres, bnode, err = broker.SubmitBest(ctx, ishare.JobSpec{Name: "post-urr-job", CPUSeconds: 180, RSSMB: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := broker.Metrics()
+	fmt.Printf("  broker chose %s: outcome=%s (failovers=%d resubmissions=%d stale-serves=%d)\n",
+		bnode.Name, bres.Outcome, m.Failovers, m.Resubmissions, m.StaleServes)
 	fmt.Println("\ndemo complete: lab-1's service termination is the URR (S5) observable")
 }

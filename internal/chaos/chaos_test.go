@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ishare"
+)
+
+var ctx = context.Background()
+
+// The injector must satisfy the ishare dial seam.
+var _ ishare.Dialer = (*Injector)(nil)
+
+func startRegistry(t *testing.T, ttl time.Duration) *ishare.Registry {
+	t.Helper()
+	r, err := ishare.NewRegistry("127.0.0.1:0", ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func startNode(t *testing.T, cfg ishare.NodeConfig) *ishare.Node {
+	t.Helper()
+	n, err := ishare.NewNode("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func fastClient(registryAddr string, d ishare.Dialer) *ishare.Client {
+	return &ishare.Client{
+		RegistryAddr: registryAddr,
+		Timeout:      time.Second,
+		Dialer:       d,
+		Retry: ishare.RetryPolicy{
+			MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Seed: 1,
+		},
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	reg := startRegistry(t, time.Minute)
+	startNode(t, ishare.NodeConfig{Name: "n1", RegistryAddr: reg.Addr(), HostLoad: 0.05})
+
+	inj := New(1)
+	c := fastClient(reg.Addr(), inj)
+	if _, err := c.List(ctx); err != nil {
+		t.Fatalf("list before partition: %v", err)
+	}
+
+	inj.Partition(reg.Addr())
+	if _, err := c.List(ctx); err == nil {
+		t.Fatal("list through a partition succeeded")
+	}
+	if n := inj.Counters().Refused; n < 3 {
+		t.Errorf("refused = %d, want every retry refused", n)
+	}
+
+	inj.Heal(reg.Addr())
+	if _, err := c.List(ctx); err != nil {
+		t.Fatalf("list after heal: %v", err)
+	}
+}
+
+func TestClientRetriesThroughTransientRefusals(t *testing.T) {
+	reg := startRegistry(t, time.Minute)
+	inj := New(1)
+	// The first two dials are refused; the retry budget (3 attempts)
+	// must absorb them.
+	inj.Add(Fault{Name: "flaky", Addr: reg.Addr(), Refuse: true, Times: 2})
+	c := fastClient(reg.Addr(), inj)
+	if _, err := c.List(ctx); err != nil {
+		t.Fatalf("list should survive 2 refusals under a 3-attempt budget: %v", err)
+	}
+	if n := inj.Counters().Refused; n != 2 {
+		t.Errorf("refused = %d, want exactly 2", n)
+	}
+}
+
+func TestCorruptedResponseIsRejectedThenRetried(t *testing.T) {
+	reg := startRegistry(t, time.Minute)
+	inj := New(1)
+	inj.Add(Fault{Name: "corrupt", Addr: reg.Addr(), CorruptProb: 1, Times: 1})
+	c := fastClient(reg.Addr(), inj)
+	if _, err := c.List(ctx); err != nil {
+		t.Fatalf("list should survive one corrupted response: %v", err)
+	}
+	if n := inj.Counters().Corrupted; n != 1 {
+		t.Errorf("corrupted = %d, want 1", n)
+	}
+}
+
+func TestDialLatencyInjection(t *testing.T) {
+	reg := startRegistry(t, time.Minute)
+	inj := New(1)
+	inj.Add(Fault{Name: "slow", Addr: reg.Addr(), DialLatency: 30 * time.Millisecond, Times: 1})
+	c := fastClient(reg.Addr(), inj)
+	start := time.Now()
+	if _, err := c.List(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("list took %v, want >= injected 30ms", elapsed)
+	}
+	if n := inj.Counters().Delayed; n != 1 {
+		t.Errorf("delayed = %d, want 1", n)
+	}
+}
+
+func TestDialLatencyBeyondTimeoutFails(t *testing.T) {
+	reg := startRegistry(t, time.Minute)
+	inj := New(1)
+	inj.Add(Fault{Name: "stuck", Addr: reg.Addr(), DialLatency: 200 * time.Millisecond})
+	c := fastClient(reg.Addr(), inj)
+	c.Timeout = 50 * time.Millisecond
+	c.Retry.MaxAttempts = 1
+	if _, err := c.List(ctx); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("latency above the dial timeout should time out, got %v", err)
+	}
+}
+
+func TestMidStreamDropTriggersDedupSafeRetry(t *testing.T) {
+	// The response to the first submission is dropped mid-stream after
+	// the node already ran the job. The broker's same-node retry must
+	// recover the cached result instead of running the job again.
+	reg := startRegistry(t, time.Minute)
+	node := startNode(t, ishare.NodeConfig{Name: "n1", RegistryAddr: reg.Addr(), HostLoad: 0.05})
+
+	inj := New(1)
+	// Skip the broker's Info exchange with the node; drop the response to
+	// the next connection — the submission itself.
+	inj.Add(Fault{Name: "drop-submit", Addr: node.Addr(), DropAfterBytes: 8, Times: 1, Skip: 1})
+	b := &ishare.Broker{Client: fastClient(reg.Addr(), inj)}
+
+	res, onNode, err := b.SubmitBest(ctx, ishare.JobSpec{Name: "dropped", ID: "drop-1", CPUSeconds: 90, RSSMB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("job did not complete: %+v", res)
+	}
+	if onNode.Name != "n1" {
+		t.Fatalf("completed on %s, want n1", onNode.Name)
+	}
+	if !res.Deduped {
+		t.Errorf("recovered result should be the node's cached one: %+v", res)
+	}
+	if got := node.ExecutionCounts()["drop-1"]; got != 1 {
+		t.Errorf("job executed %d times, want exactly once", got)
+	}
+	if n := inj.Counters().Dropped; n != 1 {
+		t.Errorf("dropped = %d, want 1", n)
+	}
+	if m := b.Metrics(); m.SameNodeRetries == 0 {
+		t.Errorf("metrics = %+v, want a same-node retry", m)
+	}
+}
+
+func TestFaultToggleByName(t *testing.T) {
+	reg := startRegistry(t, time.Minute)
+	inj := New(1)
+	inj.Add(Fault{Name: "gate", Addr: reg.Addr(), Refuse: true})
+	inj.SetEnabled("gate", false)
+	c := fastClient(reg.Addr(), inj)
+	if _, err := c.List(ctx); err != nil {
+		t.Fatalf("disabled fault still firing: %v", err)
+	}
+	inj.SetEnabled("gate", true)
+	if _, err := c.List(ctx); err == nil {
+		t.Fatal("re-enabled fault not firing")
+	}
+}
+
+func TestSeededRefusalSequenceIsReproducible(t *testing.T) {
+	run := func(seed int64) []bool {
+		inj := New(seed)
+		inj.Add(Fault{Name: "p", RefuseProb: 0.5})
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = inj.plan("x").refuse
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 32-call sequences")
+	}
+}

@@ -1,22 +1,95 @@
 package ishare
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Broker is the client-side placement component: it discovers published
 // resources, queries their availability states, and submits guest jobs to
 // the most available one (S1 before S2; failure states and dead nodes are
 // never used). It realizes, at the systems level, the same decision the
-// gsched policies make over traces.
+// gsched policies make over traces — and, because FGCS resources fail by
+// design, it also owns recovery: failover to the next candidate when a
+// submission dies, resubmission of killed jobs from their last virtual
+// checkpoint, and placement from a last-known-good node list when the
+// registry itself is unreachable.
 type Broker struct {
 	Client *Client
+	// CacheTTL bounds how stale the last-known-good node list may be and
+	// still serve placements during a registry partition (default 30 s).
+	CacheTTL time.Duration
+	// MaxRounds caps placement rounds per job: one round is one ranked
+	// pass over the candidates (default 8).
+	MaxRounds int
+	// RoundDelay paces consecutive rounds (default 50 ms).
+	RoundDelay time.Duration
+
+	jobSeq atomic.Int64
+
+	mu      sync.Mutex
+	cache   []NodeInfo
+	cacheAt time.Time
+	m       BrokerMetrics
+}
+
+// BrokerMetrics counts the broker's recovery actions. All fields are
+// cumulative since construction.
+type BrokerMetrics struct {
+	// StaleServes counts candidate lists served from the cached node list
+	// because the registry was unreachable.
+	StaleServes int
+	// RegistryErrors counts discovery attempts that failed outright
+	// (registry unreachable and no usable cache).
+	RegistryErrors int
+	// InfoFailures counts alive-listed nodes whose Info query failed.
+	InfoFailures int
+	// Failovers counts submissions moved to the next candidate after a
+	// transport failure.
+	Failovers int
+	// SameNodeRetries counts dedup-safe immediate retries of a submission
+	// on the same node after a dropped response.
+	SameNodeRetries int
+	// Resubmissions counts jobs resubmitted from a checkpoint after being
+	// killed (URR/UEC) or timing out.
+	Resubmissions int
 }
 
 // NewBroker builds a broker over a registry.
 func NewBroker(registryAddr string) *Broker {
 	return &Broker{Client: &Client{RegistryAddr: registryAddr}}
+}
+
+// Metrics returns a snapshot of the broker's recovery counters.
+func (b *Broker) Metrics() BrokerMetrics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m
+}
+
+func (b *Broker) cacheTTL() time.Duration {
+	if b.CacheTTL <= 0 {
+		return 30 * time.Second
+	}
+	return b.CacheTTL
+}
+
+func (b *Broker) maxRounds() int {
+	if b.MaxRounds <= 0 {
+		return 8
+	}
+	return b.MaxRounds
+}
+
+func (b *Broker) roundDelay() time.Duration {
+	if b.RoundDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return b.RoundDelay
 }
 
 // Candidate is a scored placement option.
@@ -25,6 +98,9 @@ type Candidate struct {
 	State string
 	// Score orders candidates: lower is better (0 = S1, 1 = S2).
 	Score int
+	// Stale is true when this candidate came from the broker's cached
+	// node list because the registry was unreachable.
+	Stale bool
 }
 
 // rankState maps a node's reported state to a placement score; states that
@@ -40,23 +116,52 @@ func rankState(state string) int {
 	}
 }
 
-// Candidates returns the usable nodes ordered best-first.
-func (b *Broker) Candidates() ([]Candidate, error) {
-	nodes, err := b.Client.AliveNodes()
+// aliveNodes discovers placement targets, degrading to the cached
+// last-known-good list (within CacheTTL) when the registry is partitioned.
+func (b *Broker) aliveNodes(ctx context.Context) ([]NodeInfo, bool, error) {
+	nodes, err := b.Client.AliveNodes(ctx)
+	if err == nil {
+		b.mu.Lock()
+		b.cache = append(b.cache[:0:0], nodes...)
+		b.cacheAt = time.Now()
+		b.mu.Unlock()
+		return nodes, false, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.cache) > 0 && time.Since(b.cacheAt) <= b.cacheTTL() {
+		b.m.StaleServes++
+		return append([]NodeInfo(nil), b.cache...), true, nil
+	}
+	b.m.RegistryErrors++
+	return nil, false, err
+}
+
+// Candidates returns the usable nodes ordered best-first. During a
+// registry partition it falls back to the last-known-good node list, so a
+// broker keeps placing jobs on previously discovered resources until the
+// cache exceeds CacheTTL.
+func (b *Broker) Candidates(ctx context.Context) ([]Candidate, error) {
+	nodes, stale, err := b.aliveNodes(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var out []Candidate
 	for _, n := range nodes {
-		st, err := b.Client.Info(n.Addr)
+		st, err := b.Client.Info(ctx, n.Addr)
 		if err != nil {
-			continue // unreachable despite a fresh heartbeat: skip
+			// Unreachable despite a fresh heartbeat (or a stale cache
+			// entry that died during the partition): skip.
+			b.mu.Lock()
+			b.m.InfoFailures++
+			b.mu.Unlock()
+			continue
 		}
 		score := rankState(st.State)
 		if score < 0 {
 			continue
 		}
-		out = append(out, Candidate{Node: n, State: st.State, Score: score})
+		out = append(out, Candidate{Node: n, State: st.State, Score: score, Stale: stale})
 	}
 	// Stable selection sort by (score, name); candidate lists are small.
 	for i := 0; i < len(out); i++ {
@@ -72,25 +177,81 @@ func (b *Broker) Candidates() ([]Candidate, error) {
 	return out, nil
 }
 
-// SubmitBest places the job on the best available node, falling through to
-// the next candidate if a submission fails outright. It returns the result
-// and the node that ran the job.
-func (b *Broker) SubmitBest(job JobSpec) (*JobResult, NodeInfo, error) {
-	cands, err := b.Candidates()
-	if err != nil {
-		return nil, NodeInfo{}, err
+// submitOnce sends one submission, with a single dedup-safe retry on the
+// same node: a transport error leaves the job's fate unknown (the node may
+// have finished it and lost the response mid-stream), and because nodes
+// cache completed job IDs the retry either returns that cached result or
+// establishes that the node is gone.
+func (b *Broker) submitOnce(ctx context.Context, addr string, job JobSpec) (*JobResult, error) {
+	res, err := b.Client.Submit(ctx, addr, job)
+	if err == nil {
+		return res, nil
 	}
-	if len(cands) == 0 {
-		return nil, NodeInfo{}, fmt.Errorf("ishare: no available resources")
+	if ctx.Err() != nil {
+		return nil, err
 	}
+	b.mu.Lock()
+	b.m.SameNodeRetries++
+	b.mu.Unlock()
+	return b.Client.Submit(ctx, addr, job)
+}
+
+// SubmitBest places the job on the best available node and shepherds it to
+// completion: transport failures fail over to the next candidate, and jobs
+// killed by resource revocation resume on a fresh candidate from the
+// virtual checkpoint reported in their JobResult rather than from zero.
+// It returns the completing result and the node that finished the job.
+func (b *Broker) SubmitBest(ctx context.Context, job JobSpec) (*JobResult, NodeInfo, error) {
+	if job.ID == "" {
+		job.ID = fmt.Sprintf("%s#%d", job.Name, b.jobSeq.Add(1))
+	}
+	resume := job.ResumeCPUSeconds
+	rounds := b.maxRounds()
 	var lastErr error
-	for _, c := range cands {
-		res, err := b.Client.Submit(c.Node.Addr, job)
+	for round := 0; round < rounds; round++ {
+		if round > 0 {
+			if err := sleepCtx(ctx, b.roundDelay()); err != nil {
+				return nil, NodeInfo{}, err
+			}
+		}
+		cands, err := b.Candidates(ctx)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		return res, c.Node, nil
+		if len(cands) == 0 {
+			lastErr = fmt.Errorf("ishare: no available resources")
+			continue
+		}
+		for _, c := range cands {
+			attempt := job
+			attempt.ResumeCPUSeconds = resume
+			res, err := b.submitOnce(ctx, c.Node.Addr, attempt)
+			if err != nil {
+				// The node died under the submission: fail over.
+				lastErr = err
+				b.mu.Lock()
+				b.m.Failovers++
+				b.mu.Unlock()
+				continue
+			}
+			if res.Completed {
+				return res, c.Node, nil
+			}
+			// Killed (URR/UEC) or out of budget: checkpoint the progress
+			// the node reported and re-rank from scratch — the node that
+			// just killed the guest is usually about to leave the
+			// candidate set.
+			if res.GuestCPUSeconds > resume && res.GuestCPUSeconds < job.CPUSeconds {
+				resume = res.GuestCPUSeconds
+			}
+			b.mu.Lock()
+			b.m.Resubmissions++
+			b.mu.Unlock()
+			lastErr = fmt.Errorf("ishare: job %q %s on %s in %s at %.0f/%.0f cpu-s",
+				job.Name, res.Outcome, c.Node.Name, res.FinalState, res.GuestCPUSeconds, job.CPUSeconds)
+			break
+		}
 	}
-	return nil, NodeInfo{}, fmt.Errorf("ishare: every candidate failed: %w", lastErr)
+	return nil, NodeInfo{}, fmt.Errorf("ishare: submit %q failed after %d rounds: %w", job.Name, rounds, lastErr)
 }

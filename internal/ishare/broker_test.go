@@ -18,14 +18,14 @@ func TestBrokerPicksLeastLoadedNode(t *testing.T) {
 	// reflects the sustained load (info advances the machine per call).
 	c := &Client{}
 	for i := 0; i < 15; i++ {
-		if _, err := c.Info(over.Addr()); err != nil {
+		if _, err := c.Info(ctx, over.Addr()); err != nil {
 			t.Fatal(err)
 		}
-		c.Info(busy.Addr())
-		c.Info(idle.Addr())
+		c.Info(ctx, busy.Addr())
+		c.Info(ctx, idle.Addr())
 	}
 
-	cands, err := b.Candidates()
+	cands, err := b.Candidates(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestBrokerPicksLeastLoadedNode(t *testing.T) {
 		}
 	}
 
-	res, node, err := b.SubmitBest(JobSpec{Name: "brokered", CPUSeconds: 60, RSSMB: 64})
+	res, node, err := b.SubmitBest(ctx, JobSpec{Name: "brokered", CPUSeconds: 60, RSSMB: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestBrokerPicksLeastLoadedNode(t *testing.T) {
 func TestBrokerNoResources(t *testing.T) {
 	reg := startRegistry(t, time.Second)
 	b := NewBroker(reg.Addr())
-	if _, _, err := b.SubmitBest(JobSpec{Name: "j", CPUSeconds: 10}); err == nil {
+	if _, _, err := b.SubmitBest(ctx, JobSpec{Name: "j", CPUSeconds: 10}); err == nil {
 		t.Error("empty registry should fail submission")
 	}
 }

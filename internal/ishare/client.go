@@ -1,17 +1,36 @@
 package ishare
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
-// Client talks to a registry and its published nodes.
+// Client talks to a registry and its published nodes. Idempotent
+// operations (list, info, sethost) are retried with jittered exponential
+// backoff under the configured RetryPolicy; submissions are sent exactly
+// once per call — failover and resubmission belong to the Broker, which
+// knows how to do them without running a job twice.
 type Client struct {
 	// RegistryAddr is the registry's dial address.
 	RegistryAddr string
-	// Timeout bounds each request (default 3 s).
+	// Timeout bounds each request attempt (default 3 s).
 	Timeout time.Duration
+	// SubmitTimeout bounds a submission attempt (default 30 s; jobs run
+	// in virtual time, so this is slack, not job length).
+	SubmitTimeout time.Duration
+	// Dialer overrides the TCP dial path (nil = plain TCP). Fault
+	// injectors hook in here.
+	Dialer Dialer
+	// Retry paces idempotent-operation retries.
+	Retry RetryPolicy
+	// Limits bounds response sizes read by this client.
+	Limits Limits
+
+	once sync.Once
+	jr   *jitterRand
 }
 
 func (c *Client) timeout() time.Duration {
@@ -21,9 +40,50 @@ func (c *Client) timeout() time.Duration {
 	return c.Timeout
 }
 
+func (c *Client) submitTimeout() time.Duration {
+	if c.SubmitTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.SubmitTimeout
+}
+
+func (c *Client) jitter() *jitterRand {
+	c.once.Do(func() { c.jr = newJitterRand(c.Retry.Seed) })
+	return c.jr
+}
+
+// do performs one logical exchange. Idempotent requests are retried on
+// transport errors; application-level failures (resp.OK == false) are
+// returned to the caller immediately since the peer demonstrably saw the
+// request.
+func (c *Client) do(ctx context.Context, addr string, req Request, timeout time.Duration, idempotent bool) (*Response, error) {
+	p := c.Retry.withDefaults()
+	attempts := 1
+	if idempotent {
+		attempts = p.MaxAttempts
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if err := sleepCtx(ctx, backoffDelay(p, a, c.jitter())); err != nil {
+				break
+			}
+		}
+		resp, err := roundTrip(ctx, c.Dialer, addr, req, timeout, c.Limits.withDefaults().MaxMessageBytes)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
 // List returns the registry's published nodes, sorted by name.
-func (c *Client) List() ([]NodeInfo, error) {
-	resp, err := roundTrip(c.RegistryAddr, Request{Op: "list"}, c.timeout())
+func (c *Client) List(ctx context.Context) ([]NodeInfo, error) {
+	resp, err := c.do(ctx, c.RegistryAddr, Request{Op: "list"}, c.timeout(), true)
 	if err != nil {
 		return nil, err
 	}
@@ -35,8 +95,8 @@ func (c *Client) List() ([]NodeInfo, error) {
 }
 
 // AliveNodes returns only the nodes whose FGCS service is responding.
-func (c *Client) AliveNodes() ([]NodeInfo, error) {
-	all, err := c.List()
+func (c *Client) AliveNodes(ctx context.Context) ([]NodeInfo, error) {
+	all, err := c.List(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -50,8 +110,8 @@ func (c *Client) AliveNodes() ([]NodeInfo, error) {
 }
 
 // Info queries one node's availability status.
-func (c *Client) Info(nodeAddr string) (*NodeStatus, error) {
-	resp, err := roundTrip(nodeAddr, Request{Op: "info"}, c.timeout())
+func (c *Client) Info(ctx context.Context, nodeAddr string) (*NodeStatus, error) {
+	resp, err := c.do(ctx, nodeAddr, Request{Op: "info"}, c.timeout(), true)
 	if err != nil {
 		return nil, err
 	}
@@ -63,9 +123,11 @@ func (c *Client) Info(nodeAddr string) (*NodeStatus, error) {
 
 // Submit sends a guest job to a node and waits for its fate. The node
 // simulates the job in virtual time, so the call returns promptly even for
-// hour-long jobs.
-func (c *Client) Submit(nodeAddr string, job JobSpec) (*JobResult, error) {
-	resp, err := roundTrip(nodeAddr, Request{Op: "submit", Job: &job}, 30*time.Second)
+// hour-long jobs. Submit does not retry: a transport error leaves the
+// job's fate unknown, and only an ID-carrying resubmission (see Broker)
+// can resolve that safely.
+func (c *Client) Submit(ctx context.Context, nodeAddr string, job JobSpec) (*JobResult, error) {
+	resp, err := c.do(ctx, nodeAddr, Request{Op: "submit", Job: &job}, c.submitTimeout(), false)
 	if err != nil {
 		return nil, err
 	}
@@ -77,8 +139,8 @@ func (c *Client) Submit(nodeAddr string, job JobSpec) (*JobResult, error) {
 
 // SetHostLoad reconfigures a node's synthetic host workload (experiment
 // control; not part of the production protocol).
-func (c *Client) SetHostLoad(nodeAddr string, load float64, memMB int64) error {
-	resp, err := roundTrip(nodeAddr, Request{Op: "sethost", HostLoad: load, HostMemMB: memMB}, c.timeout())
+func (c *Client) SetHostLoad(ctx context.Context, nodeAddr string, load float64, memMB int64) error {
+	resp, err := c.do(ctx, nodeAddr, Request{Op: "sethost", HostLoad: load, HostMemMB: memMB}, c.timeout(), true)
 	if err != nil {
 		return err
 	}

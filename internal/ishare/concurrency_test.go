@@ -20,7 +20,7 @@ func TestConcurrentSubmissions(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = c.Submit(node.Addr(), JobSpec{
+			results[i], errs[i] = c.Submit(ctx, node.Addr(), JobSpec{
 				Name: "par", CPUSeconds: 30, RSSMB: 32,
 			})
 		}(i)
@@ -44,12 +44,12 @@ func TestConcurrentInfoAndSubmit(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		if _, err := c.Submit(node.Addr(), JobSpec{Name: "long", CPUSeconds: 120, RSSMB: 32}); err != nil {
+		if _, err := c.Submit(ctx, node.Addr(), JobSpec{Name: "long", CPUSeconds: 120, RSSMB: 32}); err != nil {
 			t.Errorf("submit: %v", err)
 		}
 	}()
 	for i := 0; i < 10; i++ {
-		if _, err := c.Info(node.Addr()); err != nil {
+		if _, err := c.Info(ctx, node.Addr()); err != nil {
 			t.Fatalf("info during submit: %v", err)
 		}
 		time.Sleep(time.Millisecond)

@@ -2,6 +2,7 @@ package ishare
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net"
 	"testing"
@@ -29,7 +30,7 @@ func TestServeConnRejectsMalformedJSON(t *testing.T) {
 
 func TestRoundTripFailures(t *testing.T) {
 	// Nothing listening.
-	if _, err := roundTrip("127.0.0.1:1", Request{Op: "list"}, 200*time.Millisecond); err == nil {
+	if _, err := roundTrip(context.Background(), nil, "127.0.0.1:1", Request{Op: "list"}, 200*time.Millisecond, 0); err == nil {
 		t.Error("dial to dead address succeeded")
 	}
 	// Server that accepts then closes without responding.
@@ -47,7 +48,7 @@ func TestRoundTripFailures(t *testing.T) {
 			c.Close()
 		}
 	}()
-	if _, err := roundTrip(ln.Addr().String(), Request{Op: "list"}, 300*time.Millisecond); err == nil {
+	if _, err := roundTrip(context.Background(), nil, ln.Addr().String(), Request{Op: "list"}, 300*time.Millisecond, 0); err == nil {
 		t.Error("silent server should produce an error")
 	}
 }
@@ -63,23 +64,23 @@ func TestNodeWithUnreachableRegistry(t *testing.T) {
 
 func TestClientErrorsPropagate(t *testing.T) {
 	c := &Client{RegistryAddr: "127.0.0.1:1", Timeout: 200 * time.Millisecond}
-	if _, err := c.List(); err == nil {
+	if _, err := c.List(ctx); err == nil {
 		t.Error("list against dead registry succeeded")
 	}
-	if _, err := c.AliveNodes(); err == nil {
+	if _, err := c.AliveNodes(ctx); err == nil {
 		t.Error("alive-nodes against dead registry succeeded")
 	}
-	if _, err := c.Info("127.0.0.1:1"); err == nil {
+	if _, err := c.Info(ctx, "127.0.0.1:1"); err == nil {
 		t.Error("info against dead node succeeded")
 	}
-	if _, err := c.Submit("127.0.0.1:1", JobSpec{Name: "j", CPUSeconds: 1}); err == nil {
+	if _, err := c.Submit(ctx, "127.0.0.1:1", JobSpec{Name: "j", CPUSeconds: 1}); err == nil {
 		t.Error("submit against dead node succeeded")
 	}
-	if err := c.SetHostLoad("127.0.0.1:1", 0.5, 0); err == nil {
+	if err := c.SetHostLoad(ctx, "127.0.0.1:1", 0.5, 0); err == nil {
 		t.Error("sethost against dead node succeeded")
 	}
 	b := &Broker{Client: c}
-	if _, err := b.Candidates(); err == nil {
+	if _, err := b.Candidates(ctx); err == nil {
 		t.Error("broker against dead registry succeeded")
 	}
 }

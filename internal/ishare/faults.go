@@ -1,0 +1,154 @@
+package ishare
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the fault seam of the networked layer: every TCP dial goes
+// through a pluggable Dialer, every server handler is bounded by Limits,
+// and every retried operation paces itself with RetryPolicy. Production
+// code uses the defaults; the chaos package substitutes a fault-injecting
+// Dialer to make the paper's failure modes (transient unreachability,
+// slow peers, mid-stream service death, URR) reproducible at the
+// systems level.
+
+// Dialer opens the TCP connection for one request/response exchange.
+// The zero value of client and node configs uses a plain net.DialTimeout;
+// fault injectors substitute an implementation that refuses, delays,
+// drops or corrupts traffic.
+type Dialer interface {
+	Dial(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// tcpDialer is the production Dialer.
+type tcpDialer struct{}
+
+func (tcpDialer) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// dialerOrDefault resolves a possibly-nil configured Dialer.
+func dialerOrDefault(d Dialer) Dialer {
+	if d == nil {
+		return tcpDialer{}
+	}
+	return d
+}
+
+// Limits bounds one protocol exchange so a slow or malicious peer cannot
+// pin a handler: the message size caps how much a reader will buffer, the
+// I/O deadline caps how long a server waits to read a request or flush a
+// response.
+type Limits struct {
+	// MaxMessageBytes caps one JSON request or response (default 1 MiB).
+	MaxMessageBytes int64
+	// IODeadline bounds the server-side read and write of one exchange
+	// (default 10 s; was previously hardcoded).
+	IODeadline time.Duration
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxMessageBytes <= 0 {
+		l.MaxMessageBytes = 1 << 20
+	}
+	if l.IODeadline <= 0 {
+		l.IODeadline = 10 * time.Second
+	}
+	return l
+}
+
+// RetryPolicy paces retries of idempotent operations (list, info, sethost,
+// heartbeat): jittered exponential backoff under a bounded attempt budget.
+// Submissions are never retried blindly at this level — the broker owns
+// failover and checkpointed resubmission.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 30 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 500 ms).
+	MaxDelay time.Duration
+	// Jitter is the ± fraction applied to each delay (default 0.2).
+	Jitter float64
+	// Seed makes the jitter sequence reproducible; 0 uses a fixed seed so
+	// two clients with zero-value policies behave identically.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 30 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// jitterRand is a lock-guarded rand shared by concurrent retriers.
+type jitterRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitterRand(seed int64) *jitterRand {
+	if seed == 0 {
+		seed = 1
+	}
+	return &jitterRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// frac returns a uniform value in [-1, 1).
+func (j *jitterRand) frac() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return 2*j.rng.Float64() - 1
+}
+
+// backoffDelay computes the jittered exponential delay before attempt
+// (attempt 1 = first retry).
+func backoffDelay(p RetryPolicy, attempt int, jr *jitterRand) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if jr != nil && p.Jitter > 0 {
+		d += time.Duration(float64(d) * p.Jitter * jr.frac())
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// sleepCtx waits d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

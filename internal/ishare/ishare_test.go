@@ -1,12 +1,15 @@
 package ishare
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/simos"
 )
+
+var ctx = context.Background()
 
 func startRegistry(t *testing.T, ttl time.Duration) *Registry {
 	t.Helper()
@@ -35,7 +38,7 @@ func TestRegistryLifecycle(t *testing.T) {
 	node := startNode(t, NodeConfig{Name: "alpha", RegistryAddr: reg.Addr()})
 	_ = node
 
-	nodes, err := c.List()
+	nodes, err := c.List(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +46,7 @@ func TestRegistryLifecycle(t *testing.T) {
 		t.Fatalf("nodes = %+v", nodes)
 	}
 
-	alive, err := c.AliveNodes()
+	alive, err := c.AliveNodes(ctx)
 	if err != nil || len(alive) != 1 {
 		t.Fatalf("alive = %+v, %v", alive, err)
 	}
@@ -55,7 +58,7 @@ func TestRegistryDetectsURR(t *testing.T) {
 	node := startNode(t, NodeConfig{Name: "beta", RegistryAddr: reg.Addr(), HeartbeatEvery: 30 * time.Millisecond})
 
 	// Alive while heartbeating.
-	nodes, err := c.List()
+	nodes, err := c.List(ctx)
 	if err != nil || len(nodes) != 1 || !nodes[0].Alive {
 		t.Fatalf("expected alive node, got %+v, %v", nodes, err)
 	}
@@ -65,7 +68,7 @@ func TestRegistryDetectsURR(t *testing.T) {
 	node.Close()
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		nodes, err = c.List()
+		nodes, err = c.List(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,7 +101,7 @@ func TestRegistryRejectsBadRequests(t *testing.T) {
 func TestNodeInfoReportsStates(t *testing.T) {
 	node := startNode(t, NodeConfig{Name: "gamma", HostLoad: 0.05})
 	c := &Client{}
-	st, err := c.Info(node.Addr())
+	st, err := c.Info(ctx, node.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,12 +109,12 @@ func TestNodeInfoReportsStates(t *testing.T) {
 		t.Errorf("light host load should be S1, got %s", st.State)
 	}
 	// Crank the host load into S2 territory.
-	if err := c.SetHostLoad(node.Addr(), 0.45, 0); err != nil {
+	if err := c.SetHostLoad(ctx, node.Addr(), 0.45, 0); err != nil {
 		t.Fatal(err)
 	}
 	var sawS2 bool
 	for i := 0; i < 20; i++ {
-		st, err = c.Info(node.Addr())
+		st, err = c.Info(ctx, node.Addr())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +131,7 @@ func TestNodeInfoReportsStates(t *testing.T) {
 func TestSubmitCompletesOnIdleNode(t *testing.T) {
 	node := startNode(t, NodeConfig{Name: "idle", HostLoad: 0.05})
 	c := &Client{}
-	res, err := c.Submit(node.Addr(), JobSpec{Name: "job", CPUSeconds: 120, RSSMB: 64})
+	res, err := c.Submit(ctx, node.Addr(), JobSpec{Name: "job", CPUSeconds: 120, RSSMB: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +151,7 @@ func TestSubmitCompletesOnIdleNode(t *testing.T) {
 func TestSubmitKilledUnderSustainedLoad(t *testing.T) {
 	node := startNode(t, NodeConfig{Name: "busy", HostLoad: 0.9})
 	c := &Client{}
-	res, err := c.Submit(node.Addr(), JobSpec{Name: "victim", CPUSeconds: 600, RSSMB: 64})
+	res, err := c.Submit(ctx, node.Addr(), JobSpec{Name: "victim", CPUSeconds: 600, RSSMB: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,10 +172,10 @@ func TestSubmitKilledByMemoryPressure(t *testing.T) {
 	node := startNode(t, cfg)
 	c := &Client{}
 	// Host grows to 350 MB: free = 512-100-350 = 62 MB < guest demand.
-	if err := c.SetHostLoad(node.Addr(), 0.05, 350); err != nil {
+	if err := c.SetHostLoad(ctx, node.Addr(), 0.05, 350); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Submit(node.Addr(), JobSpec{Name: "bigmem", CPUSeconds: 300, RSSMB: 150})
+	res, err := c.Submit(ctx, node.Addr(), JobSpec{Name: "bigmem", CPUSeconds: 300, RSSMB: 150})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +190,7 @@ func TestSubmitKilledByMemoryPressure(t *testing.T) {
 func TestSubmitValidation(t *testing.T) {
 	node := startNode(t, NodeConfig{Name: "v"})
 	c := &Client{}
-	if _, err := c.Submit(node.Addr(), JobSpec{Name: "zero", CPUSeconds: 0}); err == nil {
+	if _, err := c.Submit(ctx, node.Addr(), JobSpec{Name: "zero", CPUSeconds: 0}); err == nil {
 		t.Error("zero-work job accepted")
 	}
 	if resp := node.handle(Request{Op: "submit"}); resp.OK {
@@ -207,7 +210,7 @@ func TestRegistryTTLValidation(t *testing.T) {
 func TestInteractiveHostNode(t *testing.T) {
 	node := startNode(t, NodeConfig{Name: "interactive", InteractiveHost: true})
 	c := &Client{}
-	res, err := c.Submit(node.Addr(), JobSpec{Name: "job", CPUSeconds: 120, RSSMB: 64})
+	res, err := c.Submit(ctx, node.Addr(), JobSpec{Name: "job", CPUSeconds: 120, RSSMB: 64})
 	if err != nil {
 		t.Fatal(err)
 	}

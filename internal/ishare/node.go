@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -32,8 +33,24 @@ type NodeConfig struct {
 	RegistryAddr string
 	// HeartbeatEvery is the wall-clock heartbeat interval.
 	HeartbeatEvery time.Duration
+	// HeartbeatMaxBackoff caps the backoff between heartbeat attempts
+	// while the registry is unreachable (default 16× HeartbeatEvery).
+	// Local jobs keep running throughout; the node re-registers with
+	// backoff when the registry returns.
+	HeartbeatMaxBackoff time.Duration
 	// MaxJobVirtual caps how much virtual time one submission may occupy.
 	MaxJobVirtual time.Duration
+	// Dialer overrides the TCP dial path for registration and heartbeats
+	// (nil = plain TCP). Fault injectors hook in here.
+	Dialer Dialer
+	// Limits bounds each served protocol exchange.
+	Limits Limits
+	// CrashAtVirtual, when positive, is a fault-injection hook: the node
+	// crashes — drops in-flight connections without replying, stops
+	// heartbeating and closes its listener — the first time its virtual
+	// clock reaches this value. This reproduces the paper's S5 (URR): the
+	// FGCS service dies with the host, mid-job.
+	CrashAtVirtual time.Duration
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -48,6 +65,9 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	}
 	if c.HeartbeatEvery == 0 {
 		c.HeartbeatEvery = 50 * time.Millisecond
+	}
+	if c.HeartbeatMaxBackoff == 0 {
+		c.HeartbeatMaxBackoff = 16 * c.HeartbeatEvery
 	}
 	if c.MaxJobVirtual == 0 {
 		c.MaxJobVirtual = 24 * time.Hour
@@ -66,6 +86,9 @@ type Node struct {
 	mon     *monitor.Monitor
 	det     *availability.Detector
 	host    *simos.Process
+	crashed bool
+	done    map[string]JobResult
+	execs   map[string]int
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -98,6 +121,8 @@ func NewNode(addr string, cfg NodeConfig) (*Node, error) {
 		mon:     mon,
 		det:     det,
 		ln:      ln,
+		done:    make(map[string]JobResult),
+		execs:   make(map[string]int),
 		closed:  make(chan struct{}),
 	}
 	n.sampler = monitor.NewMachineSampler(machine)
@@ -134,10 +159,27 @@ func (n *Node) Close() error {
 	return err
 }
 
+// ExecutionCounts reports, per job ID, how many times a submission ran to
+// completion on this node. It exists for exactly-once assertions in fault
+// tests; IDs that were deduplicated count once.
+func (n *Node) ExecutionCounts() map[string]int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]int, len(n.execs))
+	for id, c := range n.execs {
+		out[id] = c
+	}
+	return out
+}
+
+// rpc sends one registry-bound request through the node's dialer.
+func (n *Node) rpc(req Request, timeout time.Duration) (*Response, error) {
+	lim := n.cfg.Limits.withDefaults()
+	return roundTrip(context.Background(), n.cfg.Dialer, n.cfg.RegistryAddr, req, timeout, lim.MaxMessageBytes)
+}
+
 func (n *Node) register() error {
-	resp, err := roundTrip(n.cfg.RegistryAddr, Request{
-		Op: "register", Name: n.cfg.Name, Addr: n.Addr(),
-	}, 2*time.Second)
+	resp, err := n.rpc(Request{Op: "register", Name: n.cfg.Name, Addr: n.Addr()}, 2*time.Second)
 	if err != nil {
 		return err
 	}
@@ -147,17 +189,45 @@ func (n *Node) register() error {
 	return nil
 }
 
+// heartbeatLoop keeps the registry's liveness view fresh. When the
+// registry is unreachable the node degrades gracefully: local jobs keep
+// running, heartbeat attempts back off exponentially (capped), and the
+// node re-registers as soon as the registry answers again — including the
+// case where the registry came back empty and no longer knows the node.
 func (n *Node) heartbeatLoop() {
 	defer n.wg.Done()
-	tick := time.NewTicker(n.cfg.HeartbeatEvery)
-	defer tick.Stop()
+	interval := n.cfg.HeartbeatEvery
+	fails := 0
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
 	for {
 		select {
 		case <-n.closed:
 			return
-		case <-tick.C:
-			_, _ = roundTrip(n.cfg.RegistryAddr, Request{Op: "heartbeat", Name: n.cfg.Name}, time.Second)
+		case <-timer.C:
 		}
+		resp, err := n.rpc(Request{Op: "heartbeat", Name: n.cfg.Name}, time.Second)
+		switch {
+		case err != nil:
+			fails++
+		case !resp.OK:
+			// The registry answered but has forgotten us: re-register.
+			if err := n.register(); err != nil {
+				fails++
+			} else {
+				fails = 0
+			}
+		default:
+			fails = 0
+		}
+		next := interval
+		if fails > 0 {
+			next = interval << uint(min(fails, 10))
+			if next > n.cfg.HeartbeatMaxBackoff {
+				next = n.cfg.HeartbeatMaxBackoff
+			}
+		}
+		timer.Reset(next)
 	}
 }
 
@@ -176,7 +246,7 @@ func (n *Node) acceptLoop() {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			serveConn(conn, n.handle)
+			serveConn(conn, n.cfg.Limits, n.handle)
 		}()
 	}
 }
@@ -199,7 +269,28 @@ func (n *Node) setHostLocked(load float64, mem int64) {
 	n.host = n.machine.Spawn("host-load", simos.Host, 0, mem, b)
 }
 
-func (n *Node) handle(req Request) Response {
+// crashNowLocked implements the CrashAtVirtual fault: once the virtual
+// clock passes the crash point the node's service is gone — the current
+// exchange is dropped mid-stream and the whole node shuts down.
+func (n *Node) crashNowLocked() bool {
+	if n.crashed {
+		return true
+	}
+	if n.cfg.CrashAtVirtual > 0 && n.machine.Now() >= n.cfg.CrashAtVirtual {
+		n.crashed = true
+		go n.Close()
+		return true
+	}
+	return false
+}
+
+func (n *Node) handle(req Request) *Response {
+	n.mu.Lock()
+	crashed := n.crashed
+	n.mu.Unlock()
+	if crashed {
+		return nil // service is dead: drop without replying
+	}
 	switch req.Op {
 	case "info":
 		return n.info()
@@ -207,25 +298,28 @@ func (n *Node) handle(req Request) Response {
 		n.mu.Lock()
 		n.setHostLocked(req.HostLoad, req.HostMemMB*simos.MB)
 		n.mu.Unlock()
-		return Response{OK: true}
+		return &Response{OK: true}
 	case "submit":
 		if req.Job == nil {
-			return Response{OK: false, Error: "submit requires a job"}
+			return &Response{OK: false, Error: "submit requires a job"}
 		}
 		return n.submit(*req.Job)
 	default:
-		return Response{OK: false, Error: "unknown op " + req.Op}
+		return &Response{OK: false, Error: "unknown op " + req.Op}
 	}
 }
 
 // info advances the machine one monitor period and reports the state.
-func (n *Node) info() Response {
+func (n *Node) info() *Response {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.machine.Run(n.cfg.MonitorPeriod)
+	if n.crashNowLocked() {
+		return nil
+	}
 	obs := n.mon.Observe(n.sampler.Sample())
 	state, _ := n.det.Observe(obs)
-	return Response{OK: true, Info: &NodeStatus{
+	return &Response{OK: true, Info: &NodeStatus{
 		State:        state.String(),
 		HostCPU:      obs.HostCPU,
 		FreeMemMB:    obs.FreeMem / simos.MB,
@@ -234,10 +328,17 @@ func (n *Node) info() Response {
 }
 
 // submit runs a guest job under the five-state controller until it
-// completes, is killed, or exhausts the virtual-time budget.
-func (n *Node) submit(spec JobSpec) Response {
+// completes, is killed, or exhausts the virtual-time budget. A job
+// carrying an already-completed ID returns the cached result instead of
+// re-running; a job carrying a resume offset runs only the remaining work
+// and reports cumulative progress.
+func (n *Node) submit(spec JobSpec) *Response {
 	if spec.CPUSeconds <= 0 {
-		return Response{OK: false, Error: "job needs positive cpu_seconds"}
+		return &Response{OK: false, Error: "job needs positive cpu_seconds"}
+	}
+	if spec.ResumeCPUSeconds < 0 || spec.ResumeCPUSeconds >= spec.CPUSeconds {
+		return &Response{OK: false, Error: fmt.Sprintf(
+			"resume offset %.1f outside [0, %.1f)", spec.ResumeCPUSeconds, spec.CPUSeconds)}
 	}
 	rss := spec.RSSMB * simos.MB
 	if rss <= 0 {
@@ -246,17 +347,31 @@ func (n *Node) submit(spec JobSpec) Response {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 
-	work := &workload.FiniteWork{Total: time.Duration(spec.CPUSeconds * float64(time.Second)), Usage: 1}
+	if spec.ID != "" {
+		if cached, ok := n.done[spec.ID]; ok {
+			cached.Deduped = true
+			return &Response{OK: true, Job: &cached}
+		}
+	}
+
+	remaining := time.Duration((spec.CPUSeconds - spec.ResumeCPUSeconds) * float64(time.Second))
+	work := &workload.FiniteWork{Total: remaining, Usage: 1}
 	guest := n.machine.Spawn(spec.Name, simos.Guest, 0, rss, work)
 	ctrl := availability.NewController(n.det, guest)
 
 	start := n.machine.Now()
 	deadline := start + n.cfg.MaxJobVirtual
-	result := JobResult{}
+	result := JobResult{ResumedFrom: spec.ResumeCPUSeconds}
 	var state availability.State = n.det.State()
 
 	for n.machine.Now() < deadline {
 		n.machine.Run(n.cfg.MonitorPeriod)
+		if n.crashNowLocked() {
+			// The machine is revoked mid-job: the guest dies with the
+			// service and the client sees a dropped connection.
+			guest.Kill()
+			return nil
+		}
 		obs := n.mon.Observe(n.sampler.Sample())
 		var action availability.Action
 		state, action, _ = ctrl.Observe(obs)
@@ -278,7 +393,11 @@ func (n *Node) submit(spec JobSpec) Response {
 		guest.Kill()
 	}
 	result.FinalState = state.String()
-	result.GuestCPUSeconds = guest.CPUTime().Seconds()
+	result.GuestCPUSeconds = spec.ResumeCPUSeconds + guest.CPUTime().Seconds()
 	result.WallSeconds = (n.machine.Now() - start).Seconds()
-	return Response{OK: true, Job: &result}
+	if spec.ID != "" && result.Completed {
+		n.done[spec.ID] = result
+		n.execs[spec.ID]++
+	}
+	return &Response{OK: true, Job: &result}
 }

@@ -16,8 +16,10 @@ package ishare
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"time"
 )
@@ -42,10 +44,20 @@ type Request struct {
 // JobSpec describes a guest job: a compute-bound batch program.
 type JobSpec struct {
 	Name string `json:"name"`
-	// CPUSeconds is the virtual CPU time the job needs.
+	// CPUSeconds is the total virtual CPU time the job needs, including
+	// any portion already completed elsewhere (see ResumeCPUSeconds).
 	CPUSeconds float64 `json:"cpu_seconds"`
 	// RSSMB is the job's working set in MiB.
 	RSSMB int64 `json:"rss_mb"`
+	// ID identifies one logical submission across retries and failover.
+	// Nodes remember completed IDs and return the cached result instead
+	// of re-running, so a resubmission after a dropped response cannot
+	// execute the job twice.
+	ID string `json:"id,omitempty"`
+	// ResumeCPUSeconds is virtual compute this job already completed on
+	// another node before being killed there (URR/UEC). The node runs
+	// only the remainder and reports cumulative progress.
+	ResumeCPUSeconds float64 `json:"resume_cpu_seconds,omitempty"`
 }
 
 // NodeInfo is a registry entry.
@@ -79,12 +91,19 @@ type JobResult struct {
 	Outcome string `json:"outcome"`
 	// FinalState is the availability state when the job ended.
 	FinalState string `json:"final_state"`
-	// GuestCPUSeconds is the virtual CPU time the guest received.
+	// GuestCPUSeconds is the job's cumulative virtual compute: the resume
+	// offset it started from plus the CPU time this node delivered. On a
+	// kill it doubles as the checkpoint the broker resumes from.
 	GuestCPUSeconds float64 `json:"guest_cpu_seconds"`
 	// WallSeconds is the virtual wall time the job occupied the node.
 	WallSeconds float64 `json:"wall_seconds"`
 	// Suspensions counts transient-spike suspensions survived.
 	Suspensions int `json:"suspensions"`
+	// ResumedFrom echoes the resume offset this run started at.
+	ResumedFrom float64 `json:"resumed_from,omitempty"`
+	// Deduped is true when the node recognized a completed job ID and
+	// returned the cached result without re-running.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // Response is the uniform reply envelope.
@@ -96,9 +115,25 @@ type Response struct {
 	Job   *JobResult  `json:"job,omitempty"`
 }
 
-// roundTrip dials addr, sends one request and reads one response.
-func roundTrip(addr string, req Request, timeout time.Duration) (*Response, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+// roundTrip dials addr through d, sends one request and reads one bounded
+// response. The per-attempt timeout is clamped to the context deadline, so
+// a caller-imposed budget bounds the whole exchange.
+func roundTrip(ctx context.Context, d Dialer, addr string, req Request, timeout time.Duration, maxBytes int64) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < timeout {
+			timeout = rem
+		}
+	}
+	if timeout <= 0 {
+		return nil, fmt.Errorf("ishare: no time left for %q to %s: %w", req.Op, addr, context.DeadlineExceeded)
+	}
+	if maxBytes <= 0 {
+		maxBytes = Limits{}.withDefaults().MaxMessageBytes
+	}
+	conn, err := dialerOrDefault(d).Dial(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("ishare: dialing %s: %w", addr, err)
 	}
@@ -110,22 +145,41 @@ func roundTrip(addr string, req Request, timeout time.Duration) (*Response, erro
 	if err := enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("ishare: sending %q: %w", req.Op, err)
 	}
+	lr := &io.LimitedReader{R: conn, N: maxBytes}
 	var resp Response
-	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+	if err := json.NewDecoder(bufio.NewReader(lr)).Decode(&resp); err != nil {
+		if lr.N <= 0 {
+			return nil, fmt.Errorf("ishare: %q response to %s exceeds %d bytes", req.Op, addr, maxBytes)
+		}
 		return nil, fmt.Errorf("ishare: reading %q response: %w", req.Op, err)
 	}
 	return &resp, nil
 }
 
 // serveConn handles one request/response exchange with the given handler.
-func serveConn(conn net.Conn, handle func(Request) Response) {
+// The request read and response write are each bounded by lim. A nil
+// response from the handler drops the connection without replying — the
+// observable signature of a service that died mid-exchange.
+func serveConn(conn net.Conn, lim Limits, handle func(Request) *Response) {
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	lim = lim.withDefaults()
+	_ = conn.SetDeadline(time.Now().Add(lim.IODeadline))
+	lr := &io.LimitedReader{R: conn, N: lim.MaxMessageBytes}
 	var req Request
-	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
-		_ = json.NewEncoder(conn).Encode(Response{OK: false, Error: "bad request: " + err.Error()})
+	if err := json.NewDecoder(bufio.NewReader(lr)).Decode(&req); err != nil {
+		msg := "bad request: " + err.Error()
+		if lr.N <= 0 {
+			msg = fmt.Sprintf("request exceeds %d bytes", lim.MaxMessageBytes)
+		}
+		_ = json.NewEncoder(conn).Encode(Response{OK: false, Error: msg})
 		return
 	}
 	resp := handle(req)
+	if resp == nil {
+		return
+	}
+	// Handlers may run for a while (a submission simulates a whole job);
+	// give the write its own fresh deadline rather than the leftovers.
+	_ = conn.SetDeadline(time.Now().Add(lim.IODeadline))
 	_ = json.NewEncoder(conn).Encode(resp)
 }

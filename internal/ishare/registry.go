@@ -12,6 +12,7 @@ import (
 // stop for longer than the TTL is reported dead — the URR signal.
 type Registry struct {
 	ttl time.Duration
+	lim Limits
 
 	mu    sync.Mutex
 	nodes map[string]*registryEntry
@@ -27,8 +28,15 @@ type registryEntry struct {
 }
 
 // NewRegistry starts a registry listening on addr (use "127.0.0.1:0" for
-// an ephemeral test port). ttl is the heartbeat freshness bound.
+// an ephemeral test port). ttl is the heartbeat freshness bound. Protocol
+// exchanges use the default Limits; see NewRegistryWithLimits.
 func NewRegistry(addr string, ttl time.Duration) (*Registry, error) {
+	return NewRegistryWithLimits(addr, ttl, Limits{})
+}
+
+// NewRegistryWithLimits is NewRegistry with explicit per-exchange bounds
+// on message size and handler I/O deadlines.
+func NewRegistryWithLimits(addr string, ttl time.Duration, lim Limits) (*Registry, error) {
 	if ttl <= 0 {
 		return nil, fmt.Errorf("ishare: registry TTL must be positive, got %v", ttl)
 	}
@@ -38,6 +46,7 @@ func NewRegistry(addr string, ttl time.Duration) (*Registry, error) {
 	}
 	r := &Registry{
 		ttl:    ttl,
+		lim:    lim,
 		nodes:  make(map[string]*registryEntry),
 		ln:     ln,
 		closed: make(chan struct{}),
@@ -78,16 +87,16 @@ func (r *Registry) acceptLoop() {
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			serveConn(conn, r.handle)
+			serveConn(conn, r.lim, r.handle)
 		}()
 	}
 }
 
-func (r *Registry) handle(req Request) Response {
+func (r *Registry) handle(req Request) *Response {
 	switch req.Op {
 	case "register":
 		if req.Name == "" || req.Addr == "" {
-			return Response{OK: false, Error: "register requires name and addr"}
+			return &Response{OK: false, Error: "register requires name and addr"}
 		}
 		r.mu.Lock()
 		r.nodes[req.Name] = &registryEntry{
@@ -95,12 +104,12 @@ func (r *Registry) handle(req Request) Response {
 			lastSeen: time.Now(),
 		}
 		r.mu.Unlock()
-		return Response{OK: true}
+		return &Response{OK: true}
 	case "unregister":
 		r.mu.Lock()
 		delete(r.nodes, req.Name)
 		r.mu.Unlock()
-		return Response{OK: true}
+		return &Response{OK: true}
 	case "heartbeat":
 		r.mu.Lock()
 		e, ok := r.nodes[req.Name]
@@ -109,9 +118,9 @@ func (r *Registry) handle(req Request) Response {
 		}
 		r.mu.Unlock()
 		if !ok {
-			return Response{OK: false, Error: "unknown node " + req.Name}
+			return &Response{OK: false, Error: "unknown node " + req.Name}
 		}
-		return Response{OK: true}
+		return &Response{OK: true}
 	case "list":
 		now := time.Now()
 		r.mu.Lock()
@@ -123,8 +132,8 @@ func (r *Registry) handle(req Request) Response {
 			nodes = append(nodes, info)
 		}
 		r.mu.Unlock()
-		return Response{OK: true, Nodes: nodes}
+		return &Response{OK: true, Nodes: nodes}
 	default:
-		return Response{OK: false, Error: "unknown op " + req.Op}
+		return &Response{OK: false, Error: "unknown op " + req.Op}
 	}
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -31,6 +32,13 @@ import (
 // Delta-encoding start times per machine keeps records small when events
 // are machine-clustered and time-sorted — the order shard files are
 // written in — while still accepting any event order.
+
+// ErrTruncated reports a stream that ends mid-record or mid-header — the
+// signature of a shard cut short by a crash. Decoder.Next returns every
+// event up to the last complete record before surfacing it, so callers can
+// salvage the intact prefix: errors.Is(err, ErrTruncated) distinguishes a
+// recoverable truncation from genuine corruption.
+var ErrTruncated = errors.New("trace: stream truncated mid-record")
 
 // codecMagic identifies a binary trace stream.
 var codecMagic = [4]byte{'F', 'G', 'C', 'B'}
@@ -140,33 +148,33 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	d := &Decoder{r: bufio.NewReader(r), prev: make(map[MachineID]sim.Time)}
 	var magic [4]byte
 	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading codec magic: %w", err)
+		return nil, fmt.Errorf("trace: reading codec magic: %w", truncatedEOF(err))
 	}
 	if magic != codecMagic {
 		return nil, fmt.Errorf("trace: bad codec magic %q", magic[:])
 	}
 	version, err := binary.ReadUvarint(d.r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading codec version: %w", err)
+		return nil, fmt.Errorf("trace: reading codec version: %w", truncatedEOF(err))
 	}
 	if version != codecVersion {
 		return nil, fmt.Errorf("trace: unsupported codec version %d", version)
 	}
 	spanStart, err := binary.ReadVarint(d.r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading span start: %w", err)
+		return nil, fmt.Errorf("trace: reading span start: %w", truncatedEOF(err))
 	}
 	spanEnd, err := binary.ReadVarint(d.r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading span end: %w", err)
+		return nil, fmt.Errorf("trace: reading span end: %w", truncatedEOF(err))
 	}
 	weekday, err := binary.ReadVarint(d.r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading start weekday: %w", err)
+		return nil, fmt.Errorf("trace: reading start weekday: %w", truncatedEOF(err))
 	}
 	machines, err := binary.ReadUvarint(d.r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading machine count: %w", err)
+		return nil, fmt.Errorf("trace: reading machine count: %w", truncatedEOF(err))
 	}
 	if machines > math.MaxInt32 {
 		return nil, fmt.Errorf("trace: implausible machine count %d", machines)
@@ -186,14 +194,15 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 func (d *Decoder) Header() Header { return d.header }
 
 // Next returns the next event, or io.EOF when the stream ends cleanly at a
-// record boundary. Any other error means a corrupt or truncated stream.
+// record boundary. A stream cut mid-record yields an error wrapping
+// ErrTruncated; any other error means a corrupt stream.
 func (d *Decoder) Next() (Event, error) {
 	machine, err := binary.ReadUvarint(d.r)
 	if err == io.EOF {
 		return Event{}, io.EOF
 	}
 	if err != nil {
-		return Event{}, fmt.Errorf("trace: reading event machine: %w", err)
+		return Event{}, fmt.Errorf("trace: reading event machine: %w", truncatedEOF(err))
 	}
 	if machine > math.MaxInt32 {
 		return Event{}, fmt.Errorf("trace: implausible machine id %d", machine)
@@ -204,26 +213,26 @@ func (d *Decoder) Next() (Event, error) {
 	}
 	delta, err := binary.ReadVarint(d.r)
 	if err != nil {
-		return Event{}, fmt.Errorf("trace: reading event start: %w", unexpectedEOF(err))
+		return Event{}, fmt.Errorf("trace: reading event start: %w", truncatedEOF(err))
 	}
 	dur, err := binary.ReadUvarint(d.r)
 	if err != nil {
-		return Event{}, fmt.Errorf("trace: reading event duration: %w", unexpectedEOF(err))
+		return Event{}, fmt.Errorf("trace: reading event duration: %w", truncatedEOF(err))
 	}
 	if dur > math.MaxInt64 {
 		return Event{}, fmt.Errorf("trace: implausible event duration %d", dur)
 	}
 	state, err := d.r.ReadByte()
 	if err != nil {
-		return Event{}, fmt.Errorf("trace: reading event state: %w", unexpectedEOF(err))
+		return Event{}, fmt.Errorf("trace: reading event state: %w", truncatedEOF(err))
 	}
 	var bits [8]byte
 	if _, err := io.ReadFull(d.r, bits[:]); err != nil {
-		return Event{}, fmt.Errorf("trace: reading avail cpu: %w", unexpectedEOF(err))
+		return Event{}, fmt.Errorf("trace: reading avail cpu: %w", truncatedEOF(err))
 	}
 	mem, err := binary.ReadVarint(d.r)
 	if err != nil {
-		return Event{}, fmt.Errorf("trace: reading avail mem: %w", unexpectedEOF(err))
+		return Event{}, fmt.Errorf("trace: reading avail mem: %w", truncatedEOF(err))
 	}
 	start := d.prev[m] + sim.Time(delta)
 	ev := Event{
@@ -249,11 +258,13 @@ func (d *Decoder) Next() (Event, error) {
 	return ev, nil
 }
 
-// unexpectedEOF converts a mid-record EOF into io.ErrUnexpectedEOF so
-// truncation is distinguishable from a clean end of stream.
-func unexpectedEOF(err error) error {
-	if err == io.EOF {
-		return io.ErrUnexpectedEOF
+// truncatedEOF converts a mid-record or mid-header EOF into ErrTruncated so
+// a crash-cut shard is distinguishable from both a clean end of stream and
+// genuine corruption. Varint continuation bits guarantee a truncated prefix
+// can never parse as a different complete record, so every cut lands here.
+func truncatedEOF(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTruncated
 	}
 	return err
 }

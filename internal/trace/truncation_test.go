@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestDecoderTruncatedAtEveryOffset cuts a valid stream at every byte
+// offset and asserts crash-recovery semantics at each: the decoder yields
+// exactly the events whose records are complete — always a prefix of the
+// original, never a garbled record — and then reports ErrTruncated, unless
+// the cut lands precisely on a record boundary, where a clean io.EOF is the
+// only honest answer (the stream is indistinguishable from a shorter one).
+func TestDecoderTruncatedAtEveryOffset(t *testing.T) {
+	tr := randomTrace(17, 60)
+	tr.Sort()
+
+	// Re-encode event by event to learn every record boundary offset.
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf, Header{Span: tr.Span, Calendar: tr.Calendar, Machines: tr.Machines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	headerLen := buf.Len()
+	boundary := map[int]bool{headerLen: true}
+	for _, ev := range tr.Events {
+		if err := enc.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		boundary[buf.Len()] = true
+	}
+	full := buf.Bytes()
+
+	for off := 0; off < len(full); off++ {
+		cut := full[:off]
+		dec, err := NewDecoder(bytes.NewReader(cut))
+		if off < headerLen {
+			if err == nil {
+				t.Fatalf("offset %d: decoder accepted a truncated header", off)
+			}
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("offset %d: header error %v does not wrap ErrTruncated", off, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("offset %d: NewDecoder: %v", off, err)
+		}
+		n := 0
+		for {
+			ev, err := dec.Next()
+			if err != nil {
+				if boundary[off] {
+					if err != io.EOF {
+						t.Fatalf("offset %d is a record boundary, want io.EOF, got %v", off, err)
+					}
+				} else if !errors.Is(err, ErrTruncated) {
+					t.Fatalf("offset %d: error %v does not wrap ErrTruncated", off, err)
+				}
+				break
+			}
+			if n >= len(tr.Events) || ev != tr.Events[n] {
+				t.Fatalf("offset %d: decoded event %d = %+v is not a prefix of the original", off, n, ev)
+			}
+			n++
+		}
+	}
+}
+
+// TestReadBinaryPropagatesTruncation pins that the whole-trace reader
+// surfaces the typed error, so callers salvaging a crashed shard can tell
+// truncation from corruption without string matching.
+func TestReadBinaryPropagatesTruncation(t *testing.T) {
+	tr := randomTrace(18, 20)
+	tr.Sort()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadBinary(bytes.NewReader(buf.Bytes()[:buf.Len()-3]))
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("ReadBinary on a cut stream: %v, want ErrTruncated", err)
+	}
+}

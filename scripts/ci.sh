@@ -6,7 +6,11 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/
+go test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/ \
+    ./internal/trace/ ./internal/chaos/
+# Deterministic-seed chaos smoke: scripted partition + refusal burst over a
+# live registry and nodes, asserting exactly-once completion.
+go test -race -run 'TestChaosSmoke' -count 1 ./internal/chaos/
 go test -run '^$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|BenchmarkDetectorObserve' \
     -benchtime 10x ./internal/testbed/ ./internal/simos/ ./internal/availability/
 # Fleet-pipeline smoke: sharded runner + streaming analyzer, binary codec,
