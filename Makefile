@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos-smoke bench-smoke bench ci
+.PHONY: all vet build test race chaos-smoke bench-smoke metrics-smoke bench ci
 
 all: ci
 
@@ -31,8 +31,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|BenchmarkDetectorObserve' -benchtime 10x ./internal/testbed/ ./internal/simos/ ./internal/availability/
 	$(GO) test -run '^$$' -bench 'BenchmarkRunShardedFleet|BenchmarkWriteBinary|BenchmarkReadBinary|BenchmarkStreamAnalyzer|BenchmarkEvaluateHistoryWindow' -benchtime 1x ./internal/testbed/ ./internal/trace/ ./internal/predict/
 
-# Full core benchmarks, written to BENCH_core.json.
+# Metrics-endpoint smoke: start ishared with an ephemeral metrics port,
+# scrape /healthz and /metrics, assert the expected families are served.
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
+
+# Full core benchmarks, written to BENCH_core.json. Includes the
+# observability gates: instrumented-run overhead and byte-identical output.
 bench:
 	$(GO) run ./cmd/fgcs-bench -out BENCH_core.json
 
-ci: vet build test race chaos-smoke bench-smoke
+ci: vet build test race chaos-smoke bench-smoke metrics-smoke

@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/obs"
 	"repro/internal/testbed"
 )
 
@@ -31,15 +32,16 @@ func main() {
 	log.SetPrefix("fgcs-testbed: ")
 
 	var (
-		machines  = flag.Int("machines", 20, "number of lab machines")
-		days      = flag.Int("days", 92, "traced days")
-		seed      = flag.Int64("seed", 2005, "simulation seed")
-		spread    = flag.Float64("spread", 0, "machine heterogeneity (0 = paper-like homogeneous lab)")
-		profile   = flag.String("profile", "lab", "workload profile: lab (paper) or enterprise (paper's future work)")
-		format    = flag.String("format", "json", "output format: json, csv or binary")
-		out       = flag.String("out", "-", "output file (- = stdout)")
-		shardDir  = flag.String("shard-dir", "", "write binary shard files into this directory instead of a single trace")
-		shardSize = flag.Int("shard-size", 100, "machines per shard with -shard-dir")
+		machines    = flag.Int("machines", 20, "number of lab machines")
+		days        = flag.Int("days", 92, "traced days")
+		seed        = flag.Int64("seed", 2005, "simulation seed")
+		spread      = flag.Float64("spread", 0, "machine heterogeneity (0 = paper-like homogeneous lab)")
+		profile     = flag.String("profile", "lab", "workload profile: lab (paper) or enterprise (paper's future work)")
+		format      = flag.String("format", "json", "output format: json, csv or binary")
+		out         = flag.String("out", "-", "output file (- = stdout)")
+		shardDir    = flag.String("shard-dir", "", "write binary shard files into this directory instead of a single trace")
+		shardSize   = flag.Int("shard-size", 100, "machines per shard with -shard-dir")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and pprof on this address while simulating (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 
@@ -55,6 +57,17 @@ func main() {
 		log.Fatalf("unknown profile %q (want lab or enterprise)", *profile)
 	}
 	cfg.Workload.MachineRateSpread = *spread
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		cfg.Metrics = reg
+		srv, err := obs.StartServer(*metricsAddr, obs.NewMux(reg, map[string]string{"component": "fgcs-testbed"}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("serving metrics on http://%s/metrics", srv.Addr())
+	}
 
 	if *shardDir != "" {
 		if err := runSharded(cfg, *shardDir, *shardSize); err != nil {

@@ -15,39 +15,88 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
 
 	"repro/internal/ishare"
+	"repro/internal/obs"
 )
 
 var ctx = context.Background()
+
+// observability bundles the process-wide metrics registry, its HTTP
+// server (nil when -metrics-addr is unset) and the structured logger.
+type observability struct {
+	reg    *obs.Registry
+	srv    *obs.Server
+	logger *slog.Logger
+}
+
+func (o *observability) close() {
+	if o.srv != nil {
+		o.srv.Close()
+	}
+}
+
+// startObs builds the process observability: an obs registry served on
+// metricsAddr (with /healthz and pprof) when set, and a JSON slog logger
+// on stderr at the requested level.
+func startObs(metricsAddr, mode string, verbose bool) *observability {
+	level := slog.LevelWarn
+	if verbose {
+		level = slog.LevelInfo
+	}
+	o := &observability{
+		reg:    obs.NewRegistry(),
+		logger: slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+	}
+	// fgcs_up lets a scrape distinguish "serving, no traffic yet" from
+	// "down" without relying on any component counter existing.
+	o.reg.Gauge("fgcs_up", "1 while the process is serving").Set(1)
+	if metricsAddr == "" {
+		return o
+	}
+	srv, err := obs.StartServer(metricsAddr, obs.NewMux(o.reg, map[string]string{"component": "ishared", "mode": mode}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	o.srv = srv
+	// The scrape address goes to stdout so scripts (and the CI smoke test)
+	// can pick up an ephemeral :0 port.
+	fmt.Printf("metrics listening on %s\n", srv.Addr())
+	return o
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ishared: ")
 
 	var (
-		mode     = flag.String("mode", "demo", "mode: registry, node, demo")
-		addr     = flag.String("addr", "127.0.0.1:0", "listen address")
-		registry = flag.String("registry", "", "registry address (node mode)")
-		name     = flag.String("name", "node-1", "node name (node mode)")
-		load     = flag.Float64("load", 0.1, "initial synthetic host load (node mode)")
-		ttl      = flag.Duration("ttl", 2*time.Second, "registry heartbeat TTL")
-		deadline = flag.Duration("io-deadline", 10*time.Second, "per-exchange server I/O deadline")
-		maxMsg   = flag.Int64("max-message-bytes", 1<<20, "per-exchange message size bound")
+		mode        = flag.String("mode", "demo", "mode: registry, node, demo")
+		addr        = flag.String("addr", "127.0.0.1:0", "listen address")
+		registry    = flag.String("registry", "", "registry address (node mode)")
+		name        = flag.String("name", "node-1", "node name (node mode)")
+		load        = flag.Float64("load", 0.1, "initial synthetic host load (node mode)")
+		ttl         = flag.Duration("ttl", 2*time.Second, "registry heartbeat TTL")
+		deadline    = flag.Duration("io-deadline", 10*time.Second, "per-exchange server I/O deadline")
+		maxMsg      = flag.Int64("max-message-bytes", 1<<20, "per-exchange message size bound")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /healthz and pprof on this address (e.g. 127.0.0.1:9090; empty = disabled)")
+		verbose     = flag.Bool("v", false, "log structured events at info level (default warn)")
 	)
 	flag.Parse()
 	lim := ishare.Limits{MaxMessageBytes: *maxMsg, IODeadline: *deadline}
+	o := startObs(*metricsAddr, *mode, *verbose)
+	defer o.close()
 
 	switch *mode {
 	case "registry":
-		runRegistry(*addr, *ttl, lim)
+		runRegistry(*addr, *ttl, lim, o)
 	case "node":
-		runNode(*addr, *registry, *name, *load, lim)
+		runNode(*addr, *registry, *name, *load, lim, o)
 	case "demo":
-		runDemo(*ttl)
+		runDemo(*ttl, o)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		flag.Usage()
@@ -61,22 +110,25 @@ func waitForInterrupt() {
 	<-ch
 }
 
-func runRegistry(addr string, ttl time.Duration, lim ishare.Limits) {
+func runRegistry(addr string, ttl time.Duration, lim ishare.Limits, o *observability) {
 	reg, err := ishare.NewRegistryWithLimits(addr, ttl, lim)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer reg.Close()
+	reg.Instrument(o.reg, o.logger)
 	fmt.Printf("registry listening on %s (ttl %v); ctrl-c to stop\n", reg.Addr(), ttl)
 	waitForInterrupt()
 }
 
-func runNode(addr, registry, name string, load float64, lim ishare.Limits) {
+func runNode(addr, registry, name string, load float64, lim ishare.Limits, o *observability) {
 	node, err := ishare.NewNode(addr, ishare.NodeConfig{
 		Name:         name,
 		RegistryAddr: registry,
 		HostLoad:     load,
 		Limits:       lim,
+		Metrics:      o.reg,
+		Logger:       o.logger,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -86,12 +138,13 @@ func runNode(addr, registry, name string, load float64, lim ishare.Limits) {
 	waitForInterrupt()
 }
 
-func runDemo(ttl time.Duration) {
+func runDemo(ttl time.Duration, o *observability) {
 	reg, err := ishare.NewRegistry("127.0.0.1:0", ttl)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer reg.Close()
+	reg.Instrument(o.reg, o.logger)
 	fmt.Printf("registry up at %s\n", reg.Addr())
 
 	loads := []float64{0.05, 0.40, 0.90}
@@ -101,6 +154,8 @@ func runDemo(ttl time.Duration) {
 			Name:         fmt.Sprintf("lab-%d", i+1),
 			RegistryAddr: reg.Addr(),
 			HostLoad:     load,
+			Metrics:      o.reg,
+			Logger:       o.logger,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -127,6 +182,8 @@ func runDemo(ttl time.Duration) {
 
 	fmt.Println("\nbroker placement: submitting through the availability-aware broker:")
 	broker := ishare.NewBroker(reg.Addr())
+	broker.Obs = o.reg
+	broker.Logger = o.logger
 	bres, bnode, err := broker.SubmitBest(ctx, ishare.JobSpec{Name: "brokered-job", CPUSeconds: 300, RSSMB: 96})
 	if err != nil {
 		log.Fatal(err)

@@ -16,6 +16,12 @@ type Thresholds struct {
 	Th1      float64
 	Th2      float64
 	Slowdown float64
+	// Explicit marks zero-valued Th1/Th2 as deliberate. Without it, a
+	// fully zero threshold pair means "unset" and takes the Linux
+	// defaults, and a half-set pair (exactly one of Th1/Th2 nonzero) is a
+	// configuration error — historically it silently ran with the other
+	// threshold at 0, classifying every idle host as S2.
+	Explicit bool
 }
 
 // LinuxThresholds are the values the paper reports for its Linux testbed
@@ -60,7 +66,9 @@ func DefaultConfig() Config {
 
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()
-	if c.Thresholds.Th1 == 0 && c.Thresholds.Th2 == 0 {
+	// Only a fully unset pair defaults; a half-set pair is left alone for
+	// Validate to reject, and Explicit zeros are honored as configured.
+	if !c.Thresholds.Explicit && c.Thresholds.Th1 == 0 && c.Thresholds.Th2 == 0 {
 		c.Thresholds = d.Thresholds
 	}
 	if c.Thresholds.Slowdown == 0 {
@@ -83,6 +91,9 @@ func (c Config) Validate() error {
 	t := c.Thresholds
 	if t.Th1 < 0 || t.Th1 > 1 || t.Th2 < 0 || t.Th2 > 1 {
 		return fmt.Errorf("availability: thresholds must lie in [0,1], got Th1=%v Th2=%v", t.Th1, t.Th2)
+	}
+	if !t.Explicit && (t.Th1 == 0) != (t.Th2 == 0) {
+		return fmt.Errorf("availability: half-set thresholds Th1=%v Th2=%v: set both, or mark a deliberate zero with Thresholds.Explicit", t.Th1, t.Th2)
 	}
 	if t.Th1 > t.Th2 {
 		return fmt.Errorf("availability: Th1 (%v) must not exceed Th2 (%v)", t.Th1, t.Th2)
@@ -129,8 +140,12 @@ type Detector struct {
 	cfg   Config
 	state State
 	// spikeStart is when LH first exceeded Th2 in the current spike;
-	// spikeActive reports whether a spike is in progress.
+	// spikeActive reports whether a spike is in progress. spikeObs is the
+	// observation that opened the spike — the load actually seen at the
+	// instant the resource became unusable, reported when a persistent
+	// spike is backdated into S3.
 	spikeStart  sim.Time
+	spikeObs    Observation
 	spikeActive bool
 	// preSpike remembers the state to return to if the spike subsides.
 	preSpike  State
@@ -181,9 +196,14 @@ func (d *Detector) Observe(obs Observation) (State, *Transition) {
 	tr := &Transition{At: obs.At, From: d.state, To: next, LH: obs.HostCPU, FreeMem: obs.FreeMem}
 	// Backdate a CPU-unavailability transition to the start of the spike:
 	// the resource actually became unusable when the load first exceeded
-	// Th2, not when the transient window expired.
+	// Th2, not when the transient window expired. The load and free memory
+	// reported with it come from the spike-start observation too, so trace
+	// analyzers see the machine as it was at the transition instant rather
+	// than at window expiry.
 	if next == S3 && d.spikeActive && d.spikeStart < obs.At {
 		tr.At = d.spikeStart
+		tr.LH = d.spikeObs.HostCPU
+		tr.FreeMem = d.spikeObs.FreeMem
 	}
 	d.state = next
 	return next, tr
@@ -221,6 +241,7 @@ func (d *Detector) classify(obs Observation) State {
 		if !d.spikeActive {
 			d.spikeActive = true
 			d.spikeStart = obs.At
+			d.spikeObs = obs
 			d.preSpike = d.state
 			if !d.preSpike.Available() {
 				d.preSpike = S2

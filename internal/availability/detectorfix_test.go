@@ -1,0 +1,157 @@
+package availability
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConfigThresholdDefaulting pins the unset/deliberate-zero distinction:
+// a fully zero pair defaults, a half-set pair is a configuration error
+// (historically it silently ran with the other threshold at 0 and
+// classified every idle host as S2), and Explicit zeros are honored.
+func TestConfigThresholdDefaulting(t *testing.T) {
+	tests := []struct {
+		name    string
+		th      Thresholds
+		wantErr bool
+		want    Thresholds // effective thresholds when wantErr is false
+	}{
+		{
+			name: "fully unset defaults to Linux",
+			th:   Thresholds{},
+			want: LinuxThresholds(),
+		},
+		{
+			name: "fully set kept verbatim",
+			th:   Thresholds{Th1: 0.10, Th2: 0.30, Slowdown: 0.05},
+			want: Thresholds{Th1: 0.10, Th2: 0.30, Slowdown: 0.05},
+		},
+		{
+			name:    "only Th2 set is rejected",
+			th:      Thresholds{Th2: 0.60},
+			wantErr: true,
+		},
+		{
+			name:    "only Th1 set is rejected",
+			th:      Thresholds{Th1: 0.20},
+			wantErr: true,
+		},
+		{
+			name: "explicit zero Th1 accepted",
+			th:   Thresholds{Th1: 0, Th2: 0.60, Explicit: true},
+			want: Thresholds{Th1: 0, Th2: 0.60, Slowdown: 0.05, Explicit: true},
+		},
+		{
+			name: "explicit all-zero accepted",
+			th:   Thresholds{Explicit: true},
+			want: Thresholds{Slowdown: 0.05, Explicit: true},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, err := NewDetector(Config{Thresholds: tt.th})
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("NewDetector(%+v) succeeded with thresholds %+v, want half-set error", tt.th, d.Config().Thresholds)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewDetector(%+v): %v", tt.th, err)
+			}
+			if got := d.Config().Thresholds; got != tt.want {
+				t.Errorf("effective thresholds = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestConfigHalfSetValidateStandalone checks Validate on its own, before
+// any defaulting.
+func TestConfigHalfSetValidateStandalone(t *testing.T) {
+	if err := (Config{Thresholds: Thresholds{Th2: 0.6}}).Validate(); err == nil {
+		t.Error("Validate accepted a half-set pair")
+	}
+	if err := (Config{Thresholds: Thresholds{Th2: 0.6, Explicit: true}}).Validate(); err != nil {
+		t.Errorf("Validate rejected an Explicit zero Th1: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("Validate rejected the zero config: %v", err)
+	}
+}
+
+// TestExplicitZeroTh1ClassifiesIdleAsS2 shows the deliberate-zero behavior
+// is still expressible: with Explicit Th1=0 every alive observation is at
+// least S2 — exactly what the old bug produced silently.
+func TestExplicitZeroTh1ClassifiesIdleAsS2(t *testing.T) {
+	d := MustNewDetector(Config{Thresholds: Thresholds{Th1: 0, Th2: 0.60, Explicit: true}})
+	if st, _ := d.Observe(obs(time.Second, 0.01)); st != S2 {
+		t.Errorf("idle host with explicit Th1=0 -> %v, want S2", st)
+	}
+}
+
+// TestBackdatedS3ReportsSpikeStartObservation pins the second fix: when a
+// spike outlives the transient window, the emitted transition carries the
+// load and free memory of the spike-start observation, not of the
+// window-expiry observation.
+func TestBackdatedS3ReportsSpikeStartObservation(t *testing.T) {
+	tests := []struct {
+		name string
+		pre  float64 // load before the spike
+		from State
+	}{
+		{name: "from S1", pre: 0.05, from: S1},
+		{name: "from S2", pre: 0.40, from: S2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := MustNewDetector(Config{})
+			d.Observe(Observation{At: 0, HostCPU: tt.pre, FreeMem: 8 * gig, Alive: true})
+			// Spike start: distinctive load and memory.
+			d.Observe(Observation{At: 10 * time.Second, HostCPU: 0.90, FreeMem: 3 * gig, Alive: true})
+			// Window expiry (70s later > 1 min) with different load/mem.
+			st, tr := d.Observe(Observation{At: 80 * time.Second, HostCPU: 0.99, FreeMem: 1 * gig, Alive: true})
+			if st != S3 || tr == nil {
+				t.Fatalf("persistent spike -> %v, tr %+v; want S3 with transition", st, tr)
+			}
+			if tr.At != 10*time.Second {
+				t.Errorf("transition At = %v, want backdated 10s", tr.At)
+			}
+			if tr.From != tt.from || tr.To != S3 {
+				t.Errorf("transition %v -> %v, want %v -> S3", tr.From, tr.To, tt.from)
+			}
+			if tr.LH != 0.90 {
+				t.Errorf("transition LH = %v, want spike-start 0.90 (not expiry 0.99)", tr.LH)
+			}
+			if tr.FreeMem != 3*gig {
+				t.Errorf("transition FreeMem = %v, want spike-start %v (not expiry %v)", tr.FreeMem, 3*gig, 1*gig)
+			}
+		})
+	}
+}
+
+// TestNonBackdatedTransitionsKeepOwnObservation: transitions that are not
+// backdated (S4, S5, recovery) still report the triggering observation.
+func TestNonBackdatedTransitionsKeepOwnObservation(t *testing.T) {
+	d := MustNewDetector(Config{GuestWorkingSet: 2 * gig})
+	d.Observe(Observation{At: 0, HostCPU: 0.05, FreeMem: 4 * gig, Alive: true})
+	_, tr := d.Observe(Observation{At: 10 * time.Second, HostCPU: 0.30, FreeMem: 1 * gig, Alive: true})
+	if tr == nil || tr.To != S4 || tr.LH != 0.30 || tr.FreeMem != 1*gig || tr.At != 10*time.Second {
+		t.Errorf("S4 transition = %+v, want own observation at 10s", tr)
+	}
+
+	// A spike interrupted by a new spike after recovery must report the
+	// *current* spike's start, not a stale one.
+	d2 := MustNewDetector(Config{})
+	d2.Observe(obs(0, 0.05))
+	d2.Observe(Observation{At: 10 * time.Second, HostCPU: 0.80, FreeMem: 6 * gig, Alive: true}) // spike 1
+	d2.Observe(obs(40*time.Second, 0.05))                                                       // subsides
+	d2.Observe(Observation{At: 50 * time.Second, HostCPU: 0.70, FreeMem: 5 * gig, Alive: true}) // spike 2
+	st, tr := d2.Observe(Observation{At: 120 * time.Second, HostCPU: 0.95, FreeMem: 2 * gig, Alive: true})
+	if st != S3 || tr == nil {
+		t.Fatalf("second spike -> %v %+v", st, tr)
+	}
+	if tr.At != 50*time.Second || tr.LH != 0.70 || tr.FreeMem != 5*gig {
+		t.Errorf("transition = %+v, want second spike's start (50s, 0.70, 5GiB)", tr)
+	}
+}

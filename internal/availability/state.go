@@ -37,6 +37,15 @@ func (s State) String() string {
 	}
 }
 
+// Short returns the bare state name ("S1".."S5") — the form used in
+// metric labels, where the String() parenthetical would be noise.
+func (s State) Short() string {
+	if s.Valid() {
+		return [...]string{"S1", "S2", "S3", "S4", "S5"}[s-S1]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
 // Available reports whether a guest may occupy the resource (S1 or S2).
 func (s State) Available() bool { return s == S1 || s == S2 }
 

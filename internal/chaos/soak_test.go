@@ -1,11 +1,14 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/ishare"
+	"repro/internal/obs"
 )
 
 // TestChaosSoak drives a registry and four nodes through a scripted fault
@@ -74,6 +77,9 @@ func TestChaosSoak(t *testing.T) {
 		CacheTTL:   30 * time.Second,
 		MaxRounds:  12,
 		RoundDelay: 10 * time.Millisecond,
+		// The soak's recovery assertions read the obs registry (the
+		// scrapable source of truth), not just the Metrics() snapshot.
+		Obs: obs.NewRegistry(),
 	}
 
 	specs := []ishare.JobSpec{
@@ -141,6 +147,39 @@ func TestChaosSoak(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	submit(specs[3])
+
+	// Phase 4 — exactly-once via dedup: resubmitting a completed ID must be
+	// answered from the node's completed-job cache, and the broker must
+	// count the hit.
+	dedupRes, _, err := broker.SubmitBest(ctx, specs[3])
+	if err != nil {
+		t.Fatalf("phase 4 resubmission: %v", err)
+	}
+	if !dedupRes.Deduped {
+		t.Errorf("phase 4: resubmitted job was not deduped: %+v", dedupRes)
+	}
+
+	// The recovery counters must be visible through the obs registry — the
+	// same numbers a Prometheus scrape of a live broker would report.
+	final := broker.Metrics()
+	if final.Failovers == 0 || final.StaleServes == 0 || final.DedupHits == 0 {
+		t.Errorf("recovery counters incomplete: %+v", final)
+	}
+	var scrape bytes.Buffer
+	if err := broker.Obs.WritePrometheus(&scrape); err != nil {
+		t.Fatalf("scraping broker registry: %v", err)
+	}
+	for metric, val := range map[string]int{
+		"fgcs_broker_failovers_total":     final.Failovers,
+		"fgcs_broker_stale_serves_total":  final.StaleServes,
+		"fgcs_broker_dedup_hits_total":    final.DedupHits,
+		"fgcs_broker_resubmissions_total": final.Resubmissions,
+	} {
+		want := fmt.Sprintf("%s %d", metric, val)
+		if !strings.Contains(scrape.String(), want) {
+			t.Errorf("scrape missing %q (Metrics() and registry disagree?)\n%s", want, scrape.String())
+		}
+	}
 
 	// Exactly-once: across every node, each job ID completed exactly one
 	// execution, and the crashed node completed none.

@@ -3,10 +3,13 @@ package ishare
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Broker is the client-side placement component: it discovers published
@@ -28,17 +31,25 @@ type Broker struct {
 	MaxRounds int
 	// RoundDelay paces consecutive rounds (default 50 ms).
 	RoundDelay time.Duration
+	// Obs receives the broker's counters and latency histograms. Leave nil
+	// to keep the metrics private (a registry is created lazily); set it
+	// before first use to export them on a shared /metrics endpoint.
+	Obs *obs.Registry
+	// Logger receives structured per-job events (submissions, failovers,
+	// resubmissions) carrying the job's trace ID. Nil discards them.
+	Logger *slog.Logger
 
-	jobSeq atomic.Int64
+	jobSeq  atomic.Int64
+	metOnce sync.Once
+	met     *brokerMetrics
 
 	mu      sync.Mutex
 	cache   []NodeInfo
 	cacheAt time.Time
-	m       BrokerMetrics
 }
 
-// BrokerMetrics counts the broker's recovery actions. All fields are
-// cumulative since construction.
+// BrokerMetrics is a snapshot of the broker's recovery counters. All
+// fields are cumulative since construction.
 type BrokerMetrics struct {
 	// StaleServes counts candidate lists served from the cached node list
 	// because the registry was unreachable.
@@ -57,6 +68,9 @@ type BrokerMetrics struct {
 	// Resubmissions counts jobs resubmitted from a checkpoint after being
 	// killed (URR/UEC) or timing out.
 	Resubmissions int
+	// DedupHits counts submissions answered from a node's completed-job
+	// cache rather than by running the job again.
+	DedupHits int
 }
 
 // NewBroker builds a broker over a registry.
@@ -64,11 +78,38 @@ func NewBroker(registryAddr string) *Broker {
 	return &Broker{Client: &Client{RegistryAddr: registryAddr}}
 }
 
-// Metrics returns a snapshot of the broker's recovery counters.
+// metrics returns the broker's counter set, creating it (and, if needed, a
+// private registry) on first use. The client shares the broker's registry
+// unless it already has its own.
+func (b *Broker) metrics() *brokerMetrics {
+	b.metOnce.Do(func() {
+		if b.Obs == nil {
+			b.Obs = obs.NewRegistry()
+		}
+		b.met = newBrokerMetrics(b.Obs)
+		if b.Client != nil && b.Client.Obs == nil {
+			b.Client.Obs = b.Obs
+		}
+	})
+	return b.met
+}
+
+func (b *Broker) logger() *slog.Logger { return loggerOrDiscard(b.Logger) }
+
+// Metrics returns a snapshot of the broker's recovery counters. It is safe
+// to call concurrently with submissions: every counter is an atomic in the
+// broker's obs registry.
 func (b *Broker) Metrics() BrokerMetrics {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.m
+	m := b.metrics()
+	return BrokerMetrics{
+		StaleServes:     int(m.staleServes.Value()),
+		RegistryErrors:  int(m.registryErrors.Value()),
+		InfoFailures:    int(m.infoFailures.Value()),
+		Failovers:       int(m.failovers.Value()),
+		SameNodeRetries: int(m.sameNodeRetries.Value()),
+		Resubmissions:   int(m.resubmissions.Value()),
+		DedupHits:       int(m.dedupHits.Value()),
+	}
 }
 
 func (b *Broker) cacheTTL() time.Duration {
@@ -119,6 +160,7 @@ func rankState(state string) int {
 // aliveNodes discovers placement targets, degrading to the cached
 // last-known-good list (within CacheTTL) when the registry is partitioned.
 func (b *Broker) aliveNodes(ctx context.Context) ([]NodeInfo, bool, error) {
+	m := b.metrics()
 	nodes, err := b.Client.AliveNodes(ctx)
 	if err == nil {
 		b.mu.Lock()
@@ -130,10 +172,12 @@ func (b *Broker) aliveNodes(ctx context.Context) ([]NodeInfo, bool, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if len(b.cache) > 0 && time.Since(b.cacheAt) <= b.cacheTTL() {
-		b.m.StaleServes++
+		m.staleServes.Inc()
+		b.logger().Log(ctx, slog.LevelWarn, "registry unreachable, serving cached node list",
+			"trace", TraceIDFrom(ctx), "cached_nodes", len(b.cache), "err", err.Error())
 		return append([]NodeInfo(nil), b.cache...), true, nil
 	}
-	b.m.RegistryErrors++
+	m.registryErrors.Inc()
 	return nil, false, err
 }
 
@@ -152,9 +196,7 @@ func (b *Broker) Candidates(ctx context.Context) ([]Candidate, error) {
 		if err != nil {
 			// Unreachable despite a fresh heartbeat (or a stale cache
 			// entry that died during the partition): skip.
-			b.mu.Lock()
-			b.m.InfoFailures++
-			b.mu.Unlock()
+			b.metrics().infoFailures.Inc()
 			continue
 		}
 		score := rankState(st.State)
@@ -190,9 +232,9 @@ func (b *Broker) submitOnce(ctx context.Context, addr string, job JobSpec) (*Job
 	if ctx.Err() != nil {
 		return nil, err
 	}
-	b.mu.Lock()
-	b.m.SameNodeRetries++
-	b.mu.Unlock()
+	b.metrics().sameNodeRetries.Inc()
+	b.logger().Log(ctx, slog.LevelInfo, "retrying submission on same node after dropped response",
+		"trace", TraceIDFrom(ctx), "job", job.ID, "node_addr", addr)
 	return b.Client.Submit(ctx, addr, job)
 }
 
@@ -205,6 +247,19 @@ func (b *Broker) SubmitBest(ctx context.Context, job JobSpec) (*JobResult, NodeI
 	if job.ID == "" {
 		job.ID = fmt.Sprintf("%s#%d", job.Name, b.jobSeq.Add(1))
 	}
+	// The job ID doubles as its trace ID: every exchange of this placement
+	// (discovery, info queries, submissions, retries) is stamped with it on
+	// the wire, so logs on the broker, registry and nodes correlate.
+	if TraceIDFrom(ctx) == "" {
+		ctx = WithTraceID(ctx, job.ID)
+	}
+	m := b.metrics()
+	m.submissions.Inc()
+	start := time.Now()
+	defer func() { m.submitSeconds.Observe(time.Since(start).Seconds()) }()
+	b.logger().Log(ctx, slog.LevelInfo, "placing job",
+		"trace", TraceIDFrom(ctx), "job", job.ID, "cpu_seconds", job.CPUSeconds)
+
 	resume := job.ResumeCPUSeconds
 	rounds := b.maxRounds()
 	var lastErr error
@@ -230,12 +285,21 @@ func (b *Broker) SubmitBest(ctx context.Context, job JobSpec) (*JobResult, NodeI
 			if err != nil {
 				// The node died under the submission: fail over.
 				lastErr = err
-				b.mu.Lock()
-				b.m.Failovers++
-				b.mu.Unlock()
+				m.failovers.Inc()
+				b.logger().Log(ctx, slog.LevelWarn, "submission failed, failing over",
+					"trace", TraceIDFrom(ctx), "job", job.ID, "node", c.Node.Name, "err", err.Error())
 				continue
 			}
+			if res.Deduped {
+				m.dedupHits.Inc()
+				b.logger().Log(ctx, slog.LevelInfo, "submission answered from node dedup cache",
+					"trace", TraceIDFrom(ctx), "job", job.ID, "node", c.Node.Name)
+			}
 			if res.Completed {
+				m.completions.Inc()
+				b.logger().Log(ctx, slog.LevelInfo, "job completed",
+					"trace", TraceIDFrom(ctx), "job", job.ID, "node", c.Node.Name,
+					"wall_seconds", res.WallSeconds, "suspensions", res.Suspensions, "deduped", res.Deduped)
 				return res, c.Node, nil
 			}
 			// Killed (URR/UEC) or out of budget: checkpoint the progress
@@ -245,9 +309,10 @@ func (b *Broker) SubmitBest(ctx context.Context, job JobSpec) (*JobResult, NodeI
 			if res.GuestCPUSeconds > resume && res.GuestCPUSeconds < job.CPUSeconds {
 				resume = res.GuestCPUSeconds
 			}
-			b.mu.Lock()
-			b.m.Resubmissions++
-			b.mu.Unlock()
+			m.resubmissions.Inc()
+			b.logger().Log(ctx, slog.LevelWarn, "job interrupted, resubmitting from checkpoint",
+				"trace", TraceIDFrom(ctx), "job", job.ID, "node", c.Node.Name,
+				"outcome", res.Outcome, "final_state", res.FinalState, "resume_cpu_seconds", resume)
 			lastErr = fmt.Errorf("ishare: job %q %s on %s in %s at %.0f/%.0f cpu-s",
 				job.Name, res.Outcome, c.Node.Name, res.FinalState, res.GuestCPUSeconds, job.CPUSeconds)
 			break

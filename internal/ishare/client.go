@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client talks to a registry and its published nodes. Idempotent
@@ -28,9 +30,25 @@ type Client struct {
 	Retry RetryPolicy
 	// Limits bounds response sizes read by this client.
 	Limits Limits
+	// Obs receives per-operation request/retry/failure counters and latency
+	// histograms. Leave nil to skip client-side instrumentation entirely.
+	Obs *obs.Registry
 
 	once sync.Once
 	jr   *jitterRand
+
+	metOnce sync.Once
+	met     *clientMetrics
+}
+
+// metrics returns the client's metric set, or nil when no registry was
+// attached (the uninstrumented path stays allocation-free).
+func (c *Client) metrics() *clientMetrics {
+	if c.Obs == nil {
+		return nil
+	}
+	c.metOnce.Do(func() { c.met = newClientMetrics(c.Obs) })
+	return c.met
 }
 
 func (c *Client) timeout() time.Duration {
@@ -57,6 +75,17 @@ func (c *Client) jitter() *jitterRand {
 // returned to the caller immediately since the peer demonstrably saw the
 // request.
 func (c *Client) do(ctx context.Context, addr string, req Request, timeout time.Duration, idempotent bool) (*Response, error) {
+	// Stamp the context's trace ID onto the wire so the serving side can
+	// log the exchange under the same ID.
+	if req.Trace == "" {
+		req.Trace = TraceIDFrom(ctx)
+	}
+	m := c.metrics()
+	var start time.Time
+	if m != nil {
+		m.request(req.Op).Inc()
+		start = time.Now()
+	}
 	p := c.Retry.withDefaults()
 	attempts := 1
 	if idempotent {
@@ -65,18 +94,28 @@ func (c *Client) do(ctx context.Context, addr string, req Request, timeout time.
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
+			if m != nil {
+				m.retry(req.Op).Inc()
+			}
 			if err := sleepCtx(ctx, backoffDelay(p, a, c.jitter())); err != nil {
 				break
 			}
 		}
 		resp, err := roundTrip(ctx, c.Dialer, addr, req, timeout, c.Limits.withDefaults().MaxMessageBytes)
 		if err == nil {
+			if m != nil {
+				m.latency(req.Op).Observe(time.Since(start).Seconds())
+			}
 			return resp, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil {
 			break
 		}
+	}
+	if m != nil {
+		m.failure(req.Op).Inc()
+		m.latency(req.Op).Observe(time.Since(start).Seconds())
 	}
 	return nil, lastErr
 }

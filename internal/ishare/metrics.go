@@ -1,0 +1,171 @@
+package ishare
+
+import (
+	"context"
+	"log/slog"
+
+	"repro/internal/obs"
+)
+
+// This file is the observability seam of the networked layer: every
+// component (broker, client, node, registry) registers its counters and
+// latency histograms in an obs.Registry — caller-supplied so one process
+// exports everything on a single /metrics endpoint, or a private registry
+// when none is given — and per-job trace IDs ride the protocol so one
+// logical submission can be followed across broker rounds, failovers and
+// node-side execution in the structured logs of every participant.
+
+// traceKey carries a per-job trace ID in a context.
+type traceKey struct{}
+
+// WithTraceID returns a context carrying the given trace ID. The client
+// stamps it into every outgoing Request, so all exchanges of one logical
+// operation share an ID across processes.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom extracts the trace ID from a context ("" when absent).
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// discardLogger is the default for components whose config carries no
+// *slog.Logger: instrumentation must be silent unless asked for.
+var discardLogger = slog.New(slog.DiscardHandler)
+
+func loggerOrDiscard(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return discardLogger
+	}
+	return l
+}
+
+// requestSecondsBuckets spans sub-millisecond local exchanges up to the
+// multi-second retry budgets of partitioned registries.
+var requestSecondsBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30}
+
+// brokerMetrics are the broker's recovery counters, registry-backed so
+// they are atomic (Metrics() snapshots race-free) and scrapable.
+type brokerMetrics struct {
+	staleServes     *obs.Counter
+	registryErrors  *obs.Counter
+	infoFailures    *obs.Counter
+	failovers       *obs.Counter
+	sameNodeRetries *obs.Counter
+	resubmissions   *obs.Counter
+	dedupHits       *obs.Counter
+	submissions     *obs.Counter
+	completions     *obs.Counter
+	submitSeconds   *obs.Histogram
+}
+
+func newBrokerMetrics(r *obs.Registry) *brokerMetrics {
+	return &brokerMetrics{
+		staleServes:     r.Counter("fgcs_broker_stale_serves_total", "candidate lists served from the cached node list during registry partitions"),
+		registryErrors:  r.Counter("fgcs_broker_registry_errors_total", "discovery attempts that failed with no usable cache"),
+		infoFailures:    r.Counter("fgcs_broker_info_failures_total", "alive-listed nodes whose Info query failed"),
+		failovers:       r.Counter("fgcs_broker_failovers_total", "submissions moved to the next candidate after a transport failure"),
+		sameNodeRetries: r.Counter("fgcs_broker_same_node_retries_total", "dedup-safe immediate retries on the same node after a dropped response"),
+		resubmissions:   r.Counter("fgcs_broker_resubmissions_total", "jobs resubmitted from a checkpoint after being killed or timing out"),
+		dedupHits:       r.Counter("fgcs_broker_dedup_hits_total", "submissions answered from a node's completed-job cache"),
+		submissions:     r.Counter("fgcs_broker_submissions_total", "SubmitBest calls"),
+		completions:     r.Counter("fgcs_broker_completions_total", "SubmitBest calls that returned a completed job"),
+		submitSeconds:   r.Histogram("fgcs_broker_submit_seconds", "wall time of one SubmitBest call", requestSecondsBuckets),
+	}
+}
+
+// clientMetrics count the client's request traffic per operation.
+type clientMetrics struct {
+	reg *obs.Registry
+}
+
+func newClientMetrics(r *obs.Registry) *clientMetrics {
+	return &clientMetrics{reg: r}
+}
+
+func (m *clientMetrics) request(op string) *obs.Counter {
+	return m.reg.Counter("fgcs_client_requests_total", "logical client exchanges by operation", obs.L("op", op))
+}
+
+func (m *clientMetrics) retry(op string) *obs.Counter {
+	return m.reg.Counter("fgcs_client_retries_total", "transport-level retries of idempotent operations", obs.L("op", op))
+}
+
+func (m *clientMetrics) failure(op string) *obs.Counter {
+	return m.reg.Counter("fgcs_client_failures_total", "exchanges that exhausted their attempt budget", obs.L("op", op))
+}
+
+func (m *clientMetrics) latency(op string) *obs.Histogram {
+	return m.reg.Histogram("fgcs_client_request_seconds", "wall time of one logical exchange including retries", requestSecondsBuckets, obs.L("op", op))
+}
+
+// nodeMetrics count a node agent's job lifecycle and liveness machinery.
+type nodeMetrics struct {
+	reg *obs.Registry
+
+	dedupHits         *obs.Counter
+	suspensions       *obs.Counter
+	crashes           *obs.Counter
+	heartbeatFailures *obs.Counter
+	reregisters       *obs.Counter
+	state             *obs.Gauge
+	jobWallSeconds    *obs.Histogram
+}
+
+func newNodeMetrics(r *obs.Registry, name string) *nodeMetrics {
+	node := obs.L("node", name)
+	m := &nodeMetrics{
+		reg:               r,
+		dedupHits:         r.Counter("fgcs_node_dedup_hits_total", "submissions answered from the completed-job cache", node),
+		suspensions:       r.Counter("fgcs_node_suspensions_total", "transient-spike suspensions applied to guest jobs", node),
+		crashes:           r.Counter("fgcs_node_crashes_total", "CrashAtVirtual faults fired", node),
+		heartbeatFailures: r.Counter("fgcs_node_heartbeat_failures_total", "heartbeat attempts that failed transport or re-registration", node),
+		reregisters:       r.Counter("fgcs_node_reregisters_total", "successful re-registrations after the registry forgot the node", node),
+		state:             r.Gauge("fgcs_node_state", "last observed availability state (1=S1 .. 5=S5)", node),
+		jobWallSeconds:    r.Histogram("fgcs_node_job_wall_seconds", "virtual wall time jobs occupied the node", []float64{1, 10, 60, 300, 900, 3600, 4 * 3600, 24 * 3600}, node),
+	}
+	// Outcome counters are created eagerly so a scrape shows the full
+	// family before the first job arrives.
+	for _, o := range []string{"completed", "killed", "timeout"} {
+		m.job(name, o)
+	}
+	return m
+}
+
+func (m *nodeMetrics) job(name, outcome string) *obs.Counter {
+	return m.reg.Counter("fgcs_node_jobs_total", "guest jobs finished by outcome", obs.L("node", name), obs.L("outcome", outcome))
+}
+
+// registryMetrics count the discovery service's traffic and liveness view.
+type registryMetrics struct {
+	requests  map[string]*obs.Counter
+	unknownHB *obs.Counter
+	nodes     *obs.Gauge
+	alive     *obs.Gauge
+}
+
+func newRegistryMetrics(r *obs.Registry) *registryMetrics {
+	m := &registryMetrics{
+		requests:  make(map[string]*obs.Counter),
+		unknownHB: r.Counter("fgcs_registry_unknown_heartbeats_total", "heartbeats from nodes the registry does not know"),
+		nodes:     r.Gauge("fgcs_registry_nodes", "registered nodes"),
+		alive:     r.Gauge("fgcs_registry_alive_nodes", "nodes alive at the last list"),
+	}
+	for _, op := range []string{"register", "unregister", "heartbeat", "list", "unknown"} {
+		m.requests[op] = r.Counter("fgcs_registry_requests_total", "registry exchanges by operation", obs.L("op", op))
+	}
+	return m
+}
+
+func (m *registryMetrics) request(op string) {
+	c, ok := m.requests[op]
+	if !ok {
+		c = m.requests["unknown"]
+	}
+	c.Inc()
+}

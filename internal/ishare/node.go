@@ -3,12 +3,14 @@ package ishare
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/availability"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/simos"
 	"repro/internal/workload"
 )
@@ -51,6 +53,13 @@ type NodeConfig struct {
 	// clock reaches this value. This reproduces the paper's S5 (URR): the
 	// FGCS service dies with the host, mid-job.
 	CrashAtVirtual time.Duration
+	// Metrics, when set, receives the node's counters (jobs by outcome,
+	// dedup hits, suspensions, heartbeat failures) labeled with the node's
+	// name, so many nodes can share one registry and one /metrics endpoint.
+	Metrics *obs.Registry
+	// Logger receives structured job-lifecycle events carrying the
+	// submission's trace ID. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -79,6 +88,8 @@ func (c NodeConfig) withDefaults() NodeConfig {
 // monitoring stack, reachable over TCP.
 type Node struct {
 	cfg NodeConfig
+	met *nodeMetrics // nil when NodeConfig.Metrics is nil
+	log *slog.Logger
 
 	mu      sync.Mutex
 	machine *simos.Machine
@@ -117,6 +128,7 @@ func NewNode(addr string, cfg NodeConfig) (*Node, error) {
 	}
 	n := &Node{
 		cfg:     cfg,
+		log:     loggerOrDiscard(cfg.Logger).With("node", cfg.Name),
 		machine: machine,
 		mon:     mon,
 		det:     det,
@@ -124,6 +136,9 @@ func NewNode(addr string, cfg NodeConfig) (*Node, error) {
 		done:    make(map[string]JobResult),
 		execs:   make(map[string]int),
 		closed:  make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		n.met = newNodeMetrics(cfg.Metrics, cfg.Name)
 	}
 	n.sampler = monitor.NewMachineSampler(machine)
 	n.setHostLocked(cfg.HostLoad, 300*simos.MB)
@@ -210,12 +225,22 @@ func (n *Node) heartbeatLoop() {
 		switch {
 		case err != nil:
 			fails++
+			if n.met != nil {
+				n.met.heartbeatFailures.Inc()
+			}
 		case !resp.OK:
 			// The registry answered but has forgotten us: re-register.
 			if err := n.register(); err != nil {
 				fails++
+				if n.met != nil {
+					n.met.heartbeatFailures.Inc()
+				}
 			} else {
 				fails = 0
+				if n.met != nil {
+					n.met.reregisters.Inc()
+				}
+				n.log.Info("re-registered after registry forgot node")
 			}
 		default:
 			fails = 0
@@ -278,6 +303,10 @@ func (n *Node) crashNowLocked() bool {
 	}
 	if n.cfg.CrashAtVirtual > 0 && n.machine.Now() >= n.cfg.CrashAtVirtual {
 		n.crashed = true
+		if n.met != nil {
+			n.met.crashes.Inc()
+		}
+		n.log.Warn("crash fault fired", "virtual_now", n.machine.Now().String())
 		go n.Close()
 		return true
 	}
@@ -303,7 +332,7 @@ func (n *Node) handle(req Request) *Response {
 		if req.Job == nil {
 			return &Response{OK: false, Error: "submit requires a job"}
 		}
-		return n.submit(*req.Job)
+		return n.submit(*req.Job, req.Trace)
 	default:
 		return &Response{OK: false, Error: "unknown op " + req.Op}
 	}
@@ -319,6 +348,9 @@ func (n *Node) info() *Response {
 	}
 	obs := n.mon.Observe(n.sampler.Sample())
 	state, _ := n.det.Observe(obs)
+	if n.met != nil {
+		n.met.state.Set(float64(state))
+	}
 	return &Response{OK: true, Info: &NodeStatus{
 		State:        state.String(),
 		HostCPU:      obs.HostCPU,
@@ -332,7 +364,7 @@ func (n *Node) info() *Response {
 // carrying an already-completed ID returns the cached result instead of
 // re-running; a job carrying a resume offset runs only the remaining work
 // and reports cumulative progress.
-func (n *Node) submit(spec JobSpec) *Response {
+func (n *Node) submit(spec JobSpec, trace string) *Response {
 	if spec.CPUSeconds <= 0 {
 		return &Response{OK: false, Error: "job needs positive cpu_seconds"}
 	}
@@ -350,9 +382,15 @@ func (n *Node) submit(spec JobSpec) *Response {
 	if spec.ID != "" {
 		if cached, ok := n.done[spec.ID]; ok {
 			cached.Deduped = true
+			if n.met != nil {
+				n.met.dedupHits.Inc()
+			}
+			n.log.Info("submission answered from dedup cache", "trace", trace, "job", spec.ID)
 			return &Response{OK: true, Job: &cached}
 		}
 	}
+	n.log.Info("job accepted", "trace", trace, "job", spec.ID,
+		"cpu_seconds", spec.CPUSeconds, "resume_cpu_seconds", spec.ResumeCPUSeconds)
 
 	remaining := time.Duration((spec.CPUSeconds - spec.ResumeCPUSeconds) * float64(time.Second))
 	work := &workload.FiniteWork{Total: remaining, Usage: 1}
@@ -377,6 +415,9 @@ func (n *Node) submit(spec JobSpec) *Response {
 		state, action, _ = ctrl.Observe(obs)
 		if action == availability.ActionSuspend {
 			result.Suspensions++
+			if n.met != nil {
+				n.met.suspensions.Inc()
+			}
 		}
 		if !ctrl.GuestAlive() {
 			result.Outcome = "killed"
@@ -399,5 +440,13 @@ func (n *Node) submit(spec JobSpec) *Response {
 		n.done[spec.ID] = result
 		n.execs[spec.ID]++
 	}
+	if n.met != nil {
+		n.met.job(n.cfg.Name, result.Outcome).Inc()
+		n.met.jobWallSeconds.Observe(result.WallSeconds)
+		n.met.state.Set(float64(state)) // S1 == 1 .. S5 == 5
+	}
+	n.log.Info("job finished", "trace", trace, "job", spec.ID, "outcome", result.Outcome,
+		"final_state", result.FinalState, "guest_cpu_seconds", result.GuestCPUSeconds,
+		"suspensions", result.Suspensions)
 	return &Response{OK: true, Job: &result}
 }

@@ -39,6 +39,11 @@ type Request struct {
 	HostLoad float64 `json:"host_load,omitempty"`
 	// HostMemMB sets the node's synthetic host memory (sethost).
 	HostMemMB int64 `json:"host_mem_mb,omitempty"`
+	// Trace correlates this exchange with the logical operation (usually a
+	// job placement) it belongs to: the client stamps the context's trace
+	// ID here and serving components log it, so one job's discovery,
+	// submissions, retries and failovers line up across process logs.
+	Trace string `json:"trace,omitempty"`
 }
 
 // JobSpec describes a guest job: a compute-bound batch program.

@@ -2,9 +2,12 @@ package ishare
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Registry is the publication/discovery service: nodes register and
@@ -16,6 +19,8 @@ type Registry struct {
 
 	mu    sync.Mutex
 	nodes map[string]*registryEntry
+	met   *registryMetrics // nil until Instrument
+	log   *slog.Logger     // nil until Instrument
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -59,6 +64,22 @@ func NewRegistryWithLimits(addr string, ttl time.Duration, lim Limits) (*Registr
 // Addr returns the registry's dial address.
 func (r *Registry) Addr() string { return r.ln.Addr().String() }
 
+// Instrument attaches an obs registry (per-op request counters, node and
+// alive-node gauges) and an optional structured logger. The metric
+// families are registered eagerly so a scrape shows them before the first
+// exchange. Call before serving traffic begins; passing a nil reg is a
+// no-op for metrics.
+func (r *Registry) Instrument(reg *obs.Registry, logger *slog.Logger) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if reg != nil {
+		r.met = newRegistryMetrics(reg)
+	}
+	if logger != nil {
+		r.log = logger
+	}
+}
+
 // Close stops the registry.
 func (r *Registry) Close() error {
 	select {
@@ -93,6 +114,12 @@ func (r *Registry) acceptLoop() {
 }
 
 func (r *Registry) handle(req Request) *Response {
+	r.mu.Lock()
+	met, log := r.met, r.log
+	r.mu.Unlock()
+	if met != nil {
+		met.request(req.Op)
+	}
 	switch req.Op {
 	case "register":
 		if req.Name == "" || req.Addr == "" {
@@ -103,12 +130,26 @@ func (r *Registry) handle(req Request) *Response {
 			info:     NodeInfo{Name: req.Name, Addr: req.Addr},
 			lastSeen: time.Now(),
 		}
+		n := len(r.nodes)
 		r.mu.Unlock()
+		if met != nil {
+			met.nodes.Set(float64(n))
+		}
+		if log != nil {
+			log.Info("node registered", "trace", req.Trace, "name", req.Name, "addr", req.Addr)
+		}
 		return &Response{OK: true}
 	case "unregister":
 		r.mu.Lock()
 		delete(r.nodes, req.Name)
+		n := len(r.nodes)
 		r.mu.Unlock()
+		if met != nil {
+			met.nodes.Set(float64(n))
+		}
+		if log != nil {
+			log.Info("node unregistered", "trace", req.Trace, "name", req.Name)
+		}
 		return &Response{OK: true}
 	case "heartbeat":
 		r.mu.Lock()
@@ -118,6 +159,12 @@ func (r *Registry) handle(req Request) *Response {
 		}
 		r.mu.Unlock()
 		if !ok {
+			if met != nil {
+				met.unknownHB.Inc()
+			}
+			if log != nil {
+				log.Warn("heartbeat from unknown node", "name", req.Name)
+			}
 			return &Response{OK: false, Error: "unknown node " + req.Name}
 		}
 		return &Response{OK: true}
@@ -125,13 +172,20 @@ func (r *Registry) handle(req Request) *Response {
 		now := time.Now()
 		r.mu.Lock()
 		nodes := make([]NodeInfo, 0, len(r.nodes))
+		alive := 0
 		for _, e := range r.nodes {
 			info := e.info
 			info.Alive = now.Sub(e.lastSeen) <= r.ttl
+			if info.Alive {
+				alive++
+			}
 			info.LastSeenMS = e.lastSeen.UnixMilli()
 			nodes = append(nodes, info)
 		}
 		r.mu.Unlock()
+		if met != nil {
+			met.alive.Set(float64(alive))
+		}
 		return &Response{OK: true, Nodes: nodes}
 	default:
 		return &Response{OK: false, Error: "unknown op " + req.Op}

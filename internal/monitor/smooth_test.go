@@ -1,0 +1,129 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dyadic returns a pseudo-random multiple of 1/1024 in [0, 1). Sums of a
+// handful of such values are exact in float64 regardless of addition
+// order, so ring rotation cannot introduce rounding differences and the
+// equivalence tests below can demand bit-for-bit equality.
+func dyadic(rng *rand.Rand) float64 {
+	return float64(rng.Intn(1024)) / 1024.0
+}
+
+// TestSmoothRingWrapAround checks the moving average across the ring's
+// wrap boundary for windows larger than two: every output must equal the
+// brute-force mean of the last min(n, window) raw values.
+func TestSmoothRingWrapAround(t *testing.T) {
+	for _, window := range []int{3, 4, 5, 7} {
+		m := MustNew(Config{SmoothWindow: window})
+		rng := rand.New(rand.NewSource(int64(window)))
+		var history []float64
+		for i := 0; i < 5*window+3; i++ {
+			v := dyadic(rng)
+			history = append(history, v)
+			got := m.Smooth(v)
+			lo := len(history) - window
+			if lo < 0 {
+				lo = 0
+			}
+			sum := 0.0
+			for _, h := range history[lo:] {
+				sum += h
+			}
+			want := sum / float64(len(history)-lo)
+			if got != want {
+				t.Fatalf("window %d, sample %d: Smooth = %v, want mean of last %d = %v",
+					window, i, got, len(history)-lo, want)
+			}
+		}
+	}
+}
+
+// TestPrimeReplayEquivalence: a monitor primed with the last SmoothWindow
+// raw values must continue exactly like a monitor that stepped the whole
+// series sample-by-sample. The replay may rotate the ring relative to
+// stepping, but with order-insensitive (exactly representable) inputs the
+// future outputs must be identical.
+func TestPrimeReplayEquivalence(t *testing.T) {
+	for _, window := range []int{2, 3, 4, 5, 7} {
+		rng := rand.New(rand.NewSource(100 + int64(window)))
+
+		stepped := MustNew(Config{SmoothWindow: window})
+		warm := make([]float64, 3*window+1) // long enough to wrap several times
+		for i := range warm {
+			warm[i] = dyadic(rng)
+			stepped.Smooth(warm[i])
+		}
+
+		primed := MustNew(Config{SmoothWindow: window})
+		primed.Prime(warm[len(warm)-window:]...)
+
+		for i := 0; i < 4*window; i++ {
+			v := dyadic(rng)
+			a, b := stepped.Smooth(v), primed.Smooth(v)
+			if a != b {
+				t.Fatalf("window %d, continuation sample %d: stepped %v != primed %v", window, i, a, b)
+			}
+		}
+	}
+}
+
+// TestPrimeShortReplay: priming with fewer values than the window must
+// behave like a monitor that observed exactly those values since reset —
+// the average divides by the number seen, not the window size.
+func TestPrimeShortReplay(t *testing.T) {
+	m := MustNew(Config{SmoothWindow: 5})
+	for i := 0; i < 17; i++ {
+		m.Smooth(0.75) // dirty the ring and counters
+	}
+	m.Prime(0.25, 0.5)
+	if got, want := m.Smooth(0.75), (0.25+0.5+0.75)/3; got != want {
+		t.Errorf("after short Prime: Smooth = %v, want %v", got, want)
+	}
+
+	// Prime with no values is exactly Reset.
+	m.Prime()
+	if got := m.Smooth(0.5); got != 0.5 {
+		t.Errorf("after empty Prime: Smooth = %v, want 0.5", got)
+	}
+}
+
+// TestPrimeReplayCloseForArbitraryFloats: with arbitrary (non-dyadic)
+// inputs ring rotation may reorder the sum, so equality is only up to
+// floating-point associativity — pin that the drift stays negligible.
+func TestPrimeReplayCloseForArbitraryFloats(t *testing.T) {
+	const window = 6
+	rng := rand.New(rand.NewSource(9))
+	stepped := MustNew(Config{SmoothWindow: window})
+	var tail []float64
+	for i := 0; i < 50; i++ {
+		v := rng.Float64()
+		stepped.Smooth(v)
+		tail = append(tail, v)
+	}
+	primed := MustNew(Config{SmoothWindow: window})
+	primed.Prime(tail[len(tail)-window:]...)
+	for i := 0; i < 50; i++ {
+		v := rng.Float64()
+		a, b := stepped.Smooth(v), primed.Smooth(v)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("sample %d: |%v - %v| > 1e-12", i, a, b)
+		}
+	}
+}
+
+// TestResetClearsWindow: after Reset the first sample stands alone, even
+// with a partially filled larger window.
+func TestResetClearsWindow(t *testing.T) {
+	m := MustNew(Config{SmoothWindow: 4})
+	m.Smooth(1)
+	m.Smooth(1)
+	m.Reset()
+	if got := m.Smooth(0.5); got != 0.5 {
+		t.Errorf("after Reset: Smooth = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentUpdatesAndScrapes hammers one registry from many
+// goroutines — metric creation, updates of all three kinds, and concurrent
+// Prometheus scrapes — and checks the final totals. Run with -race.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("fgcs_conc_total", "concurrent counter")
+			g := r.Gauge("fgcs_conc_gauge", "concurrent gauge")
+			h := r.Histogram("fgcs_conc_hist", "concurrent histogram", []float64{0.25, 0.5, 0.75})
+			lc := r.Counter("fgcs_conc_labeled_total", "labeled", L("worker", string(rune('a'+w))))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) / 4.0)
+				lc.Inc()
+			}
+		}(w)
+	}
+	// Concurrent scrapers.
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.Counter("fgcs_conc_total", "").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("fgcs_conc_gauge", "").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	h := r.Histogram("fgcs_conc_hist", "", []float64{0.25, 0.5, 0.75}).Snapshot()
+	if h.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var bucketSum uint64
+	for _, c := range h.Counts {
+		bucketSum += c
+	}
+	if bucketSum != h.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, h.Count)
+	}
+}

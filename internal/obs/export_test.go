@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fgcs_jobs_total", "jobs handled", L("outcome", "completed")).Add(3)
+	r.Counter("fgcs_jobs_total", "jobs handled", L("outcome", "killed")).Inc()
+	r.Gauge("fgcs_nodes", "registered nodes").Set(4)
+	h := r.Histogram("fgcs_wait_seconds", "wait time", []float64{0.5, 2})
+	h.Observe(0.1)
+	h.Observe(1)
+	h.Observe(9)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP fgcs_jobs_total jobs handled\n",
+		"# TYPE fgcs_jobs_total counter\n",
+		`fgcs_jobs_total{outcome="completed"} 3` + "\n",
+		`fgcs_jobs_total{outcome="killed"} 1` + "\n",
+		"# TYPE fgcs_nodes gauge\nfgcs_nodes 4\n",
+		"# TYPE fgcs_wait_seconds histogram\n",
+		`fgcs_wait_seconds_bucket{le="0.5"} 1` + "\n",
+		`fgcs_wait_seconds_bucket{le="2"} 2` + "\n",
+		`fgcs_wait_seconds_bucket{le="+Inf"} 3` + "\n",
+		"fgcs_wait_seconds_sum 10.1\n",
+		"fgcs_wait_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name for a stable diffable scrape.
+	if strings.Index(out, "fgcs_jobs_total") > strings.Index(out, "fgcs_nodes") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fgcs_esc_total", "", L("path", `a"b\c`+"\n")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `path="a\"b\\c\n"`) {
+		t.Errorf("escaping wrong:\n%s", buf.String())
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fgcs_smoke_total", "smoke").Inc()
+	srv, err := StartServer("127.0.0.1:0", NewMux(r, map[string]string{"mode": "test"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "fgcs_smoke_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	health := get("/healthz")
+	if !strings.Contains(health, `"status":"ok"`) || !strings.Contains(health, `"mode":"test"`) {
+		t.Errorf("/healthz = %s", health)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}

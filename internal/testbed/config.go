@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/availability"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/simos"
 )
 
@@ -154,6 +155,13 @@ type Config struct {
 	Workload Params
 	// Parallelism bounds concurrent machine simulations (default NumCPU).
 	Parallelism int
+	// Metrics, when set, receives live fleet-wide instrumentation:
+	// per-state residence-time histograms and transition-rate counters,
+	// updated as machines simulate so a long run can be scraped while it
+	// is in flight. Instrumentation fires only on state changes and never
+	// touches the random streams, so fixed-seed outputs are byte-identical
+	// with or without it.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig reproduces the paper's testbed: 20 machines, 92 days

@@ -1,0 +1,114 @@
+package testbed
+
+import (
+	"repro/internal/availability"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// residenceHoursBuckets spans the residence times the paper's model
+// produces: sub-minute spike suspensions up to multi-day idle stretches.
+var residenceHoursBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8, 24, 72}
+
+// simMetrics is the fleet-wide instrumentation of a testbed run: per-state
+// residence-time histograms and transition-rate counters, shared by every
+// machine goroutine. Arrays are indexed by availability.State (S1 == 1),
+// slot 0 unused. The S1–S5 residence distributions are the live view of
+// the same quantities Table 2 and Figure 6 report after the fact.
+type simMetrics struct {
+	residence   [availability.S5 + 1]*obs.Histogram
+	transitions [availability.S5 + 1][availability.S5 + 1]*obs.Counter
+	machines    *obs.Counter
+	samples     *obs.Counter
+}
+
+var allStates = []availability.State{
+	availability.S1, availability.S2, availability.S3, availability.S4, availability.S5,
+}
+
+func newSimMetrics(r *obs.Registry) *simMetrics {
+	m := &simMetrics{
+		machines: r.Counter("fgcs_sim_machines_done_total", "machines whose simulation completed"),
+		samples:  r.Counter("fgcs_sim_state_residences_total", "closed state residences across the fleet"),
+	}
+	for _, st := range allStates {
+		m.residence[st] = r.Histogram("fgcs_sim_state_residence_hours",
+			"time spent in one availability state before transitioning away",
+			residenceHoursBuckets, obs.L("state", st.Short()))
+		for _, to := range allStates {
+			if to == st {
+				continue
+			}
+			m.transitions[st][to] = r.Counter("fgcs_sim_transitions_total",
+				"state transitions across the fleet", obs.L("from", st.Short()), obs.L("to", to.Short()))
+		}
+	}
+	return m
+}
+
+// stateRecorder tracks one machine's state changes for simMetrics. It is
+// touched only when the state actually changes (plus once at machine end),
+// so the simulator's span-skipping fast path keeps its per-sample cost;
+// and it accumulates into unsynchronized per-machine locals, flushed once
+// in finish, so the ~60k changes of a paper-scale fleet never contend on
+// the shared atomics. A nil recorder is valid and records nothing.
+type stateRecorder struct {
+	met   *simMetrics
+	state availability.State
+	since sim.Time
+
+	res     [availability.S5 + 1]*obs.LocalHistogram
+	trans   [availability.S5 + 1][availability.S5 + 1]uint64
+	samples uint64
+}
+
+func newStateRecorder(met *simMetrics, start availability.State) *stateRecorder {
+	if met == nil {
+		return nil
+	}
+	r := &stateRecorder{met: met, state: start}
+	for _, st := range allStates {
+		r.res[st] = met.residence[st].Local()
+	}
+	return r
+}
+
+// note records a possible state change observed at time at. It is small
+// enough to inline, so the per-sample call sites in the settle loops pay
+// two compares when nothing changed.
+func (r *stateRecorder) note(at sim.Time, st availability.State) {
+	if r != nil && st != r.state {
+		r.record(at, st)
+	}
+}
+
+// record closes the open residence and starts one in the new state.
+func (r *stateRecorder) record(at sim.Time, st availability.State) {
+	r.res[r.state].Observe((at - r.since).Hours())
+	r.trans[r.state][st]++
+	r.samples++
+	r.state = st
+	r.since = at
+}
+
+// finish closes the final residence at the end of the observed span and
+// flushes the machine's accumulated batch into the shared registry.
+func (r *stateRecorder) finish(end sim.Time) {
+	if r == nil {
+		return
+	}
+	if end > r.since {
+		r.res[r.state].Observe((end - r.since).Hours())
+		r.samples++
+	}
+	for _, st := range allStates {
+		r.res[st].Flush()
+		for _, to := range allStates {
+			if n := r.trans[st][to]; n > 0 {
+				r.met.transitions[st][to].Add(n)
+			}
+		}
+	}
+	r.met.samples.Add(r.samples)
+	r.met.machines.Inc()
+}

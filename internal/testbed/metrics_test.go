@@ -1,0 +1,145 @@
+package testbed
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// encodeTrace serializes a trace with the binary codec so runs can be
+// compared byte-for-byte.
+func encodeTrace(t *testing.T, cfg Config, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc, err := trace.NewEncoder(&buf, trace.Header{Span: spanOf(cfg), Calendar: calendarOf(cfg), Machines: cfg.Machines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		if err := enc.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMetricsDoNotPerturbOutputs is the determinism gate for the simulator
+// instrumentation: a fixed-seed run with Config.Metrics attached must
+// produce byte-identical encoded traces and identical occupancy to an
+// uninstrumented run. Instrumentation observes — it must never draw from
+// the random streams or reorder anything.
+func TestMetricsDoNotPerturbOutputs(t *testing.T) {
+	base := Config{Machines: 4, Days: 7, Seed: 424242}
+	plainCfg := base.withDefaults()
+	plainTr, plainOcc, err := RunWithOccupancy(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	instCfg := base.withDefaults()
+	instCfg.Metrics = obs.NewRegistry()
+	instTr, instOcc, err := RunWithOccupancy(instCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(encodeTrace(t, plainCfg, plainTr), encodeTrace(t, instCfg, instTr)) {
+		t.Error("instrumented run's encoded trace differs from the uninstrumented run")
+	}
+	if !reflect.DeepEqual(plainOcc, instOcc) {
+		t.Error("instrumented run's occupancy differs from the uninstrumented run")
+	}
+}
+
+// TestSimMetricsAccounting checks the instrumentation's internal
+// consistency: the per-state residence sums must cover the whole fleet's
+// observed time (every instant is in exactly one state), and the expected
+// families must appear in a scrape.
+func TestSimMetricsAccounting(t *testing.T) {
+	cfg := Config{Machines: 3, Days: 5, Seed: 11}.withDefaults()
+	cfg.Metrics = obs.NewRegistry()
+	if _, _, err := RunWithOccupancy(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var totalHours float64
+	for _, fam := range cfg.Metrics.Snapshot() {
+		if fam.Name != "fgcs_sim_state_residence_hours" {
+			continue
+		}
+		for _, s := range fam.Series {
+			totalHours += s.Hist.Sum
+		}
+	}
+	want := float64(cfg.Machines) * float64(cfg.Days) * 24
+	// Residences are closed at sample instants, so the last partial period
+	// per machine may be uncredited.
+	if totalHours < want*0.99 || totalHours > want*1.01 {
+		t.Errorf("total residence = %.1f machine-hours, want ~%.1f", totalHours, want)
+	}
+
+	var buf bytes.Buffer
+	if err := cfg.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, wantLine := range []string{
+		`fgcs_sim_state_residence_hours_bucket{state="S1",le="+Inf"}`,
+		`fgcs_sim_transitions_total{from="S1",to="S2"}`,
+		"fgcs_sim_machines_done_total 3",
+	} {
+		if !strings.Contains(text, wantLine) {
+			t.Errorf("scrape missing %q", wantLine)
+		}
+	}
+}
+
+// TestStreamAnalyzerInstrument checks the analyzer-side metrics agree with
+// the analyzer's own results when fed a simulated fleet.
+func TestStreamAnalyzerInstrument(t *testing.T) {
+	cfg := Config{Machines: 3, Days: 5, Seed: 11}.withDefaults()
+	tr, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	a := trace.NewStreamAnalyzer(spanOf(cfg), calendarOf(cfg), cfg.Machines)
+	a.Instrument(reg)
+	for _, e := range tr.Events {
+		if err := a.Observe(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Finish()
+
+	var eventTotal uint64
+	var intervalCount uint64
+	for _, fam := range reg.Snapshot() {
+		switch fam.Name {
+		case "fgcs_trace_events_total":
+			for _, s := range fam.Series {
+				eventTotal += uint64(s.Value)
+			}
+		case "fgcs_trace_avail_interval_hours":
+			for _, s := range fam.Series {
+				intervalCount += s.Hist.Count
+			}
+		}
+	}
+	if got := uint64(a.Events()); eventTotal != got {
+		t.Errorf("metric events = %d, analyzer saw %d", eventTotal, got)
+	}
+	wantIntervals := uint64(len(a.IntervalLengths(sim.Weekday)) + len(a.IntervalLengths(sim.Weekend)))
+	if intervalCount != wantIntervals {
+		t.Errorf("metric intervals = %d, analyzer recorded %d", intervalCount, wantIntervals)
+	}
+}

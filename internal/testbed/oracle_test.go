@@ -20,7 +20,7 @@ func runBothPaths(t *testing.T, tag string, cfg Config, contribs []contribution,
 		t.Fatal(err)
 	}
 	src := sim.NewSource(cfg.Seed)
-	fastEv, fastTiming, err := simulateMachine(cfg, 0, contribs, outages, src.Stream("oracle/ambient"))
+	fastEv, fastTiming, err := simulateMachine(cfg, 0, contribs, outages, src.Stream("oracle/ambient"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

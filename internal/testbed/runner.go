@@ -118,7 +118,12 @@ func runMachine(cfg Config, id trace.MachineID) ([]trace.Event, *availability.Ti
 	planRNG := src.Stream(fmt.Sprintf("machine/%d/plan", id))
 	ambientRNG := src.Stream(fmt.Sprintf("machine/%d/ambient", id))
 	contribs, outages := planMachine(cfg, planRNG)
-	return simulateMachine(cfg, id, contribs, outages, ambientRNG)
+	var met *simMetrics
+	if cfg.Metrics != nil {
+		// Get-or-create: every machine shares the run-wide families.
+		met = newSimMetrics(cfg.Metrics)
+	}
+	return simulateMachine(cfg, id, contribs, outages, ambientRNG, met)
 }
 
 // simulateMachine drives the monitor/detector/trace pipeline over the
@@ -147,7 +152,7 @@ func runMachine(cfg Config, id trace.MachineID) ([]trace.Event, *availability.Ti
 // Random-draw parity with simulateMachineNaive is strict: one NormFloat64
 // per alive sample, none when dead. The equivalence tests compare the two
 // paths event-for-event.
-func simulateMachine(cfg Config, id trace.MachineID, contribs []contribution, outages []outage, ambientRNG *rand.Rand) ([]trace.Event, *availability.TimeInState, error) {
+func simulateMachine(cfg Config, id trace.MachineID, contribs []contribution, outages []outage, ambientRNG *rand.Rand, met *simMetrics) ([]trace.Event, *availability.TimeInState, error) {
 	amb := newAmbient(cfg, ambientRNG)
 	mon, err := monitor.New(cfg.Monitor)
 	if err != nil {
@@ -159,6 +164,7 @@ func simulateMachine(cfg Config, id trace.MachineID, contribs []contribution, ou
 	}
 	builder := trace.NewBuilder(id)
 	timing := availability.NewTimeInState(availability.S1)
+	rec := newStateRecorder(met, availability.S1)
 
 	var events []trace.Event
 	end := sim.Time(cfg.Days) * sim.Day
@@ -234,6 +240,7 @@ func simulateMachine(cfg Config, id trace.MachineID, contribs []contribution, ou
 				}
 			}
 			curState = state
+			rec.note(t, state)
 			if k > 1 {
 				det.FastForward(state, availability.Observation{At: t + sim.Time(k-1)*period, Alive: false})
 			}
@@ -281,6 +288,7 @@ func simulateMachine(cfg Config, id trace.MachineID, contribs []contribution, ou
 				}
 			}
 			curState = state
+			rec.note(st, state)
 		}
 		if i < k {
 			// Calm remainder: smoothed load is at most the ambient clamp,
@@ -325,6 +333,7 @@ func simulateMachine(cfg Config, id trace.MachineID, contribs []contribution, ou
 					if ns != curState {
 						timing.Advance(st, ns)
 						curState = ns
+						rec.note(st, ns)
 					}
 				}
 				mon.Prime(prev2, prev)
@@ -350,6 +359,7 @@ func simulateMachine(cfg Config, id trace.MachineID, contribs []contribution, ou
 					if ns != curState {
 						timing.Advance(st, ns)
 						curState = ns
+						rec.note(st, ns)
 					}
 				}
 			}
@@ -372,6 +382,7 @@ func simulateMachine(cfg Config, id trace.MachineID, contribs []contribution, ou
 		last := sim.Time((end - 1) / period * period)
 		timing.Advance(last, curState)
 	}
+	rec.finish(end)
 	if ev := builder.Flush(end); ev != nil {
 		events = append(events, *ev)
 	}

@@ -46,6 +46,10 @@ type StreamAnalyzer struct {
 	lastStart  sim.Time
 	finished   bool
 	rebootsCut time.Duration
+
+	// met, when non-nil (see Instrument), mirrors the accumulation into a
+	// scrapable obs registry without affecting any computed result.
+	met *streamMetrics
 }
 
 // NewStreamAnalyzer creates an analyzer for a stream covering span with the
@@ -107,6 +111,8 @@ func (a *StreamAnalyzer) Observe(e Event) error {
 		a.cursor = a.span.Start
 	}
 	a.lastStart = e.Start
+
+	a.noteEvent(e)
 
 	// Table 2 accumulation.
 	a.events++
@@ -190,7 +196,9 @@ func (a *StreamAnalyzer) closeMachine() {
 // addInterval records one availability interval for Figure 6.
 func (a *StreamAnalyzer) addInterval(start, end sim.Time) {
 	dt := a.cal.DayType(start)
-	a.ivLens[dt] = append(a.ivLens[dt], (end - start).Hours())
+	h := (end - start).Hours()
+	a.ivLens[dt] = append(a.ivLens[dt], h)
+	a.noteInterval(dt, h)
 }
 
 // creditIdle records one full-span availability interval for each machine

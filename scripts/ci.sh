@@ -17,3 +17,6 @@ go test -run '^$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|Benc
 # and the accelerated predictor evaluation, one iteration each.
 go test -run '^$' -bench 'BenchmarkRunShardedFleet|BenchmarkWriteBinary|BenchmarkReadBinary|BenchmarkStreamAnalyzer|BenchmarkEvaluateHistoryWindow' \
     -benchtime 1x ./internal/testbed/ ./internal/trace/ ./internal/predict/
+# Metrics-endpoint smoke: start ishared with an ephemeral metrics port,
+# scrape /healthz and /metrics, assert the expected families.
+sh "$(dirname "$0")/metrics_smoke.sh"

@@ -1,0 +1,72 @@
+#!/bin/sh
+# Metrics-endpoint smoke test: start `ishared -mode registry` with an
+# ephemeral metrics port, scrape /healthz and /metrics, and assert the
+# expected metric families are present. Exercises the whole observability
+# path end to end — obs registry, HTTP mux, and the registry-mode
+# instrumentation — without needing a fixed port.
+set -eu
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/ishared" ./cmd/ishared
+
+"$workdir/ishared" -mode registry -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+    >"$workdir/stdout" 2>"$workdir/stderr" &
+pid=$!
+
+# ishared prints "metrics listening on <addr>" to stdout once the server is
+# up; poll for it rather than sleeping a fixed time.
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^metrics listening on //p' "$workdir/stdout")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || {
+        echo "metrics_smoke: ishared exited early" >&2
+        cat "$workdir/stderr" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "metrics_smoke: never saw the metrics address on stdout" >&2
+    cat "$workdir/stdout" "$workdir/stderr" >&2
+    exit 1
+fi
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+health=$(fetch "http://$addr/healthz")
+case "$health" in
+*'"status":"ok"'*) ;;
+*)
+    echo "metrics_smoke: unexpected /healthz body: $health" >&2
+    exit 1
+    ;;
+esac
+
+fetch "http://$addr/metrics" >"$workdir/metrics"
+for name in \
+    fgcs_up \
+    fgcs_registry_requests_total \
+    fgcs_registry_nodes \
+    fgcs_registry_alive_nodes; do
+    if ! grep -q "^$name" "$workdir/metrics"; then
+        echo "metrics_smoke: /metrics missing family $name" >&2
+        cat "$workdir/metrics" >&2
+        exit 1
+    fi
+done
+
+echo "metrics_smoke: ok ($addr serving /healthz and /metrics)"
