@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos-smoke bench-smoke metrics-smoke bench ci
+.PHONY: all vet build test race check fuzz-smoke chaos-smoke bench-smoke metrics-smoke bench ci
 
 all: ci
 
@@ -16,9 +16,23 @@ test:
 # Race-check the packages with concurrent hot paths: the iShare network
 # layer, the parallel testbed runner, the contention harness (whose
 # calibration cache is shared across worker goroutines), the streaming
-# trace codec and the chaos fault injector.
+# trace codec, the chaos fault injector, and the availability detector and
+# differential harness (which exercise the parallel runner under -race).
 race:
-	$(GO) test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/ ./internal/trace/ ./internal/chaos/
+	$(GO) test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/ ./internal/trace/ ./internal/chaos/ ./internal/availability/ ./internal/check/
+
+# Differential correctness harness: 200 randomized seeds replayed through
+# the naive reference model and the optimized detector/controller/testbed
+# paths, which must agree exactly (see internal/check).
+check:
+	$(GO) run ./cmd/fgcs-bench -check -check-seeds 200
+
+# Short native-fuzz smokes over the committed corpus plus a few seconds of
+# newly generated input; longer sessions just raise -fuzztime.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzDetectorObserve' -fuzztime 5s ./internal/check/
+	$(GO) test -run '^$$' -fuzz 'FuzzCodecRoundTrip' -fuzztime 5s ./internal/check/
+	$(GO) test -run '^$$' -fuzz 'FuzzIndexQueries' -fuzztime 5s ./internal/check/
 
 # Deterministic-seed chaos smoke: scripted partition + refusal burst over a
 # live registry and nodes, asserting exactly-once completion.
@@ -41,4 +55,4 @@ metrics-smoke:
 bench:
 	$(GO) run ./cmd/fgcs-bench -out BENCH_core.json
 
-ci: vet build test race chaos-smoke bench-smoke metrics-smoke
+ci: vet build test race check fuzz-smoke chaos-smoke bench-smoke metrics-smoke

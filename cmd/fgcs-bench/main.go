@@ -16,6 +16,12 @@
 // uninstrumented run, and must produce byte-identical trace output at the
 // fixed seed.
 //
+// With -check the tool runs the differential correctness harness instead
+// of the benchmarks: randomized observation sequences are replayed through
+// the naive reference model and the optimized detector/controller/testbed
+// paths, which must agree exactly (see internal/check). Any divergence is
+// a bug and exits nonzero.
+//
 // Usage:
 //
 //	fgcs-bench
@@ -23,6 +29,8 @@
 //	fgcs-bench -max-regress 0.5      # tolerate 50% slowdown
 //	fgcs-bench -max-regress 0        # disable the gate
 //	fgcs-bench -max-obs-overhead 0   # disable the instrumentation gate
+//	fgcs-bench -check                # run 200 differential seeds, no benchmarks
+//	fgcs-bench -check -check-seeds 1000
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/contention"
 	"repro/internal/obs"
 	"repro/internal/predict"
@@ -143,7 +152,14 @@ func main() {
 	out := flag.String("out", "BENCH_core.json", "output JSON file (empty = stdout only)")
 	maxRegress := flag.Float64("max-regress", 0.20, "fail when a benchmark runs this fraction slower than its recorded expectation (0 disables)")
 	maxObsOverhead := flag.Float64("max-obs-overhead", 0.02, "fail when the instrumented testbed runs this fraction slower than the uninstrumented one (0 disables)")
+	checkMode := flag.Bool("check", false, "run the differential correctness harness instead of the benchmarks")
+	checkSeeds := flag.Int("check-seeds", 200, "number of randomized seeds for -check")
 	flag.Parse()
+
+	if *checkMode {
+		runCheck(*checkSeeds)
+		return
+	}
 
 	rep := report{
 		GoVersion: runtime.Version(),
@@ -392,6 +408,26 @@ func main() {
 		log.Fatalf("instrumentation overhead %.1f%% exceeds the %.1f%% budget (testbed/full-instrumented vs testbed/full; rerun with -max-obs-overhead 0 to bypass)",
 			100*rep.ObsOverhead, 100**maxObsOverhead)
 	}
+}
+
+// runCheck drives the differential correctness harness and reports its
+// coverage counters. The harness succeeds only on exact agreement across
+// every seed, so the summary line doubles as the "zero divergence" claim.
+func runCheck(seeds int) {
+	start := time.Now()
+	res, err := check.Run(check.Options{
+		Seeds: seeds,
+		Progress: func(done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "check: seed %d/%d\n", done, total)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatalf("DIVERGENCE: %v", err)
+	}
+	log.Printf("check passed: %d seeds, %d observations, %d transitions, %d testbed differentials (%d events), zero divergence in %s",
+		res.Seeds, res.Observations, res.Transitions, res.TestbedRuns, res.TestbedEvents, time.Since(start).Round(time.Millisecond))
 }
 
 // run executes one benchmark closure via testing.Benchmark and folds the

@@ -142,8 +142,10 @@ func (c *Controller) applyNice(state State) Action {
 // TimeInState accumulates, per state, how much virtual time a detector
 // spent there; useful for availability summaries and tests. Totals are
 // held in a small array indexed by state (S1..S5), keeping Advance free
-// of map operations on the monitoring hot path; out-of-range states are
-// accumulated in the spill slot 0.
+// of map operations on the monitoring hot path. Time spent in a state
+// outside S1..S5 is accumulated in the explicit invalid slot and reported
+// by Invalid — never folded into a real state's total, so a caller that
+// feeds a corrupt state can detect it instead of silently inflating S1.
 type TimeInState struct {
 	totals [6]sim.Time
 	last   sim.Time
@@ -151,16 +153,21 @@ type TimeInState struct {
 	primed bool
 }
 
+// invalidSlot collects residence time of out-of-range states. It shares
+// the array with the real states but no State maps to it (S1..S5 occupy
+// slots 1..5), so invalid time is attributable but never misattributed.
+const invalidSlot = 0
+
 // NewTimeInState returns an accumulator starting in the given state.
 func NewTimeInState(initial State) *TimeInState {
 	return &TimeInState{state: initial}
 }
 
 func (t *TimeInState) slot(s State) int {
-	if s >= 1 && int(s) < len(t.totals) {
+	if s.Valid() {
 		return int(s)
 	}
-	return 0
+	return invalidSlot
 }
 
 // Advance credits the elapsed time to the current state, then switches to
@@ -176,11 +183,27 @@ func (t *TimeInState) Advance(now sim.Time, next State) {
 	t.primed = true
 }
 
-// Total returns the accumulated time in state s.
-func (t *TimeInState) Total(s State) sim.Time { return t.totals[t.slot(s)] }
+// Total returns the accumulated time in state s. Invalid states report 0;
+// their residence time is surfaced by Invalid instead.
+func (t *TimeInState) Total(s State) sim.Time {
+	if !s.Valid() {
+		return 0
+	}
+	return t.totals[t.slot(s)]
+}
 
-// Fraction returns the share of all accumulated time spent in s.
+// Invalid returns the time accumulated while the tracked state was outside
+// S1..S5 — nonzero only when a caller fed Advance a corrupt state. Correct
+// pipelines keep it at zero, which the differential harness asserts.
+func (t *TimeInState) Invalid() sim.Time { return t.totals[invalidSlot] }
+
+// Fraction returns the share of all accumulated time spent in s. The
+// denominator includes invalid time, so the five valid fractions plus the
+// invalid share always telescope to 1 once anything accumulated.
 func (t *TimeInState) Fraction(s State) float64 {
+	if !s.Valid() {
+		return 0
+	}
 	var sum sim.Time
 	for _, v := range t.totals {
 		sum += v

@@ -1,0 +1,65 @@
+package availability
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestTimeInStateInvalidSlot pins the regression where an out-of-range
+// state silently folded into slot 0: invalid residence time must land in
+// the explicit invalid slot, never in a real state's total, and must stay
+// visible through Invalid and the telescoping sum.
+func TestTimeInStateInvalidSlot(t *testing.T) {
+	acc := NewTimeInState(S1)
+	acc.Advance(0, S1)
+	acc.Advance(10*time.Second, State(0))  // 10s of S1, then a corrupt state
+	acc.Advance(25*time.Second, State(99)) // 15s invalid
+	acc.Advance(40*time.Second, S2)        // 15s more invalid
+
+	if got := acc.Total(S1); got != 10*time.Second {
+		t.Errorf("Total(S1) = %v, want 10s", got)
+	}
+	if got := acc.Invalid(); got != 30*time.Second {
+		t.Errorf("Invalid() = %v, want 30s", got)
+	}
+	for _, s := range []State{State(0), State(6), State(99), State(-1)} {
+		if got := acc.Total(s); got != 0 {
+			t.Errorf("Total(%v) = %v, want 0 (invalid states report via Invalid)", s, got)
+		}
+		if got := acc.Fraction(s); got != 0 {
+			t.Errorf("Fraction(%v) = %v, want 0", s, got)
+		}
+	}
+
+	// Telescoping: valid totals plus the invalid slot cover all elapsed time.
+	var sum sim.Time
+	for _, s := range []State{S1, S2, S3, S4, S5} {
+		sum += acc.Total(s)
+	}
+	sum += acc.Invalid()
+	if sum != 40*time.Second {
+		t.Errorf("telescoped total = %v, want 40s", sum)
+	}
+
+	// Valid fractions plus the invalid share partition the elapsed time.
+	frac := acc.Invalid()
+	if got := float64(frac) / float64(40*time.Second); got != 0.75 {
+		t.Errorf("invalid share = %v, want 0.75", got)
+	}
+}
+
+// TestTimeInStateCleanPipeline asserts a valid-only stream accumulates no
+// invalid time — the invariant the differential harness checks per seed.
+func TestTimeInStateCleanPipeline(t *testing.T) {
+	acc := NewTimeInState(S1)
+	now := sim.Time(0)
+	for _, s := range []State{S1, S2, S3, S2, S4, S5, S1} {
+		acc.Advance(now, s)
+		now += 7 * time.Second
+	}
+	if acc.Invalid() != 0 {
+		t.Errorf("Invalid() = %v after a valid-only stream", acc.Invalid())
+	}
+}

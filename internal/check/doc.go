@@ -1,0 +1,11 @@
+// Package check is the correctness-verification harness for the five-state
+// availability model: a deliberately naive reference implementation of the
+// paper's semantics (Reference), a randomized differential driver (Run)
+// that holds the production Detector, Controller, the testbed's
+// span-skipping runner and the trace codec to the reference's answers, and
+// fuzz targets covering the same surfaces.
+//
+// The reference trades every optimization for obviousness — it keeps the
+// whole observation history and re-derives spike windows by scanning it —
+// so a divergence always indicts the optimized code, not the oracle.
+package check

@@ -1,0 +1,548 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+// Options configure a differential run. The zero value runs the CI
+// configuration: 200 seeds of 1500 observations each, with a full testbed
+// differential every 4th seed.
+type Options struct {
+	// Seeds is the number of differential seeds to run.
+	Seeds int
+	// BaseSeed is the first seed; seed i runs with BaseSeed+i. It must be
+	// chosen so no seed lands on 0 (the testbed treats a zero seed as
+	// unset and substitutes its default).
+	BaseSeed int64
+	// Observations is the length of each randomized observation sequence.
+	Observations int
+	// TestbedEvery runs the (much slower) testbed differential on every
+	// Nth seed.
+	TestbedEvery int
+	// Progress, when set, is called after each seed completes.
+	Progress func(done, total int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seeds <= 0 {
+		o.Seeds = 200
+	}
+	if o.BaseSeed <= 0 {
+		o.BaseSeed = 1
+	}
+	if o.Observations <= 0 {
+		o.Observations = 1500
+	}
+	if o.TestbedEvery <= 0 {
+		o.TestbedEvery = 4
+	}
+	return o
+}
+
+// Result summarizes how much ground a clean differential run covered.
+type Result struct {
+	Seeds         int
+	Observations  int64
+	Transitions   int64
+	TestbedRuns   int
+	TestbedEvents int64
+}
+
+// Run executes the differential harness: per seed it generates a randomized
+// observation sequence and verifies that the Reference model, the
+// production Detector, and a Controller-wrapped detector agree on every
+// state, transition and suspension flag, that every emitted transition is a
+// Figure 5 edge, that time-in-state accounting telescopes, that the
+// controller's guest sees a legal action sequence, and that the trace built
+// from the transitions survives both codecs and agrees between indexed and
+// linear queries. Every TestbedEvery-th seed additionally runs a small
+// testbed four ways — fast, sharded, naive, and a Reference replay over the
+// exported observation stream — and requires identical traces and occupancy.
+//
+// The first divergence aborts the run with an error naming the seed.
+func Run(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	var res Result
+	for i := 0; i < opts.Seeds; i++ {
+		seed := opts.BaseSeed + int64(i)
+		if err := checkDetectorSeed(seed, opts.Observations, &res); err != nil {
+			return res, fmt.Errorf("check: seed %d: %w", seed, err)
+		}
+		if i%opts.TestbedEvery == 0 {
+			if err := checkTestbedSeed(seed, &res); err != nil {
+				return res, fmt.Errorf("check: testbed seed %d: %w", seed, err)
+			}
+		}
+		res.Seeds++
+		if opts.Progress != nil {
+			opts.Progress(i+1, opts.Seeds)
+		}
+	}
+	return res, nil
+}
+
+var allStates = []availability.State{
+	availability.S1, availability.S2, availability.S3, availability.S4, availability.S5,
+}
+
+// randomDetectorConfig varies the knobs the classifier actually branches
+// on: threshold set, transient window, and working-set size.
+func randomDetectorConfig(rng *rand.Rand) availability.Config {
+	switch rng.Intn(4) {
+	case 0:
+		return availability.Config{} // paper defaults (Linux thresholds)
+	case 1:
+		return availability.Config{Thresholds: availability.SolarisThresholds()}
+	case 2:
+		return availability.Config{TransientWindow: time.Duration(30+rng.Intn(91)) * time.Second}
+	default:
+		return availability.Config{GuestWorkingSet: int64(64+rng.Intn(256)) << 20}
+	}
+}
+
+// Observation regimes. Sequences dwell in a regime and hop randomly, so
+// runs of spikes, outages and memory pressure of varying length all occur.
+const (
+	regimeCalm = iota
+	regimeMid
+	regimeSpike
+	regimeMemHog
+	regimeDead
+)
+
+// stepChoices are the inter-observation gaps, weighted toward the
+// monitor's 15s period but including 0 (repeated timestamps), the
+// transient-window boundary neighborhood (59s/60s/61s at the default
+// 1-minute window) and long jumps.
+var stepChoices = []time.Duration{
+	0, time.Second, 5 * time.Second,
+	15 * time.Second, 15 * time.Second, 15 * time.Second,
+	30 * time.Second, 45 * time.Second,
+	59 * time.Second, time.Minute, 61 * time.Second,
+	90 * time.Second, 2 * time.Minute,
+}
+
+type obsGen struct {
+	rng    *rand.Rand
+	cfg    availability.Config
+	regime int
+	at     sim.Time
+}
+
+func (g *obsGen) next() availability.Observation {
+	g.at += stepChoices[g.rng.Intn(len(stepChoices))]
+	if g.rng.Float64() < 0.35 {
+		// Spikes get double weight: they are the regime with history.
+		g.regime = []int{regimeCalm, regimeMid, regimeSpike, regimeSpike, regimeMemHog, regimeDead}[g.rng.Intn(6)]
+	}
+	th := g.cfg.Thresholds
+	demand := g.cfg.GuestWorkingSet
+	obs := availability.Observation{At: g.at, Alive: g.regime != regimeDead}
+	// Sometimes carry an explicit per-observation demand, exercising the
+	// fallback-vs-explicit branch of the S4 test.
+	if g.rng.Float64() < 0.2 {
+		obs.GuestDemand = demand/2 + 1
+		demand = obs.GuestDemand
+	}
+	// Free memory: comfortable by default; exactly the demand (still
+	// sufficient) and one byte short (thrashing) probe the S4 boundary.
+	switch {
+	case g.regime == regimeMemHog:
+		if g.rng.Float64() < 0.5 {
+			obs.FreeMem = demand - 1
+		} else {
+			obs.FreeMem = g.rng.Int63n(demand)
+		}
+	case g.rng.Float64() < 0.1:
+		obs.FreeMem = demand
+	default:
+		obs.FreeMem = demand * 4
+	}
+	if !obs.Alive {
+		return obs
+	}
+	// Host load: per-regime bands, with frequent exact-threshold and
+	// one-ulp-off values — Th2 exactly is NOT a spike (strictly greater).
+	const eps = 1e-9
+	if g.rng.Float64() < 0.25 {
+		obs.HostCPU = []float64{th.Th1, th.Th1 - eps, th.Th1 + eps, th.Th2, th.Th2 - eps, th.Th2 + eps}[g.rng.Intn(6)]
+	} else {
+		switch g.regime {
+		case regimeSpike:
+			obs.HostCPU = th.Th2 + eps + (1-th.Th2)*g.rng.Float64()
+		case regimeMid:
+			obs.HostCPU = th.Th1 + (th.Th2-th.Th1)*g.rng.Float64()
+		default:
+			obs.HostCPU = th.Th1 * g.rng.Float64()
+		}
+	}
+	if obs.HostCPU > 1 {
+		obs.HostCPU = 1
+	}
+	if obs.HostCPU < 0 {
+		obs.HostCPU = 0
+	}
+	return obs
+}
+
+// auditGuest records every control action and flags sequences no correct
+// controller may produce: operating on a killed guest, double
+// suspend/resume, or renicing to a level the policy never uses.
+type auditGuest struct {
+	alive      bool
+	suspended  bool
+	nice       int
+	violations []string
+}
+
+func newAuditGuest() *auditGuest { return &auditGuest{alive: true} }
+
+func (g *auditGuest) fail(format string, args ...interface{}) {
+	g.violations = append(g.violations, fmt.Sprintf(format, args...))
+}
+
+func (g *auditGuest) Renice(nice int) {
+	if !g.alive {
+		g.fail("renice(%d) after kill", nice)
+	}
+	if nice != 0 && nice != availability.LowestNice {
+		g.fail("renice to %d, want 0 or %d", nice, availability.LowestNice)
+	}
+	g.nice = nice
+}
+
+func (g *auditGuest) Suspend() {
+	if !g.alive {
+		g.fail("suspend after kill")
+	}
+	if g.suspended {
+		g.fail("suspend while already suspended")
+	}
+	g.suspended = true
+}
+
+func (g *auditGuest) Resume() {
+	if !g.alive {
+		g.fail("resume after kill")
+	}
+	if !g.suspended {
+		g.fail("resume while running")
+	}
+	g.suspended = false
+}
+
+func (g *auditGuest) Kill() {
+	if !g.alive {
+		g.fail("kill after kill")
+	}
+	g.alive = false
+	g.suspended = false
+}
+
+func transitionsEqual(a, b *availability.Transition) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}
+
+func trString(tr *availability.Transition) string {
+	if tr == nil {
+		return "<none>"
+	}
+	return fmt.Sprintf("%v -> %v at %v (LH %v, free %d)", tr.From, tr.To, tr.At, tr.LH, tr.FreeMem)
+}
+
+// checkDetectorSeed runs one randomized observation sequence through the
+// reference model, a bare detector and a controller-wrapped detector, and
+// then puts the resulting trace through the codec and index differentials.
+func checkDetectorSeed(seed int64, nObs int, res *Result) error {
+	rng := sim.NewSource(seed).Stream("check/detector")
+	cfg := randomDetectorConfig(rng)
+	ref, err := NewReference(cfg)
+	if err != nil {
+		return err
+	}
+	det, err := availability.NewDetector(cfg)
+	if err != nil {
+		return err
+	}
+	ctrlDet, err := availability.NewDetector(cfg)
+	if err != nil {
+		return err
+	}
+	guest := newAuditGuest()
+	ctrl := availability.NewController(ctrlDet, guest)
+
+	edges := FigureFiveEdges()
+	gen := &obsGen{rng: rng, cfg: ref.Config(), regime: regimeCalm}
+	timingRef := availability.NewTimeInState(availability.S1)
+	timingDet := availability.NewTimeInState(availability.S1)
+	builder := trace.NewBuilder(0)
+	var events []trace.Event
+	prev := availability.S1
+	var first, last sim.Time
+
+	for i := 0; i < nObs; i++ {
+		obs := gen.next()
+		if i == 0 {
+			first = obs.At
+		}
+		last = obs.At
+
+		refState, refTr := ref.Observe(obs)
+		detState, detTr := det.Observe(obs)
+		ctrlState, _, ctrlTr := ctrl.Observe(obs)
+
+		if refState != detState || refState != ctrlState {
+			return fmt.Errorf("obs %d at %v: states diverge: reference %v, detector %v, controller %v",
+				i, obs.At, refState, detState, ctrlState)
+		}
+		if !transitionsEqual(refTr, detTr) || !transitionsEqual(refTr, ctrlTr) {
+			return fmt.Errorf("obs %d at %v: transitions diverge:\n  reference  %s\n  detector   %s\n  controller %s",
+				i, obs.At, trString(refTr), trString(detTr), trString(ctrlTr))
+		}
+		if ref.Suspended() != det.Suspended() {
+			return fmt.Errorf("obs %d at %v: suspension diverges: reference %v, detector %v",
+				i, obs.At, ref.Suspended(), det.Suspended())
+		}
+		if !refState.Valid() {
+			return fmt.Errorf("obs %d: state %v outside S1..S5", i, refState)
+		}
+		if refTr != nil {
+			if !edges[[2]availability.State{refTr.From, refTr.To}] {
+				return fmt.Errorf("obs %d: transition %v -> %v is not a Figure 5 edge", i, refTr.From, refTr.To)
+			}
+			if refTr.From != prev {
+				return fmt.Errorf("obs %d: transition From = %v but the state was %v", i, refTr.From, prev)
+			}
+			if refTr.To != refState {
+				return fmt.Errorf("obs %d: transition To = %v but the state is %v", i, refTr.To, refState)
+			}
+			if refTr.At > obs.At {
+				return fmt.Errorf("obs %d: transition stamped %v, after the observation at %v", i, refTr.At, obs.At)
+			}
+			res.Transitions++
+			if ev := builder.OnTransition(*refTr); ev != nil {
+				events = append(events, *ev)
+			}
+		}
+		if len(guest.violations) > 0 {
+			return fmt.Errorf("obs %d: guest policy violations: %v", i, guest.violations)
+		}
+		if guest.alive != ctrl.GuestAlive() || guest.suspended != ctrl.GuestSuspended() {
+			return fmt.Errorf("obs %d: controller books (alive %v, suspended %v) disagree with the guest (alive %v, suspended %v)",
+				i, ctrl.GuestAlive(), ctrl.GuestSuspended(), guest.alive, guest.suspended)
+		}
+		if guest.alive && refState.Unavailable() {
+			return fmt.Errorf("obs %d: guest still alive in %v", i, refState)
+		}
+
+		timingRef.Advance(obs.At, refState)
+		timingDet.Advance(obs.At, detState)
+		prev = refState
+		res.Observations++
+	}
+
+	// Time-in-state must agree between the two accumulators, contain no
+	// invalid time, and telescope to exactly the observed span.
+	var sum sim.Time
+	for _, st := range allStates {
+		if timingRef.Total(st) != timingDet.Total(st) {
+			return fmt.Errorf("time in %v diverges: reference %v, detector %v", st, timingRef.Total(st), timingDet.Total(st))
+		}
+		sum += timingRef.Total(st)
+	}
+	if inv := timingRef.Invalid(); inv != 0 {
+		return fmt.Errorf("%v of residence time attributed to invalid states", inv)
+	}
+	if sum != last-first {
+		return fmt.Errorf("time in state telescopes to %v, span was %v", sum, last-first)
+	}
+
+	if ev := builder.Flush(last + time.Second); ev != nil {
+		events = append(events, *ev)
+	}
+	return checkTraceSurfaces(events, last+time.Second, res)
+}
+
+// checkTraceSurfaces round-trips a single-machine event list through both
+// codecs and compares every indexed query against its linear counterpart at
+// all event endpoints.
+func checkTraceSurfaces(events []trace.Event, end sim.Time, res *Result) error {
+	tr := trace.New(sim.Window{Start: 0, End: end}, sim.Calendar{}, 1)
+	for _, e := range events {
+		tr.Add(e)
+	}
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("built trace invalid: %w", err)
+	}
+	if err := roundTripTrace(tr); err != nil {
+		return err
+	}
+
+	ix := tr.BuildIndex()
+	pts := []sim.Time{0, end}
+	for _, e := range tr.Events {
+		pts = append(pts, e.Start, e.Start+1, e.End, e.End-1)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	for _, ts := range pts {
+		le, lok := tr.NextEventAfter(0, ts)
+		ie, iok := ix.NextEventAfter(0, ts)
+		if lok != iok || (lok && le != ie) {
+			return fmt.Errorf("NextEventAfter(%v): linear (%+v, %v) != indexed (%+v, %v)", ts, le, lok, ie, iok)
+		}
+	}
+	for i := 0; i+1 < len(pts); i++ {
+		w := sim.Window{Start: pts[i], End: pts[i+1]}
+		if lo, io := tr.AnyOverlap(0, w), ix.AnyOverlap(0, w); lo != io {
+			return fmt.Errorf("AnyOverlap(%v): linear %v != indexed %v", w, lo, io)
+		}
+		if lc, ic := tr.OccurrencesInWindow(0, w), ix.CountInWindow(0, w); lc != ic {
+			return fmt.Errorf("CountInWindow(%v): linear %d != indexed %d", w, lc, ic)
+		}
+	}
+	return nil
+}
+
+// roundTripTrace asserts both codecs reproduce the trace's events exactly.
+func roundTripTrace(tr *trace.Trace) error {
+	var bin bytes.Buffer
+	if err := tr.WriteBinary(&bin); err != nil {
+		return fmt.Errorf("binary encode: %w", err)
+	}
+	got, err := trace.ReadBinary(&bin)
+	if err != nil {
+		return fmt.Errorf("binary decode: %w", err)
+	}
+	if err := sameEvents("binary round trip", tr.Events, got.Events); err != nil {
+		return err
+	}
+	if got.Span != tr.Span || got.Calendar != tr.Calendar || got.Machines != tr.Machines {
+		return fmt.Errorf("binary round trip lost header: %+v vs %+v", got, tr)
+	}
+
+	var csvBuf bytes.Buffer
+	if err := tr.WriteCSV(&csvBuf); err != nil {
+		return fmt.Errorf("CSV encode: %w", err)
+	}
+	evs, err := trace.ReadCSVEvents(&csvBuf)
+	if err != nil {
+		return fmt.Errorf("CSV decode: %w", err)
+	}
+	return sameEvents("CSV round trip", tr.Events, evs)
+}
+
+func sameEvents(what string, want, got []trace.Event) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%s: %d events, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("%s: event %d differs: %+v vs %+v", what, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// checkTestbedSeed runs a small testbed four ways — fast in-memory, sharded
+// streaming, naive per-period, and a Reference replay over the exported
+// observation stream — and requires identical events and occupancy, then
+// round-trips the trace through the codecs.
+func checkTestbedSeed(seed int64, res *Result) error {
+	rng := sim.NewSource(seed).Stream("check/testbed")
+	cfg := testbed.DefaultConfig()
+	cfg.Machines = 1 + rng.Intn(2)
+	cfg.Days = 1 + rng.Intn(2)
+	cfg.Seed = seed
+	cfg.Parallelism = 1 + rng.Intn(2)
+
+	fast, fastOcc, err := testbed.RunWithOccupancy(cfg)
+	if err != nil {
+		return fmt.Errorf("fast run: %w", err)
+	}
+	naive, naiveOcc, err := testbed.RunNaive(cfg)
+	if err != nil {
+		return fmt.Errorf("naive run: %w", err)
+	}
+	sink := testbed.NewCollectSink(cfg)
+	if err := testbed.RunSharded(cfg, 1+rng.Intn(cfg.Machines), sink); err != nil {
+		return fmt.Errorf("sharded run: %w", err)
+	}
+	if err := sameEvents("fast vs naive", fast.Events, naive.Events); err != nil {
+		return err
+	}
+	if err := sameEvents("fast vs sharded", fast.Events, sink.Trace.Events); err != nil {
+		return err
+	}
+	for id := range fastOcc {
+		for _, st := range allStates {
+			if fastOcc[id].Fraction[st] != naiveOcc[id].Fraction[st] {
+				return fmt.Errorf("machine %d occupancy in %v: fast %v, naive %v",
+					id, st, fastOcc[id].Fraction[st], naiveOcc[id].Fraction[st])
+			}
+		}
+	}
+
+	// Reference replay: drive the naive observation stream through the
+	// reference model and rebuild each machine's events and occupancy.
+	end := sim.Time(cfg.Days) * sim.Day
+	for id := 0; id < cfg.Machines; id++ {
+		ref, err := NewReference(cfg.Detector)
+		if err != nil {
+			return err
+		}
+		builder := trace.NewBuilder(trace.MachineID(id))
+		timing := availability.NewTimeInState(availability.S1)
+		var events []trace.Event
+		err = testbed.ObservationStream(cfg, trace.MachineID(id), func(obs availability.Observation) error {
+			st, tr := ref.Observe(obs)
+			timing.Advance(obs.At, st)
+			if tr != nil {
+				if ev := builder.OnTransition(*tr); ev != nil {
+					events = append(events, *ev)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("observation stream: %w", err)
+		}
+		if ev := builder.Flush(end); ev != nil {
+			events = append(events, *ev)
+		}
+		var want []trace.Event
+		for _, e := range naive.Events {
+			if e.Machine == trace.MachineID(id) {
+				want = append(want, e)
+			}
+		}
+		if err := sameEvents(fmt.Sprintf("machine %d reference replay", id), want, events); err != nil {
+			return err
+		}
+		for _, st := range allStates {
+			if timing.Fraction(st) != naiveOcc[id].Fraction[st] {
+				return fmt.Errorf("machine %d reference occupancy in %v: %v, testbed %v",
+					id, st, timing.Fraction(st), naiveOcc[id].Fraction[st])
+			}
+		}
+	}
+
+	if err := roundTripTrace(fast); err != nil {
+		return err
+	}
+	res.TestbedRuns++
+	res.TestbedEvents += int64(len(fast.Events))
+	return nil
+}

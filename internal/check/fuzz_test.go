@@ -1,0 +1,299 @@
+package check
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// fuzzSteps are the inter-observation gaps a fuzzed byte selects from,
+// clustered around the 1-minute transient window boundary.
+var fuzzSteps = []time.Duration{
+	0, time.Second, 15 * time.Second, 30 * time.Second,
+	59 * time.Second, time.Minute, 61 * time.Second, 2 * time.Minute,
+}
+
+// fuzzObs decodes one observation from 4 bytes: step selector, load
+// selector (threshold-exact buckets plus a linear ramp), free memory in
+// 2 MiB units, and alive/explicit-demand flags.
+func fuzzObs(at sim.Time, b0, b1, b2, b3 byte, th availability.Thresholds) (sim.Time, availability.Observation) {
+	at += fuzzSteps[int(b0)%len(fuzzSteps)]
+	const eps = 1e-9
+	var load float64
+	switch b1 % 8 {
+	case 0:
+		load = th.Th1
+	case 1:
+		load = th.Th2
+	case 2:
+		load = th.Th1 - eps
+	case 3:
+		load = th.Th2 + eps
+	default:
+		load = float64(b1) / 255
+	}
+	obs := availability.Observation{
+		At:      at,
+		HostCPU: load,
+		FreeMem: int64(b2) << 21,
+		Alive:   b3&1 == 0,
+	}
+	if b3&2 != 0 {
+		obs.GuestDemand = 100 << 20
+	}
+	return at, obs
+}
+
+// FuzzDetectorObserve feeds arbitrary observation sequences to the
+// production detector and the reference model in lockstep: every state,
+// transition and suspension flag must match, every transition must be a
+// Figure 5 edge with consistent endpoints.
+func FuzzDetectorObserve(f *testing.F) {
+	f.Add([]byte{0, 0, 200, 0})
+	f.Add([]byte{2, 3, 200, 0, 5, 3, 200, 0, 3, 0, 200, 0}) // spike past the window
+	f.Add([]byte{1, 4, 0, 0, 2, 3, 200, 1, 3, 200, 200, 2}) // thrash, die, explicit demand
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ref, err := NewReference(availability.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := availability.NewDetector(availability.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := ref.Config().Thresholds
+		edges := FigureFiveEdges()
+		at := sim.Time(0)
+		prev := availability.S1
+		for i := 0; i+4 <= len(data); i += 4 {
+			var obs availability.Observation
+			at, obs = fuzzObs(at, data[i], data[i+1], data[i+2], data[i+3], th)
+			refState, refTr := ref.Observe(obs)
+			detState, detTr := det.Observe(obs)
+			if refState != detState {
+				t.Fatalf("obs %d at %v: reference %v, detector %v", i/4, obs.At, refState, detState)
+			}
+			if !transitionsEqual(refTr, detTr) {
+				t.Fatalf("obs %d at %v: transitions diverge: %s vs %s", i/4, obs.At, trString(refTr), trString(detTr))
+			}
+			if ref.Suspended() != det.Suspended() {
+				t.Fatalf("obs %d: suspension diverges: reference %v, detector %v", i/4, ref.Suspended(), det.Suspended())
+			}
+			if !refState.Valid() {
+				t.Fatalf("obs %d: invalid state %v", i/4, refState)
+			}
+			if refTr != nil {
+				if !edges[[2]availability.State{refTr.From, refTr.To}] {
+					t.Fatalf("obs %d: illegal edge %v -> %v", i/4, refTr.From, refTr.To)
+				}
+				if refTr.From != prev || refTr.To != refState || refTr.At > obs.At {
+					t.Fatalf("obs %d: inconsistent transition %s (state was %v, now %v)", i/4, trString(refTr), prev, refState)
+				}
+			}
+			prev = refState
+		}
+	})
+}
+
+// fuzzEvents decodes a valid event list from 5-byte records: machine,
+// start advance (minutes), duration (seconds), state/cpu selector, memory.
+// Starts advance monotonically so the list is already in codec-friendly
+// order without being sorted per machine.
+func fuzzEvents(data []byte) []trace.Event {
+	var events []trace.Event
+	cur := sim.Time(0)
+	for i := 0; i+5 <= len(data); i += 5 {
+		cur += time.Duration(data[i+1]) * time.Minute
+		events = append(events, trace.Event{
+			Machine:  trace.MachineID(data[i] % 4),
+			Start:    cur,
+			End:      cur + time.Duration(data[i+2])*time.Second,
+			State:    availability.S3 + availability.State(data[i+3]%3),
+			AvailCPU: float64(data[i+3]) / 255,
+			AvailMem: int64(data[i+4]) << 20,
+		})
+	}
+	return events
+}
+
+func fuzzTrace(events []trace.Event) *trace.Trace {
+	end := sim.Time(time.Hour)
+	for _, e := range events {
+		if e.End >= end {
+			end = e.End + 1
+		}
+	}
+	tr := trace.New(sim.Window{Start: 0, End: end}, sim.Calendar{}, 4)
+	tr.Events = append(tr.Events, events...)
+	return tr
+}
+
+// FuzzCodecRoundTrip encodes arbitrary valid event lists through the binary
+// and CSV codecs, demands exact reproduction, then cuts the binary stream
+// at an arbitrary offset and demands the salvaged events form a prefix of
+// the originals with the cut reported as ErrTruncated.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 30, 0, 8, 200})
+	f.Add([]byte{1, 0, 0, 1, 0, 3, 2, 60, 2, 9, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		cutByte, data := data[0], data[1:]
+		tr := fuzzTrace(fuzzEvents(data))
+
+		var bin bytes.Buffer
+		if err := tr.WriteBinary(&bin); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := trace.ReadBinary(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if err := sameEvents("binary", tr.Events, got.Events); err != nil {
+			t.Fatal(err)
+		}
+
+		var csvBuf bytes.Buffer
+		if err := tr.WriteCSV(&csvBuf); err != nil {
+			t.Fatalf("CSV encode: %v", err)
+		}
+		evs, err := trace.ReadCSVEvents(&csvBuf)
+		if err != nil {
+			t.Fatalf("CSV decode: %v", err)
+		}
+		if err := sameEvents("CSV", tr.Events, evs); err != nil {
+			t.Fatal(err)
+		}
+
+		// Truncation: any cut must salvage a prefix and report ErrTruncated
+		// (a cut inside the header may fail at NewDecoder, same rule).
+		cut := int(cutByte) * bin.Len() / 255
+		dec, err := trace.NewDecoder(bytes.NewReader(bin.Bytes()[:cut]))
+		if err != nil {
+			if !errors.Is(err, trace.ErrTruncated) {
+				t.Fatalf("header cut at %d/%d: %v, want ErrTruncated", cut, bin.Len(), err)
+			}
+			return
+		}
+		var salvaged []trace.Event
+		for {
+			e, err := dec.Next()
+			if err == io.EOF {
+				if cut != bin.Len() && len(salvaged) == len(tr.Events) {
+					break // the cut landed exactly on the final record boundary
+				}
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, trace.ErrTruncated) {
+					t.Fatalf("cut at %d/%d: %v, want ErrTruncated", cut, bin.Len(), err)
+				}
+				break
+			}
+			salvaged = append(salvaged, e)
+		}
+		if len(salvaged) > len(tr.Events) {
+			t.Fatalf("salvaged %d events from a %d-event stream", len(salvaged), len(tr.Events))
+		}
+		if err := sameEvents("salvaged prefix", tr.Events[:len(salvaged)], salvaged); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzIndexQueries holds every Index query to a straight linear scan over
+// arbitrary event lists and query points, covering the exact-endpoint
+// cases the boundary tests enumerate by hand.
+func FuzzIndexQueries(f *testing.F) {
+	f.Add([]byte{10, 50}, []byte{0, 1, 30, 0, 8, 1, 2, 60, 1, 9})
+	f.Add([]byte{0, 0}, []byte{2, 0, 0, 2, 0, 2, 0, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, qdata, edata []byte) {
+		tr := fuzzTrace(fuzzEvents(edata))
+		ix := tr.BuildIndex()
+
+		pts := []sim.Time{0, tr.Span.End}
+		for _, e := range tr.Events {
+			pts = append(pts, e.Start, e.Start+1, e.End, e.End-1)
+		}
+		for _, b := range qdata {
+			pts = append(pts, time.Duration(b)*time.Minute)
+		}
+
+		for m := trace.MachineID(0); m < 4; m++ {
+			for _, ts := range pts {
+				le, lok := tr.NextEventAfter(m, ts)
+				ie, iok := ix.NextEventAfter(m, ts)
+				if lok != iok || (lok && le != ie) {
+					t.Fatalf("NextEventAfter(%d, %v): linear (%+v, %v), indexed (%+v, %v)", m, ts, le, lok, ie, iok)
+				}
+
+				// LastEndBefore vs a linear scan: the latest End <= ts.
+				var wantEnd sim.Time
+				wantOK := false
+				for _, e := range tr.Events {
+					if e.Machine == m && e.End <= ts && (!wantOK || e.End > wantEnd) {
+						wantEnd, wantOK = e.End, true
+					}
+				}
+				gotEnd, gotOK := ix.LastEndBefore(m, ts)
+				if wantOK != gotOK || (wantOK && wantEnd != gotEnd) {
+					t.Fatalf("LastEndBefore(%d, %v): linear (%v, %v), indexed (%v, %v)", m, ts, wantEnd, wantOK, gotEnd, gotOK)
+				}
+			}
+			for i := 0; i+1 < len(pts); i++ {
+				w := sim.Window{Start: pts[i], End: pts[i+1]}
+				if w.End < w.Start {
+					w.Start, w.End = w.End, w.Start
+				}
+				if lo, io := tr.AnyOverlap(m, w), ix.AnyOverlap(m, w); lo != io {
+					t.Fatalf("AnyOverlap(%d, %v): linear %v, indexed %v", m, w, lo, io)
+				}
+				if lc, ic := tr.OccurrencesInWindow(m, w), ix.CountInWindow(m, w); lc != ic {
+					t.Fatalf("CountInWindow(%d, %v): linear %d, indexed %d", m, w, lc, ic)
+				}
+
+				// FirstOverlap's contract: some overlapping event iff one
+				// exists, and its overlap must begin at the earliest possible
+				// instant. Several events open at w.Start tie on that begin,
+				// so the check compares overlap begins, not identities.
+				var wantBegin sim.Time
+				wantOK := false
+				for _, e := range tr.Events {
+					if e.Machine != m || !(e.Start < w.End && e.End > w.Start) {
+						continue
+					}
+					begin := e.Start
+					if begin < w.Start {
+						begin = w.Start
+					}
+					if !wantOK || begin < wantBegin {
+						wantBegin, wantOK = begin, true
+					}
+				}
+				got, gotOK := ix.FirstOverlap(m, w)
+				if wantOK != gotOK {
+					t.Fatalf("FirstOverlap(%d, %v): linear found=%v, indexed found=%v (%+v)", m, w, wantOK, gotOK, got)
+				}
+				if gotOK {
+					if got.Machine != m || !(got.Start < w.End && got.End > w.Start) {
+						t.Fatalf("FirstOverlap(%d, %v) returned a non-overlapping event %+v", m, w, got)
+					}
+					begin := got.Start
+					if begin < w.Start {
+						begin = w.Start
+					}
+					if begin != wantBegin {
+						t.Fatalf("FirstOverlap(%d, %v): overlap begins at %v, earliest is %v (%+v)", m, w, begin, wantBegin, got)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package check
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/sim"
+)
+
+func obsAt(at time.Duration, cpu float64) availability.Observation {
+	return availability.Observation{At: at, HostCPU: cpu, FreeMem: 1 << 30, Alive: true}
+}
+
+// TestReferenceSpikeBackdating walks the canonical persistent-spike
+// sequence by hand: the S3 transition must be stamped at the spike's first
+// sample with that sample's load, not at window expiry.
+func TestReferenceSpikeBackdating(t *testing.T) {
+	ref, err := NewReference(availability.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, tr := ref.Observe(obsAt(0, 0.1)); st != availability.S1 || tr != nil {
+		t.Fatalf("idle start: %v, %v", st, tr)
+	}
+	// Spike opens at t=15s with LH 0.9; stays transient through 60s.
+	if st, _ := ref.Observe(obsAt(15*time.Second, 0.9)); st != availability.S1 {
+		t.Fatalf("transient spike should hold S1, got %v", st)
+	}
+	if !ref.Suspended() {
+		t.Fatal("guest not suspended during the transient spike")
+	}
+	if st, _ := ref.Observe(obsAt(30*time.Second, 0.95)); st != availability.S1 {
+		t.Fatalf("still transient at 15s of spike, got %v", st)
+	}
+	// 75s - 15s = 60s: the window is met exactly; S3, backdated to 15s.
+	st, tr := ref.Observe(obsAt(75*time.Second, 0.85))
+	if st != availability.S3 {
+		t.Fatalf("persistent spike should be S3, got %v", st)
+	}
+	if tr == nil || tr.At != 15*time.Second || tr.LH != 0.9 {
+		t.Fatalf("transition not backdated to the spike start: %+v", tr)
+	}
+	if ref.Suspended() {
+		t.Fatal("suspension must clear on entering S3")
+	}
+}
+
+// TestReferenceSpikeSubsides pins the transient path: a spike shorter than
+// the window never leaves the available states.
+func TestReferenceSpikeSubsides(t *testing.T) {
+	ref, err := NewReference(availability.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Observe(obsAt(0, 0.3)) // S2
+	if st, tr := ref.Observe(obsAt(15*time.Second, 0.9)); st != availability.S2 || tr != nil {
+		t.Fatalf("transient spike from S2: %v, %v", st, tr)
+	}
+	if st, _ := ref.Observe(obsAt(30*time.Second, 0.1)); st != availability.S1 {
+		t.Fatalf("subsided spike should drop to S1, got %v", st)
+	}
+	if ref.Suspended() {
+		t.Fatal("suspension survived the spike's end")
+	}
+}
+
+// TestReferenceMemoryAndDeath checks the classification order: death beats
+// thrashing beats CPU, and the exact free-memory boundary is "enough".
+func TestReferenceMemoryAndDeath(t *testing.T) {
+	ref, err := NewReference(availability.Config{GuestWorkingSet: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := ref.Observe(availability.Observation{At: 0, HostCPU: 0.1, FreeMem: 100, Alive: true}); st != availability.S1 {
+		t.Fatalf("free == demand must be sufficient, got %v", st)
+	}
+	if st, _ := ref.Observe(availability.Observation{At: sim.Time(time.Second), HostCPU: 0.1, FreeMem: 99, Alive: true}); st != availability.S4 {
+		t.Fatalf("free < demand must thrash, got %v", st)
+	}
+	if st, _ := ref.Observe(availability.Observation{At: sim.Time(2 * time.Second), FreeMem: 0, Alive: false}); st != availability.S5 {
+		t.Fatalf("dead service must be S5, got %v", st)
+	}
+	// An explicit per-observation demand overrides the configured one.
+	if st, _ := ref.Observe(availability.Observation{At: sim.Time(3 * time.Second), HostCPU: 0.1, FreeMem: 100, GuestDemand: 101, Alive: true}); st != availability.S4 {
+		t.Fatalf("explicit demand ignored, got %v", st)
+	}
+}
+
+// TestReferenceNoS3FromFailureStates asserts the deliberate Figure 5
+// omission: after thrashing or an outage clears into a spike, the machine
+// sits in S2 (suspended) until the window elapses afresh — never S3
+// directly.
+func TestReferenceNoS3FromFailureStates(t *testing.T) {
+	ref, err := NewReference(availability.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Observe(availability.Observation{At: 0, FreeMem: 0, Alive: false}) // S5
+	st, tr := ref.Observe(obsAt(15*time.Second, 0.9))
+	if st != availability.S2 {
+		t.Fatalf("spike right after an outage must suspend in S2, got %v", st)
+	}
+	if tr == nil || tr.From != availability.S5 || tr.To != availability.S2 {
+		t.Fatalf("expected S5 -> S2, got %+v", tr)
+	}
+	if !ref.Suspended() {
+		t.Fatal("guest should be suspended")
+	}
+}

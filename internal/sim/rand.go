@@ -66,13 +66,26 @@ func Uniform(r *rand.Rand, lo, hi Time) Time {
 	return lo + Time(r.Int63n(int64(hi-lo)))
 }
 
-// Normal draws from N(mean, sd) truncated below at lo.
+// normalMaxResample bounds the rejection loop in Normal. With lo at or
+// below the mean at least half the mass is accepted, so 16 attempts leave
+// under 2^-16 of draws to the clamp fallback; pathological parameter
+// choices (lo far above the mean) degrade to the clamp instead of spinning.
+const normalMaxResample = 16
+
+// Normal draws from N(mean, sd) truncated below at lo by rejection
+// sampling: draws under lo are redrawn rather than clamped, so the result
+// follows the true truncated-normal density. (Clamping piles the whole
+// sub-lo tail onto the floor, which biases the mean of draws near lo —
+// e.g. a clamped half-normal averages sd/sqrt(2*pi) instead of the correct
+// sd*sqrt(2/pi).) After normalMaxResample rejected attempts the draw
+// falls back to lo.
 func Normal(r *rand.Rand, mean, sd, lo float64) float64 {
-	v := mean + sd*r.NormFloat64()
-	if v < lo {
-		return lo
+	for i := 0; i < normalMaxResample; i++ {
+		if v := mean + sd*r.NormFloat64(); v >= lo {
+			return v
+		}
 	}
-	return v
+	return lo
 }
 
 // LogNormal draws from a log-normal distribution parameterized by the

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestNormalTruncationUnbiased pins the rejection-resampling fix: a
+// truncated half-normal (mean 0, sd 1, floor 0) has mean sqrt(2/pi) ~
+// 0.798. The old clamp-at-lo behavior averaged 1/sqrt(2*pi) ~ 0.399 —
+// half the probability mass sat exactly on the floor — so a sample mean
+// near 0.8 distinguishes the distributions decisively.
+func TestNormalTruncationUnbiased(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 200000
+	sum := 0.0
+	atFloor := 0
+	for i := 0; i < n; i++ {
+		v := Normal(r, 0, 1, 0)
+		if v < 0 {
+			t.Fatalf("draw %v below the floor", v)
+		}
+		if v == 0 {
+			atFloor++
+		}
+		sum += v
+	}
+	mean := sum / n
+	want := math.Sqrt(2 / math.Pi)
+	if math.Abs(mean-want) > 0.01 {
+		t.Errorf("truncated half-normal mean = %v, want ~%v (clamping would give ~%v)",
+			mean, want, 1/math.Sqrt(2*math.Pi))
+	}
+	// The clamp fallback fires only after normalMaxResample rejections:
+	// ~2^-16 of draws, so a 200k sample should have at most a handful.
+	if atFloor > 20 {
+		t.Errorf("%d of %d draws landed exactly on the floor; resampling is not happening", atFloor, n)
+	}
+}
+
+// TestNormalFloorFallback exercises the bounded-attempt cap: with the
+// floor far above the mean, rejection nearly always fails and the draw
+// must degrade to the floor instead of spinning.
+func TestNormalFloorFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		if v := Normal(r, 0, 0.001, 50); v != 50 {
+			t.Fatalf("draw %v with an unreachable floor, want the floor itself", v)
+		}
+	}
+}
+
+// TestNormalAboveFloorUntouched verifies draws comfortably above the floor
+// pass through on the first attempt (one NormFloat64 consumed), so callers
+// away from the truncation boundary see the same stream as before.
+func TestNormalAboveFloorUntouched(t *testing.T) {
+	a := rand.New(rand.NewSource(9))
+	b := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		want := 100 + 0.5*b.NormFloat64()
+		if got := Normal(a, 100, 0.5, 0); got != want {
+			t.Fatalf("draw %d: got %v, want %v", i, got, want)
+		}
+	}
+}

@@ -389,24 +389,17 @@ func simulateMachine(cfg Config, id trace.MachineID, contribs []contribution, ou
 	return events, timing, nil
 }
 
-// simulateMachineNaive is the seed implementation's per-period loop, kept
-// verbatim as the test oracle for simulateMachine: every monitor period it
-// re-applies the boundary automaton and runs the full
-// monitor/detector/timing/builder pipeline.
-func simulateMachineNaive(cfg Config, id trace.MachineID, contribs []contribution, outages []outage, ambientRNG *rand.Rand) ([]trace.Event, *availability.TimeInState, error) {
+// forEachObservation is the seed implementation's per-period loop, kept
+// verbatim: every monitor period it re-applies the boundary automaton,
+// composes the sample, and hands the smoothed monitor observation to fn.
+// It is the one source of the naive observation stream, shared by the
+// simulateMachineNaive oracle and the exported ObservationStream.
+func forEachObservation(cfg Config, contribs []contribution, outages []outage, ambientRNG *rand.Rand, fn func(availability.Observation) error) error {
 	amb := newAmbient(cfg, ambientRNG)
 	mon, err := monitor.New(cfg.Monitor)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	det, err := availability.NewDetector(cfg.Detector)
-	if err != nil {
-		return nil, nil, err
-	}
-	builder := trace.NewBuilder(id)
-	timing := availability.NewTimeInState(availability.S1)
-
-	var events []trace.Event
 	end := sim.Time(cfg.Days) * sim.Day
 	period := mon.Config().Period
 
@@ -460,17 +453,90 @@ func simulateMachineNaive(cfg Config, id trace.MachineID, contribs []contributio
 			sample.FreeMem = free
 		}
 
-		obs := mon.Observe(sample)
+		if err := fn(mon.Observe(sample)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// simulateMachineNaive runs the full detector/timing/builder pipeline over
+// the naive observation stream — the test oracle for simulateMachine.
+func simulateMachineNaive(cfg Config, id trace.MachineID, contribs []contribution, outages []outage, ambientRNG *rand.Rand) ([]trace.Event, *availability.TimeInState, error) {
+	det, err := availability.NewDetector(cfg.Detector)
+	if err != nil {
+		return nil, nil, err
+	}
+	builder := trace.NewBuilder(id)
+	timing := availability.NewTimeInState(availability.S1)
+
+	var events []trace.Event
+	err = forEachObservation(cfg, contribs, outages, ambientRNG, func(obs availability.Observation) error {
 		state, transition := det.Observe(obs)
-		timing.Advance(t, state)
+		timing.Advance(obs.At, state)
 		if transition != nil {
 			if ev := builder.OnTransition(*transition); ev != nil {
 				events = append(events, *ev)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	if ev := builder.Flush(end); ev != nil {
+	if ev := builder.Flush(sim.Time(cfg.Days) * sim.Day); ev != nil {
 		events = append(events, *ev)
 	}
 	return events, timing, nil
+}
+
+// ObservationStream replays the smoothed monitor observations machine id
+// would feed the detector in a run of cfg, in sample order. The stream is
+// reproducible — the same (cfg, id) pair always yields the same
+// observations — which lets external checkers drive their own detector (or
+// a reference model) over exactly the input the testbed pipeline saw.
+// A non-nil error from fn stops the stream and is returned verbatim.
+func ObservationStream(cfg Config, id trace.MachineID, fn func(availability.Observation) error) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	src := sim.NewSource(cfg.Seed)
+	planRNG := src.Stream(fmt.Sprintf("machine/%d/plan", id))
+	ambientRNG := src.Stream(fmt.Sprintf("machine/%d/ambient", id))
+	contribs, outages := planMachine(cfg, planRNG)
+	return forEachObservation(cfg, contribs, outages, ambientRNG, fn)
+}
+
+// RunNaive is the reference form of Run: the per-period loop with no span
+// skipping, no smoothing shortcuts and no parallelism. It exists for
+// differential testing — the check harness asserts Run, RunSharded and
+// RunNaive agree event-for-event — and is orders of magnitude slower than
+// Run at realistic spans; keep it to small configurations.
+func RunNaive(cfg Config) (*trace.Trace, []Occupancy, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	tr := trace.New(spanOf(cfg), calendarOf(cfg), cfg.Machines)
+	occ := make([]Occupancy, cfg.Machines)
+	src := sim.NewSource(cfg.Seed)
+	for id := 0; id < cfg.Machines; id++ {
+		planRNG := src.Stream(fmt.Sprintf("machine/%d/plan", id))
+		ambientRNG := src.Stream(fmt.Sprintf("machine/%d/ambient", id))
+		contribs, outages := planMachine(cfg, planRNG)
+		evs, timing, err := simulateMachineNaive(cfg, trace.MachineID(id), contribs, outages, ambientRNG)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, e := range evs {
+			tr.Add(e)
+		}
+		occ[id] = machineOccupancy(trace.MachineID(id), timing)
+	}
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("testbed: generated invalid trace: %w", err)
+	}
+	return tr, occ, nil
 }

@@ -228,7 +228,9 @@ func (t *Trace) AnyOverlap(m MachineID, w sim.Window) bool {
 }
 
 // NextEventAfter returns the first event of machine m starting at or after
-// ts, and whether one exists.
+// ts, and whether one exists. Ties on start time resolve to the earliest
+// end — the (start, end) order Sort and Index use — so the answer does not
+// depend on the order events happen to be stored in.
 func (t *Trace) NextEventAfter(m MachineID, ts sim.Time) (Event, bool) {
 	best := Event{}
 	found := false
@@ -236,7 +238,7 @@ func (t *Trace) NextEventAfter(m MachineID, ts sim.Time) (Event, bool) {
 		if e.Machine != m || e.Start < ts {
 			continue
 		}
-		if !found || e.Start < best.Start {
+		if !found || e.Start < best.Start || (e.Start == best.Start && e.End < best.End) {
 			best = e
 			found = true
 		}

@@ -82,8 +82,15 @@ func (ix *Index) FirstOverlap(m MachineID, w sim.Window) (Event, bool) {
 	if found {
 		return best, true
 	}
-	if first < len(evs) && evs[first].Start < w.End {
-		return evs[first], true
+	// An event starting inside [w.Start, w.End) genuinely overlaps unless
+	// it is zero-length and sits exactly on w.Start (End == w.Start, since
+	// End >= Start >= w.Start). Those sort first among equal starts, so
+	// skip past them rather than returning a non-overlapping event — or
+	// worse, shadowing a real overlap later in the window.
+	for j := first; j < len(evs) && evs[j].Start < w.End; j++ {
+		if evs[j].End > w.Start {
+			return evs[j], true
+		}
 	}
 	return Event{}, false
 }

@@ -3,9 +3,11 @@ package trace
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"repro/internal/availability"
 	"repro/internal/sim"
@@ -43,21 +45,44 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 // ReadCSVEvents parses events written by WriteCSV. Rows are consumed
 // incrementally — one record buffer is reused across rows — so ingest
 // memory is the returned slice, not a second copy of the whole file.
+//
+// Files that went through Windows tooling read cleanly: encoding/csv strips
+// CRLF line endings, and the header check below tolerates a stray trailing
+// \r. A file cut off mid-record (a crashed writer, a partial download)
+// returns the events salvaged before the cut together with an error
+// wrapping ErrTruncated, mirroring the binary decoder's salvageable-prefix
+// semantics; a short row in the middle of the file is corruption, not
+// truncation, and reports a plain error.
 func ReadCSVEvents(r io.Reader) ([]Event, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
 	cr.ReuseRecord = true
-	if _, err := cr.Read(); err != nil {
+	hdr, err := cr.Read()
+	if err != nil {
 		if err == io.EOF {
 			return nil, fmt.Errorf("trace: empty CSV (missing header)")
 		}
-		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	for i, name := range csvHeader {
+		if strings.TrimSuffix(hdr[i], "\r") != name {
+			return nil, fmt.Errorf("trace: CSV header field %d is %q, want %q", i+1, hdr[i], name)
+		}
 	}
 	events := make([]Event, 0, 1024)
 	for row := 2; ; row++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			return events, nil
+		}
+		var fieldErr *csv.ParseError
+		if errors.As(err, &fieldErr) && fieldErr.Err == csv.ErrFieldCount {
+			// A short row is truncation only if it is the last thing in the
+			// file; anything after it means the file is corrupt instead.
+			if _, next := cr.Read(); next == io.EOF {
+				return events, fmt.Errorf("trace: CSV row %d cut short: %w", row, ErrTruncated)
+			}
+			return nil, fmt.Errorf("trace: CSV row %d: %w", row, err)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("trace: reading CSV: %w", err)

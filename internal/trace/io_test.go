@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -117,6 +118,83 @@ func TestCSVRejectsBadInput(t *testing.T) {
 		if _, err := ReadCSVEvents(strings.NewReader(c)); err == nil {
 			t.Errorf("case %d: bad CSV accepted", i)
 		}
+	}
+}
+
+func TestCSVReadsCRLF(t *testing.T) {
+	tr := randomTrace(4, 50)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	crlf := strings.ReplaceAll(buf.String(), "\n", "\r\n")
+	events, err := ReadCSVEvents(strings.NewReader(crlf))
+	if err != nil {
+		t.Fatalf("CRLF CSV rejected: %v", err)
+	}
+	if len(events) != len(tr.Events) {
+		t.Fatalf("got %d events from CRLF file, want %d", len(events), len(tr.Events))
+	}
+	for i := range events {
+		if events[i] != tr.Events[i] {
+			t.Fatalf("event %d differs after CRLF read: %+v vs %+v", i, events[i], tr.Events[i])
+		}
+	}
+	// A final line with no trailing newline at all (as left by an editor
+	// that strips it) must also read cleanly.
+	bare := strings.TrimSuffix(buf.String(), "\n")
+	if events, err := ReadCSVEvents(strings.NewReader(bare)); err != nil || len(events) != len(tr.Events) {
+		t.Fatalf("newline-less final record: %d events, %v", len(events), err)
+	}
+}
+
+func TestCSVTruncatedFinalRecord(t *testing.T) {
+	tr := randomTrace(5, 20)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	// Cut the file mid-way through the last record: drop the final field
+	// and everything after it.
+	cut := full[:strings.LastIndex(strings.TrimSuffix(full, "\n"), ",")]
+	events, err := ReadCSVEvents(strings.NewReader(cut))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated final record: err = %v, want ErrTruncated", err)
+	}
+	if len(events) != len(tr.Events)-1 {
+		t.Fatalf("salvaged %d events, want %d", len(events), len(tr.Events)-1)
+	}
+	for i := range events {
+		if events[i] != tr.Events[i] {
+			t.Fatalf("salvaged event %d differs: %+v vs %+v", i, events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestCSVShortRowMidFileIsCorruption(t *testing.T) {
+	// A short row with more rows after it is corruption, not truncation:
+	// no salvage, and the error must not claim ErrTruncated.
+	const data = "machine,start_ns,end_ns,state,avail_cpu,avail_mem\n" +
+		"0,1,2,3,0.5,0\n" +
+		"0,1,2,3,0.5\n" +
+		"0,5,6,3,0.5,0\n"
+	events, err := ReadCSVEvents(strings.NewReader(data))
+	if err == nil {
+		t.Fatal("mid-file short row accepted")
+	}
+	if errors.Is(err, ErrTruncated) {
+		t.Fatalf("mid-file short row misreported as truncation: %v", err)
+	}
+	if events != nil {
+		t.Fatalf("corruption should salvage nothing, got %d events", len(events))
+	}
+}
+
+func TestCSVRejectsWrongHeader(t *testing.T) {
+	const data = "machine,begin_ns,end_ns,state,avail_cpu,avail_mem\n0,1,2,3,0.5,0\n"
+	if _, err := ReadCSVEvents(strings.NewReader(data)); err == nil {
+		t.Error("CSV with a foreign header accepted")
 	}
 }
 

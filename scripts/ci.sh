@@ -7,7 +7,14 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/ \
-    ./internal/trace/ ./internal/chaos/
+    ./internal/trace/ ./internal/chaos/ ./internal/availability/ ./internal/check/
+# Differential correctness harness: 200 randomized seeds through the naive
+# reference model vs the optimized detector/controller/testbed paths.
+go run ./cmd/fgcs-bench -check -check-seeds 200
+# Short fuzz smokes over the committed corpus plus a few seconds of new input.
+go test -run '^$' -fuzz 'FuzzDetectorObserve' -fuzztime 5s ./internal/check/
+go test -run '^$' -fuzz 'FuzzCodecRoundTrip' -fuzztime 5s ./internal/check/
+go test -run '^$' -fuzz 'FuzzIndexQueries' -fuzztime 5s ./internal/check/
 # Deterministic-seed chaos smoke: scripted partition + refusal burst over a
 # live registry and nodes, asserting exactly-once completion.
 go test -race -run 'TestChaosSmoke' -count 1 ./internal/chaos/
