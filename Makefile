@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check fuzz-smoke chaos-smoke bench-smoke metrics-smoke bench ci
+.PHONY: all vet build test race check fuzz-smoke chaos-smoke bench-smoke bench-parallel metrics-smoke bench bench-gates ci
 
 all: ci
 
@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDetectorObserve' -fuzztime 5s ./internal/check/
 	$(GO) test -run '^$$' -fuzz 'FuzzCodecRoundTrip' -fuzztime 5s ./internal/check/
 	$(GO) test -run '^$$' -fuzz 'FuzzIndexQueries' -fuzztime 5s ./internal/check/
+	$(GO) test -run '^$$' -fuzz 'FuzzColBlockRoundTrip' -fuzztime 5s ./internal/check/
 
 # Deterministic-seed chaos smoke: scripted partition + refusal burst over a
 # live registry and nodes, asserting exactly-once completion.
@@ -45,6 +46,20 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|BenchmarkDetectorObserve' -benchtime 10x ./internal/testbed/ ./internal/simos/ ./internal/availability/
 	$(GO) test -run '^$$' -bench 'BenchmarkRunShardedFleet|BenchmarkWriteBinary|BenchmarkReadBinary|BenchmarkStreamAnalyzer|BenchmarkEvaluateHistoryWindow' -benchtime 1x ./internal/testbed/ ./internal/trace/ ./internal/predict/
 
+# Parallel-analyzer smoke under the race detector: the worker-pool block
+# scanner, its merge associativity, and the sharded v2 encoder round-trip,
+# all on small fixed-seed corpora.
+bench-parallel:
+	$(GO) test -race -count 1 -run 'TestAnalyzeBlockFiles|TestMergeFrom|TestBlockIndexMatchesIndex' ./internal/trace/
+	$(GO) test -race -count 1 -run 'TestEncoderSinkV2RoundTrip' ./internal/testbed/
+
+# Regression-gated subset of the core benchmarks: the v2 codec, the block
+# scanner, point queries, the serial/parallel analyze engines and predictor
+# evaluation, checked against their recorded expectations (and the v2-size,
+# speedup and point-query gates) without rewriting BENCH_core.json.
+bench-gates:
+	$(GO) run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/' -out ''
+
 # Metrics-endpoint smoke: start ishared with an ephemeral metrics port,
 # scrape /healthz and /metrics, assert the expected families are served.
 metrics-smoke:
@@ -55,4 +70,4 @@ metrics-smoke:
 bench:
 	$(GO) run ./cmd/fgcs-bench -out BENCH_core.json
 
-ci: vet build test race check fuzz-smoke chaos-smoke bench-smoke metrics-smoke
+ci: vet build test race check fuzz-smoke chaos-smoke bench-smoke bench-parallel bench-gates metrics-smoke

@@ -10,12 +10,16 @@
 //	fgcs-analyze                     # simulate the default testbed inline
 //	fgcs-analyze -shards shards/     # stream binary shard files
 //
-// -trace accepts JSON or binary codec files (detected by content). -shards
-// streams a directory of shard files written by fgcs-testbed -shard-dir
-// through the one-pass analyzer: memory stays bounded however large the
-// fleet is, so the table2/fig6/fig7 reports scale to fleets that could
-// never be loaded whole. The summary and acf reports need the full trace
-// in memory and are not available in streaming mode.
+// -trace accepts JSON or binary codec files, row (v1) or columnar block
+// (v2), detected by content. -shards streams a directory of shard files
+// written by fgcs-testbed -shard-dir through the one-pass analyzer: memory
+// stays bounded however large the fleet is, so the table2/fig6/fig7 reports
+// scale to fleets that could never be loaded whole. With -parallel N and v2
+// block shards the files are split at block-summary machine boundaries and
+// scanned by N workers whose partial analyzers merge into a result
+// bit-identical to the serial stream (N=0 uses every core). The summary and
+// acf reports need the full trace in memory and are not available in
+// streaming mode.
 package main
 
 import (
@@ -42,6 +46,7 @@ func main() {
 	var (
 		traceFile = flag.String("trace", "", "trace file, JSON or binary (empty = simulate the default testbed)")
 		shardDir  = flag.String("shards", "", "directory of binary shard files to stream (bounded memory)")
+		parallel  = flag.Int("parallel", 1, "analyzer workers for v2 block shards (0 = all cores, 1 = serial)")
 		report    = flag.String("report", "all", "report: table2, fig6, fig7, summary, acf, all")
 	)
 	flag.Parse()
@@ -62,7 +67,7 @@ func main() {
 		if *report == "summary" || *report == "acf" {
 			log.Fatalf("report %q needs the full trace in memory; not available with -shards", *report)
 		}
-		a, err := streamShards(*shardDir)
+		a, err := analyzeShards(*shardDir, *parallel)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,9 +106,11 @@ func main() {
 	}
 }
 
-// streamShards merges a directory of binary shard files and drains them
-// through the one-pass analyzer without materializing a trace.
-func streamShards(dir string) (*trace.StreamAnalyzer, error) {
+// analyzeShards analyzes a directory of shard files: the parallel
+// block-scan engine when workers != 1 and every shard is a v2 block file,
+// the merged serial stream otherwise. Both paths produce bit-identical
+// results over the same shards.
+func analyzeShards(dir string, workers int) (*trace.StreamAnalyzer, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.fgcb"))
 	if err != nil {
 		return nil, err
@@ -112,14 +119,32 @@ func streamShards(dir string) (*trace.StreamAnalyzer, error) {
 		return nil, fmt.Errorf("no *.fgcb shard files in %s", dir)
 	}
 	sort.Strings(paths)
-	decs := make([]*trace.Decoder, 0, len(paths))
+	if workers != 1 {
+		a, err := trace.AnalyzeBlockPaths(paths, workers)
+		if err != nil {
+			// v1 shards (or mixed directories) cannot be block-chunked;
+			// fall back to the serial merge rather than failing the run.
+			fmt.Fprintf(os.Stderr, "parallel scan unavailable (%v); streaming serially\n", err)
+			return streamShards(paths)
+		}
+		fmt.Fprintf(os.Stderr, "scanned %d events from %d block shards in parallel (%.0f machine-days)\n",
+			a.Events(), len(paths), a.MachineDays())
+		return a, nil
+	}
+	return streamShards(paths)
+}
+
+// streamShards merges shard files — row or block format — and drains them
+// through the one-pass analyzer without materializing a trace.
+func streamShards(paths []string) (*trace.StreamAnalyzer, error) {
+	decs := make([]trace.EventReader, 0, len(paths))
 	for _, p := range paths {
 		f, err := os.Open(p)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		dec, err := trace.NewDecoder(bufio.NewReader(f))
+		dec, err := trace.NewReader(bufio.NewReader(f))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p, err)
 		}
@@ -150,8 +175,14 @@ func loadTrace(path string) (*trace.Trace, error) {
 	defer f.Close()
 	br := bufio.NewReader(f)
 	// The binary codec opens with its magic; anything else is JSON.
+	// NewReader dispatches on the version byte, so both the row (v1) and
+	// columnar block (v2) formats load here.
 	if head, err := br.Peek(4); err == nil && bytes.Equal(head, []byte("FGCB")) {
-		return trace.ReadBinary(br)
+		rd, err := trace.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		return trace.CollectEvents(rd)
 	}
 	return trace.ReadJSON(br)
 }

@@ -1,20 +1,28 @@
 // Command fgcs-bench runs the repository's core performance benchmarks —
 // the full 20x92 testbed simulation, one machine-week, the sharded fleet
-// pipeline at 500 machines x 365 days, the binary trace codec, predictor
-// evaluation, and the contention figures behind the Th1/Th2 calibration —
-// and writes the results as JSON (default BENCH_core.json). Each entry
-// carries ns/op and allocs/op plus, where meaningful, throughput
-// (machine-days/s, MB/s, windows/s), the recorded baseline and the
-// resulting speedup, so performance regressions show up as a single
-// diffable file.
+// pipeline at 500 machines x 365 days, the v1 and v2 trace codecs, the
+// columnar block scanner, the serial and parallel analyze engines,
+// predictor evaluation (row-indexed and block-pruned), and the contention
+// figures behind the Th1/Th2 calibration — and writes the results as JSON
+// (default BENCH_core.json). Each entry carries ns/op, allocs/op, the cores
+// available (num_cpu) and the worker count it ran with (parallelism), plus,
+// where meaningful, throughput (machine-days/s, MB/s from the actual
+// encoded bytes, windows/s), the recorded baseline and the resulting
+// speedup, so performance regressions show up as a single diffable file.
 //
 // The tool also acts as a regression gate: benchmarks with a recorded
 // expectation fail the run (nonzero exit, after the JSON is written) when
-// they come in more than -max-regress slower than expected. A second gate
-// bounds the observability tax: the full testbed runs once more with a
-// live obs registry attached, must stay within -max-obs-overhead of the
-// uninstrumented run, and must produce byte-identical trace output at the
-// fixed seed.
+// they come in more than -max-regress slower than expected. Further gates:
+// the v2 encoding of the paper corpus must be no larger than the v1
+// encoding; the parallel analyzer must produce results identical to the
+// serial pass and, on machines with >= 4 cores, must beat it by >= 4x
+// (within the -max-regress tolerance); block-pruned point queries from the
+// lazy BlockIndex must answer the same query mix no slower (and with the
+// same answers) than decoding the v1 file and querying its eager Index;
+// and the observability tax —
+// the full testbed runs once more with a live obs registry attached, must
+// stay within -max-obs-overhead of the uninstrumented run, and must
+// produce byte-identical trace output at the fixed seed.
 //
 // With -check the tool runs the differential correctness harness instead
 // of the benchmarks: randomized observation sequences are replayed through
@@ -26,10 +34,12 @@
 //
 //	fgcs-bench
 //	fgcs-bench -out BENCH_core.json
-//	fgcs-bench -max-regress 0.5      # tolerate 50% slowdown
-//	fgcs-bench -max-regress 0        # disable the gate
-//	fgcs-bench -max-obs-overhead 0   # disable the instrumentation gate
-//	fgcs-bench -check                # run 200 differential seeds, no benchmarks
+//	fgcs-bench -only 'trace/|analyze/'  # run a subset (gates still apply)
+//	fgcs-bench -parallel 8              # worker count for analyze/parallel
+//	fgcs-bench -max-regress 0.5         # tolerate 50% slowdown
+//	fgcs-bench -max-regress 0           # disable the gate
+//	fgcs-bench -max-obs-overhead 0      # disable the instrumentation gate
+//	fgcs-bench -check                   # run 200 differential seeds, no benchmarks
 //	fgcs-bench -check -check-seeds 1000
 package main
 
@@ -38,9 +48,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
 	"runtime"
 	"sort"
 	"testing"
@@ -50,6 +64,7 @@ import (
 	"repro/internal/contention"
 	"repro/internal/obs"
 	"repro/internal/predict"
+	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 )
@@ -69,18 +84,33 @@ const (
 	baselinePredictEvalNs   = 33736025.0
 )
 
-// Expected ns/op recorded on the reference container at the fleet-pipeline
+// Dimensions of the corpus behind the analyze benchmarks: a 500-machine,
+// 365-day fleet streamed through the sharded runner into v2 block shards.
+const (
+	analyzeMachines  = 500
+	analyzeDays      = 365
+	analyzeShardSize = 50
+)
+
+// Expected ns/op recorded on the reference container at the columnar-store
 // revision; the -max-regress gate measures against these. Entries are
 // deliberately conservative (slower than typical) so scheduler noise does
-// not trip the gate.
+// not trip the gate. The analyze/parallel expectation is the single-core
+// bound — on multicore it only gets faster, and the separate >=4x speedup
+// gate holds it to that.
 var expectedNs = map[string]float64{
 	"testbed/full":         160e6,
 	"testbed/machine-week": 0.55e6,
 	"testbed/fleet":        14e9,
 	"trace/codec":          2.6e6,
+	"trace/codec-v2":       6.5e6,
+	"trace/colscan":        2.2e6,
+	"trace/pointq":         3.4e6,
+	"trace/pointq-blocks":  2.6e6,
+	"analyze/serial":       0.42e9,
+	"analyze/parallel":     0.45e9,
 	"predict/eval":         11e6,
-	"contention/fig1a":     170e6,
-	"contention/fig2":      140e6,
+	"predict/eval-blocks":  13e6,
 }
 
 type benchResult struct {
@@ -88,14 +118,22 @@ type benchResult struct {
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// NumCPU is the cores the process could use; Parallelism the worker
+	// count this benchmark actually ran with (1 = serial path).
+	NumCPU      int `json:"num_cpu"`
+	Parallelism int `json:"parallelism"`
 	// BaselineNsPerOp and Speedup are set for benchmarks with a recorded
 	// seed-revision baseline.
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
 	Speedup         float64 `json:"speedup,omitempty"`
-	// MachineDaysPerS is simulation throughput (testbed benchmarks only).
+	// MachineDaysPerS is simulation or analysis throughput.
 	MachineDaysPerS         float64 `json:"machine_days_per_s,omitempty"`
 	BaselineMachineDaysPerS float64 `json:"baseline_machine_days_per_s,omitempty"`
-	// MBPerS is codec throughput (encode+decode, payload bytes).
+	// EncodedBytes is the actual on-disk size of one encoded corpus for
+	// the codec benchmarks (and the scanned file for trace/colscan), so
+	// v1 and v2 sizes and throughputs are directly comparable.
+	EncodedBytes int `json:"encoded_bytes,omitempty"`
+	// MBPerS is codec/scan throughput over those actual encoded bytes.
 	MBPerS float64 `json:"mb_per_s,omitempty"`
 	// WindowsPerS is prediction-evaluation throughput.
 	WindowsPerS float64 `json:"windows_per_s,omitempty"`
@@ -152,6 +190,8 @@ func main() {
 	out := flag.String("out", "BENCH_core.json", "output JSON file (empty = stdout only)")
 	maxRegress := flag.Float64("max-regress", 0.20, "fail when a benchmark runs this fraction slower than its recorded expectation (0 disables)")
 	maxObsOverhead := flag.Float64("max-obs-overhead", 0.02, "fail when the instrumented testbed runs this fraction slower than the uninstrumented one (0 disables)")
+	only := flag.String("only", "", "regexp selecting which benchmarks to run (empty = all; gates apply to whatever ran)")
+	parallel := flag.Int("parallel", 0, "worker count for analyze/parallel (0 = all cores)")
 	checkMode := flag.Bool("check", false, "run the differential correctness harness instead of the benchmarks")
 	checkSeeds := flag.Int("check-seeds", 200, "number of randomized seeds for -check")
 	flag.Parse()
@@ -161,6 +201,19 @@ func main() {
 		return
 	}
 
+	var onlyRe *regexp.Regexp
+	if *only != "" {
+		var err error
+		if onlyRe, err = regexp.Compile(*only); err != nil {
+			log.Fatalf("bad -only pattern: %v", err)
+		}
+	}
+	sel := func(name string) bool { return onlyRe == nil || onlyRe.MatchString(name) }
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
 	rep := report{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -168,208 +221,459 @@ func main() {
 		NumCPU:    runtime.NumCPU(),
 	}
 
-	// Full paper-scale testbed: 20 machines x 92 days per op.
 	tbCfg := testbed.DefaultConfig()
-	var machineDays float64
-	full, res := run("testbed/full", baselineFullTestbedNs, func(b *testing.B) {
-		b.ReportAllocs()
-		machineDays = 0
-		for i := 0; i < b.N; i++ {
-			tr, err := testbed.Run(tbCfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			machineDays += tr.MachineDays()
-		}
-	})
-	full.MachineDaysPerS = machineDays / res.T.Seconds()
-	full.BaselineMachineDaysPerS = baselineMachineDaysPerS
-	rep.Benchmarks = append(rep.Benchmarks, full)
 
-	// Same run with a live obs registry attached: the observability tax.
-	// The recorder fires only on state changes and batches into per-machine
-	// locals, so the true overhead is well under the budget; the problem is
-	// measuring a ~1% effect on a shared machine whose speed drifts several
-	// percent between measurements. Plain and instrumented runs therefore
-	// alternate in pairs — drift within a pair is seconds-scale and cancels
-	// in the ratio — and the gate uses the median pair ratio, which throws
-	// away scheduler-hiccup outliers.
-	const obsPairs = 5
-	instCfg := tbCfg
-	instCfg.Metrics = obs.NewRegistry()
-	measure := func(cfg testbed.Config) testing.BenchmarkResult {
-		return testing.Benchmark(func(b *testing.B) {
+	if sel("testbed/full") {
+		// Full paper-scale testbed: 20 machines x 92 days per op.
+		var machineDays float64
+		full, res := run("testbed/full", baselineFullTestbedNs, func(b *testing.B) {
+			b.ReportAllocs()
+			machineDays = 0
+			for i := 0; i < b.N; i++ {
+				tr, err := testbed.Run(tbCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				machineDays += tr.MachineDays()
+			}
+		})
+		full.MachineDaysPerS = machineDays / res.T.Seconds()
+		full.BaselineMachineDaysPerS = baselineMachineDaysPerS
+		rep.Benchmarks = append(rep.Benchmarks, full)
+
+		// Same run with a live obs registry attached: the observability tax.
+		// The recorder fires only on state changes and batches into per-machine
+		// locals, so the true overhead is well under the budget; the problem is
+		// measuring a ~1% effect on a shared machine whose speed drifts several
+		// percent between measurements. Plain and instrumented runs therefore
+		// alternate in pairs — drift within a pair is seconds-scale and cancels
+		// in the ratio — and the gate uses the median pair ratio, which throws
+		// away scheduler-hiccup outliers.
+		const obsPairs = 5
+		instCfg := tbCfg
+		instCfg.Metrics = obs.NewRegistry()
+		measure := func(cfg testbed.Config) testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := testbed.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		ratios := make([]float64, 0, obsPairs)
+		instNs := math.Inf(1)
+		var instRes testing.BenchmarkResult
+		for r := 0; r < obsPairs; r++ {
+			fmt.Fprintf(os.Stderr, "running testbed/full-instrumented (pair %d/%d)...\n", r+1, obsPairs)
+			plain := float64(measure(tbCfg).NsPerOp())
+			res := measure(instCfg)
+			if ns := float64(res.NsPerOp()); ns < instNs {
+				instNs, instRes = ns, res
+			}
+			if plain > 0 {
+				ratios = append(ratios, float64(res.NsPerOp())/plain)
+			}
+		}
+		inst := benchResult{
+			Name:        "testbed/full-instrumented",
+			Iterations:  instRes.N,
+			NsPerOp:     instNs,
+			AllocsPerOp: instRes.AllocsPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, inst)
+		sort.Float64s(ratios)
+		if len(ratios) > 0 {
+			rep.ObsOverhead = ratios[len(ratios)/2] - 1
+		}
+
+		// Determinism check: at a fixed seed the instrumented run must emit
+		// the exact trace the uninstrumented run does — instrumentation
+		// observes, it never draws from the random streams.
+		plainTr, err := testbed.Run(tbCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		instTr, err := testbed.Run(instCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var plainBuf, instBuf bytes.Buffer
+		if err := plainTr.WriteBinary(&plainBuf); err != nil {
+			log.Fatal(err)
+		}
+		if err := instTr.WriteBinary(&instBuf); err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(plainBuf.Bytes(), instBuf.Bytes()) {
+			log.Fatal("instrumented testbed run diverged from the uninstrumented run at the same seed")
+		}
+	}
+
+	if sel("testbed/machine-week") {
+		weekCfg := testbed.DefaultConfig()
+		weekCfg.Machines = 1
+		weekCfg.Days = 7
+		week, _ := run("testbed/machine-week", baselineMachineWeekNs, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := testbed.Run(cfg); err != nil {
+				if _, err := testbed.Run(weekCfg); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+		rep.Benchmarks = append(rep.Benchmarks, week)
 	}
-	ratios := make([]float64, 0, obsPairs)
-	instNs := math.Inf(1)
-	var instRes testing.BenchmarkResult
-	for r := 0; r < obsPairs; r++ {
-		fmt.Fprintf(os.Stderr, "running testbed/full-instrumented (pair %d/%d)...\n", r+1, obsPairs)
-		plain := float64(measure(tbCfg).NsPerOp())
-		res := measure(instCfg)
-		if ns := float64(res.NsPerOp()); ns < instNs {
-			instNs, instRes = ns, res
+
+	if sel("testbed/fleet") {
+		// Sharded fleet pipeline: 500 machines x 365 days streamed through the
+		// bounded-memory runner. The in-memory Run path would hold the whole
+		// fleet's events at once; here peak heap is bounded by the shard size.
+		fleetCfg := testbed.DefaultConfig()
+		fleetCfg.Machines = 500
+		fleetCfg.Days = 365
+		var fleetDays float64
+		var fleetPeak uint64
+		fleet, fres := run("testbed/fleet", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			fleetDays, fleetPeak = 0, 0
+			for i := 0; i < b.N; i++ {
+				sink := &fleetSink{}
+				if err := testbed.RunSharded(fleetCfg, 50, sink); err != nil {
+					b.Fatal(err)
+				}
+				if sink.peakHeap > fleetPeak {
+					fleetPeak = sink.peakHeap
+				}
+				fleetDays += float64(fleetCfg.Machines) * float64(fleetCfg.Days)
+			}
+		})
+		fleet.MachineDaysPerS = fleetDays / fres.T.Seconds()
+		fleet.PeakHeapMB = float64(fleetPeak) / (1 << 20)
+		rep.Benchmarks = append(rep.Benchmarks, fleet)
+	}
+
+	// The paper-scale 20x92 trace behind the codec, scan, and predictor
+	// benchmarks.
+	var codecTr *trace.Trace
+	needPaperTrace := sel("trace/codec") || sel("trace/codec-v2") || sel("trace/colscan") ||
+		sel("trace/pointq") || sel("trace/pointq-blocks") ||
+		sel("predict/eval") || sel("predict/eval-blocks")
+	if needPaperTrace {
+		var err error
+		if codecTr, err = testbed.Run(tbCfg); err != nil {
+			log.Fatal(err)
 		}
-		if plain > 0 {
-			ratios = append(ratios, float64(res.NsPerOp())/plain)
+	}
+
+	// v1 and v2 encodings of the same corpus. The sizes are recorded per
+	// entry and the throughputs computed from these actual encoded bytes,
+	// so the two codecs are compared on what they really read and write.
+	var v1Size, v2Size int
+	if codecTr != nil {
+		var v1Buf, v2Buf bytes.Buffer
+		if err := codecTr.WriteBinary(&v1Buf); err != nil {
+			log.Fatal(err)
+		}
+		if err := codecTr.WriteBlocks(&v2Buf, nil); err != nil {
+			log.Fatal(err)
+		}
+		v1Size, v2Size = v1Buf.Len(), v2Buf.Len()
+	}
+
+	if sel("trace/codec") {
+		// v1 row codec: encode + decode the paper-scale trace.
+		var codecBytes int
+		codec, cres := run("trace/codec", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			codecBytes = 0
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := codecTr.WriteBinary(&buf); err != nil {
+					b.Fatal(err)
+				}
+				codecBytes += buf.Len()
+				if _, err := trace.ReadBinary(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		codec.EncodedBytes = v1Size
+		codec.MBPerS = float64(codecBytes) / (1 << 20) / cres.T.Seconds()
+		rep.Benchmarks = append(rep.Benchmarks, codec)
+	}
+
+	if sel("trace/codec-v2") {
+		// v2 columnar codec: encode + decode the same trace.
+		var codecBytes int
+		codec, cres := run("trace/codec-v2", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			codecBytes = 0
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				if err := codecTr.WriteBlocks(&buf, nil); err != nil {
+					b.Fatal(err)
+				}
+				codecBytes += buf.Len()
+				if _, err := trace.ReadBlocks(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		codec.EncodedBytes = v2Size
+		codec.MBPerS = float64(codecBytes) / (1 << 20) / cres.T.Seconds()
+		rep.Benchmarks = append(rep.Benchmarks, codec)
+	}
+
+	if sel("trace/colscan") {
+		// Full block scan of the already-encoded v2 corpus: decode every
+		// block and visit every event, measured over the bytes actually
+		// read — the hot loop of every analyzer.
+		var v2Buf bytes.Buffer
+		if err := codecTr.WriteBlocks(&v2Buf, nil); err != nil {
+			log.Fatal(err)
+		}
+		bf, err := trace.NewBlockFileBytes(v2Buf.Bytes())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var scanBytes, events int
+		scan, sres := run("trace/colscan", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			scanBytes, events = 0, 0
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if _, _, err := bf.Scan(trace.ScanFilter{}, func(trace.Event) error {
+					n++
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				scanBytes += v2Buf.Len()
+				events = n
+			}
+		})
+		if events != len(codecTr.Events) {
+			log.Fatalf("trace/colscan visited %d events, corpus has %d", events, len(codecTr.Events))
+		}
+		scan.EncodedBytes = v2Buf.Len()
+		scan.MBPerS = float64(scanBytes) / (1 << 20) / sres.T.Seconds()
+		rep.Benchmarks = append(rep.Benchmarks, scan)
+	}
+
+	// Point queries from encoded bytes: the v1 path decodes the whole file
+	// and builds the eager Index; the v2 path opens the block file and lets
+	// the lazy BlockIndex decode only the queried machines' blocks. Both run
+	// the same query mix and must produce the same answers; the gate below
+	// holds the block-pruned path to "no slower than the v1 Index".
+	var pointqNs, pointqBlocksNs float64
+	if sel("trace/pointq") || sel("trace/pointq-blocks") {
+		var v1Buf, v2Buf bytes.Buffer
+		if err := codecTr.WriteBinary(&v1Buf); err != nil {
+			log.Fatal(err)
+		}
+		if err := codecTr.WriteBlocks(&v2Buf, nil); err != nil {
+			log.Fatal(err)
+		}
+		var v1Sum, v2Sum uint64
+		if sel("trace/pointq") {
+			r, _ := run("trace/pointq", 0, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tr, err := trace.ReadBinary(bytes.NewReader(v1Buf.Bytes()))
+					if err != nil {
+						b.Fatal(err)
+					}
+					v1Sum = pointQueryWorkload(tr.BuildIndex(), tr.Span)
+				}
+			})
+			r.EncodedBytes = v1Buf.Len()
+			pointqNs = r.NsPerOp
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+		if sel("trace/pointq-blocks") {
+			r, _ := run("trace/pointq-blocks", 0, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					bf, err := trace.NewBlockFileBytes(v2Buf.Bytes())
+					if err != nil {
+						b.Fatal(err)
+					}
+					ix := trace.NewBlockIndex(bf)
+					v2Sum = pointQueryWorkload(ix, bf.Header().Span)
+					if err := ix.Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			r.EncodedBytes = v2Buf.Len()
+			pointqBlocksNs = r.NsPerOp
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+		if v1Sum != 0 && v2Sum != 0 && v1Sum != v2Sum {
+			log.Fatalf("trace/pointq-blocks answers diverged from trace/pointq (checksums %x vs %x)", v2Sum, v1Sum)
 		}
 	}
-	inst := benchResult{
-		Name:        "testbed/full-instrumented",
-		Iterations:  instRes.N,
-		NsPerOp:     instNs,
-		AllocsPerOp: instRes.AllocsPerOp(),
-	}
-	rep.Benchmarks = append(rep.Benchmarks, inst)
-	sort.Float64s(ratios)
-	if len(ratios) > 0 {
-		rep.ObsOverhead = ratios[len(ratios)/2] - 1
-	}
 
-	weekCfg := testbed.DefaultConfig()
-	weekCfg.Machines = 1
-	weekCfg.Days = 7
-	week, _ := run("testbed/machine-week", baselineMachineWeekNs, func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := testbed.Run(weekCfg); err != nil {
-				b.Fatal(err)
+	// Serial vs parallel analyze over a sharded v2 fleet corpus. Both paths
+	// must produce identical paper results; the speedup gate below holds
+	// the parallel one to >= 4x on machines with >= 4 cores.
+	var serialNs, parallelNs float64
+	if sel("analyze/serial") || sel("analyze/parallel") {
+		paths, cleanup, err := writeAnalyzeCorpus()
+		if err != nil {
+			log.Fatal(err)
+		}
+		days := float64(analyzeMachines) * float64(analyzeDays)
+		var serialRes, parallelRes *trace.StreamAnalyzer
+		bench := func(name string, w int, last **trace.StreamAnalyzer) benchResult {
+			var total float64
+			r, res := run(name, 0, func(b *testing.B) {
+				b.ReportAllocs()
+				total = 0
+				for i := 0; i < b.N; i++ {
+					a, err := trace.AnalyzeBlockPaths(paths, w)
+					if err != nil {
+						b.Fatal(err)
+					}
+					*last = a
+					total += days
+				}
+			})
+			r.Parallelism = w
+			r.MachineDaysPerS = total / res.T.Seconds()
+			return r
+		}
+		if sel("analyze/serial") {
+			r := bench("analyze/serial", 1, &serialRes)
+			serialNs = r.NsPerOp
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+		if sel("analyze/parallel") {
+			r := bench("analyze/parallel", workers, &parallelRes)
+			parallelNs = r.NsPerOp
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+		if serialRes != nil && parallelRes != nil {
+			if err := sameAnalysis(serialRes, parallelRes); err != nil {
+				log.Fatalf("parallel analyzer diverged from serial: %v", err)
 			}
 		}
-	})
-	rep.Benchmarks = append(rep.Benchmarks, week)
+		cleanup()
+	}
 
-	// Sharded fleet pipeline: 500 machines x 365 days streamed through the
-	// bounded-memory runner. The in-memory Run path would hold the whole
-	// fleet's events at once; here peak heap is bounded by the shard size.
-	fleetCfg := testbed.DefaultConfig()
-	fleetCfg.Machines = 500
-	fleetCfg.Days = 365
-	var fleetDays float64
-	var fleetPeak uint64
-	fleet, fres := run("testbed/fleet", 0, func(b *testing.B) {
-		b.ReportAllocs()
-		fleetDays, fleetPeak = 0, 0
-		for i := 0; i < b.N; i++ {
-			sink := &fleetSink{}
-			if err := testbed.RunSharded(fleetCfg, 50, sink); err != nil {
-				b.Fatal(err)
+	evalCfg := predict.EvalConfig{TrainDays: 28, Window: 3 * time.Hour}
+	evalPreds := func() []predict.Predictor {
+		return []predict.Predictor{&predict.HistoryWindow{}, &predict.HistoryWindow{Trim: 0.1}}
+	}
+
+	var evalNs, evalBlocksNs float64
+	if sel("predict/eval") {
+		// Predictor evaluation on the paper-scale trace: the HistoryWindow
+		// pair the paper proposes, against the recorded pre-optimization
+		// baseline.
+		var evalWindows float64
+		eval, eres := run("predict/eval", baselinePredictEvalNs, func(b *testing.B) {
+			b.ReportAllocs()
+			evalWindows = 0
+			for i := 0; i < b.N; i++ {
+				ev, err := predict.Evaluate(codecTr, evalPreds(), evalCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range ev.Scores {
+					evalWindows += float64(s.Windows)
+				}
 			}
-			if sink.peakHeap > fleetPeak {
-				fleetPeak = sink.peakHeap
-			}
-			fleetDays += float64(fleetCfg.Machines) * float64(fleetCfg.Days)
+		})
+		eval.WindowsPerS = evalWindows / eres.T.Seconds()
+		evalNs = eval.NsPerOp
+		rep.Benchmarks = append(rep.Benchmarks, eval)
+	}
+
+	if sel("predict/eval-blocks") {
+		// The same evaluation routed through the v2 block file: history
+		// reads are block-pruned to the pre-cut window and ground truth
+		// comes from the lazy per-machine block index.
+		var v2Buf bytes.Buffer
+		if err := codecTr.WriteBlocks(&v2Buf, nil); err != nil {
+			log.Fatal(err)
 		}
-	})
-	fleet.MachineDaysPerS = fleetDays / fres.T.Seconds()
-	fleet.PeakHeapMB = float64(fleetPeak) / (1 << 20)
-	rep.Benchmarks = append(rep.Benchmarks, fleet)
-
-	// Binary trace codec: encode + decode the paper-scale trace.
-	codecTr, err := testbed.Run(tbCfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Determinism check: at a fixed seed the instrumented run must emit the
-	// exact trace the uninstrumented run does — instrumentation observes,
-	// it never draws from the random streams.
-	instTr, err := testbed.Run(instCfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var plainBuf, instBuf bytes.Buffer
-	if err := codecTr.WriteBinary(&plainBuf); err != nil {
-		log.Fatal(err)
-	}
-	if err := instTr.WriteBinary(&instBuf); err != nil {
-		log.Fatal(err)
-	}
-	if !bytes.Equal(plainBuf.Bytes(), instBuf.Bytes()) {
-		log.Fatal("instrumented testbed run diverged from the uninstrumented run at the same seed")
-	}
-	var codecBytes int
-	codec, cres := run("trace/codec", 0, func(b *testing.B) {
-		b.ReportAllocs()
-		codecBytes = 0
-		for i := 0; i < b.N; i++ {
-			var buf bytes.Buffer
-			if err := codecTr.WriteBinary(&buf); err != nil {
-				b.Fatal(err)
-			}
-			codecBytes += buf.Len()
-			if _, err := trace.ReadBinary(&buf); err != nil {
-				b.Fatal(err)
-			}
+		bf, err := trace.NewBlockFileBytes(v2Buf.Bytes())
+		if err != nil {
+			log.Fatal(err)
 		}
-	})
-	codec.MBPerS = float64(codecBytes) / (1 << 20) / cres.T.Seconds()
-	rep.Benchmarks = append(rep.Benchmarks, codec)
-
-	// Predictor evaluation on the paper-scale trace: the HistoryWindow pair
-	// the paper proposes, against the recorded pre-optimization baseline.
-	var evalWindows float64
-	eval, eres := run("predict/eval", baselinePredictEvalNs, func(b *testing.B) {
-		b.ReportAllocs()
-		evalWindows = 0
-		cfg := predict.EvalConfig{TrainDays: 28, Window: 3 * time.Hour}
-		for i := 0; i < b.N; i++ {
-			preds := []predict.Predictor{&predict.HistoryWindow{}, &predict.HistoryWindow{Trim: 0.1}}
-			ev, err := predict.Evaluate(codecTr, preds, cfg)
-			if err != nil {
-				b.Fatal(err)
+		var evalWindows float64
+		eval, eres := run("predict/eval-blocks", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			evalWindows = 0
+			for i := 0; i < b.N; i++ {
+				ev, err := predict.EvaluateBlocks(bf, evalPreds(), evalCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range ev.Scores {
+					evalWindows += float64(s.Windows)
+				}
 			}
-			for _, s := range ev.Scores {
-				evalWindows += float64(s.Windows)
-			}
-		}
-	})
-	eval.WindowsPerS = evalWindows / eres.T.Seconds()
-	rep.Benchmarks = append(rep.Benchmarks, eval)
-
-	// Contention figures, with the same reduced windows the root
-	// benchmarks use so the baselines are comparable. The calibration
-	// cache is part of what is measured; its hit counts are reported
-	// below.
-	opt := contention.DefaultOptions()
-	opt.Measure = 150 * time.Second
-	opt.Combos = 2
-	contention.ResetAloneCache()
-
-	fig1a, _ := run("contention/fig1a", baselineFigure1aNs, func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := contention.RunFigure1(opt, 0); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	rep.Benchmarks = append(rep.Benchmarks, fig1a)
-
-	fig2, _ := run("contention/fig2", baselineFigure2Ns, func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := contention.RunFigure2(opt); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	rep.Benchmarks = append(rep.Benchmarks, fig2)
-
-	th, _, _, err := contention.FindThresholds(opt)
-	if err != nil {
-		log.Fatal(err)
+		})
+		eval.WindowsPerS = evalWindows / eres.T.Seconds()
+		evalBlocksNs = eval.NsPerOp
+		rep.Benchmarks = append(rep.Benchmarks, eval)
 	}
-	rep.Thresholds.Th1 = th.Th1
-	rep.Thresholds.Th2 = th.Th2
-	rep.AloneCache.Hits, rep.AloneCache.Misses = contention.AloneCacheStats()
+
+	if sel("contention/fig1a") || sel("contention/fig2") {
+		// Contention figures, with the same reduced windows the root
+		// benchmarks use so the baselines are comparable. The calibration
+		// cache is part of what is measured; its hit counts are reported
+		// below.
+		opt := contention.DefaultOptions()
+		opt.Measure = 150 * time.Second
+		opt.Combos = 2
+		contention.ResetAloneCache()
+
+		if sel("contention/fig1a") {
+			fig1a, _ := run("contention/fig1a", baselineFigure1aNs, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := contention.RunFigure1(opt, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			rep.Benchmarks = append(rep.Benchmarks, fig1a)
+		}
+
+		if sel("contention/fig2") {
+			fig2, _ := run("contention/fig2", baselineFigure2Ns, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := contention.RunFigure2(opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			rep.Benchmarks = append(rep.Benchmarks, fig2)
+		}
+
+		th, _, _, err := contention.FindThresholds(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Thresholds.Th1 = th.Th1
+		rep.Thresholds.Th2 = th.Th2
+		rep.AloneCache.Hits, rep.AloneCache.Misses = contention.AloneCacheStats()
+	}
+
+	// Every entry records the cores available and the worker count it ran
+	// with; benchmarks that did not set one explicitly are serial.
+	for i := range rep.Benchmarks {
+		rep.Benchmarks[i].NumCPU = runtime.NumCPU()
+		if rep.Benchmarks[i].Parallelism == 0 {
+			rep.Benchmarks[i].Parallelism = 1
+		}
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -384,8 +688,8 @@ func main() {
 	}
 	os.Stdout.Write(buf)
 
+	failed := false
 	if *maxRegress > 0 {
-		failed := false
 		for _, b := range rep.Benchmarks {
 			exp, ok := expectedNs[b.Name]
 			if !ok || exp <= 0 {
@@ -399,15 +703,156 @@ func main() {
 					b.Name, b.NsPerOp, 100*(b.NsPerOp/exp-1), exp, limit)
 			}
 		}
-		if failed {
-			log.Fatalf("benchmark regression above %.0f%%; see lines above (rerun with -max-regress 0 to bypass)", *maxRegress*100)
+	}
+
+	// v2 must never cost bytes over v1 on the realistic corpus (per-block
+	// flate with a raw fallback; the constant directory+footer overhead is
+	// amortized at paper scale).
+	if v1Size > 0 && v2Size > v1Size {
+		failed = true
+		fmt.Fprintf(os.Stderr, "REGRESSION: v2 encoding is %d bytes, larger than the %d-byte v1 encoding\n", v2Size, v1Size)
+	}
+
+	// Multicore scaling gate: on >= 4 cores the parallel analyzer must
+	// beat the serial pass by >= 4x, within the -max-regress tolerance.
+	// On fewer cores there is no parallelism to claim and the gate would
+	// only measure scheduler noise, so it is skipped (the per-entry
+	// num_cpu/parallelism fields record the honest context).
+	if serialNs > 0 && parallelNs > 0 {
+		speedup := serialNs / parallelNs
+		if runtime.NumCPU() >= 4 && workers >= 4 {
+			min := 4.0 / (1 + *maxRegress)
+			if *maxRegress <= 0 {
+				min = 4.0
+			}
+			if speedup < min {
+				failed = true
+				fmt.Fprintf(os.Stderr,
+					"REGRESSION: analyze/parallel speedup %.2fx over serial on %d cores (want >= %.2fx)\n",
+					speedup, runtime.NumCPU(), min)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "note: analyze/parallel speedup %.2fx at num_cpu=%d workers=%d; >=4x gate needs >= 4 cores\n",
+				speedup, runtime.NumCPU(), workers)
 		}
+	}
+
+	// Block-pruned point queries must not be slower than the v1 Index over
+	// the same encoded corpus and query mix (lazy per-machine decode vs
+	// full-file decode + eager index).
+	if *maxRegress > 0 && pointqNs > 0 && pointqBlocksNs > pointqNs*(1+*maxRegress) {
+		failed = true
+		fmt.Fprintf(os.Stderr,
+			"REGRESSION: trace/pointq-blocks ran at %.0f ns/op, slower than trace/pointq at %.0f ns/op\n",
+			pointqBlocksNs, pointqNs)
+	}
+
+	// The full evaluations differ only in their input medium (in-memory
+	// trace vs encoded block file), so their ratio is context, not a gate —
+	// the predict/eval-blocks expectedNs entry bounds it in absolute terms.
+	if evalNs > 0 && evalBlocksNs > 0 {
+		fmt.Fprintf(os.Stderr, "note: predict/eval-blocks at %.2fx of predict/eval (%.0f vs %.0f ns/op)\n",
+			evalBlocksNs/evalNs, evalBlocksNs, evalNs)
+	}
+
+	if failed {
+		log.Fatalf("benchmark gate failed; see lines above (rerun with -max-regress 0 to bypass)")
 	}
 
 	if *maxObsOverhead > 0 && rep.ObsOverhead > *maxObsOverhead {
 		log.Fatalf("instrumentation overhead %.1f%% exceeds the %.1f%% budget (testbed/full-instrumented vs testbed/full; rerun with -max-obs-overhead 0 to bypass)",
 			100*rep.ObsOverhead, 100**maxObsOverhead)
 	}
+}
+
+// writeAnalyzeCorpus streams the analyze-benchmark fleet through the
+// sharded runner into v2 block shards under a temp dir, returning the
+// sorted shard paths and a cleanup func.
+func writeAnalyzeCorpus() (paths []string, cleanup func(), err error) {
+	fmt.Fprintf(os.Stderr, "writing analyze corpus (%d machines x %d days)...\n", analyzeMachines, analyzeDays)
+	dir, err := os.MkdirTemp("", "fgcs-bench-corpus-")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup = func() { os.RemoveAll(dir) }
+	cfg := testbed.DefaultConfig()
+	cfg.Machines = analyzeMachines
+	cfg.Days = analyzeDays
+	sink := testbed.NewEncoderSinkV2(cfg, nil, func(shard int) (io.WriteCloser, error) {
+		return os.Create(filepath.Join(dir, fmt.Sprintf("shard-%04d.fgcb", shard)))
+	})
+	if err := testbed.RunSharded(cfg, analyzeShardSize, sink); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	paths, err = filepath.Glob(filepath.Join(dir, "*.fgcb"))
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	sort.Strings(paths)
+	return paths, cleanup, nil
+}
+
+// pointQuerier is the point-query surface *trace.Index and
+// *trace.BlockIndex share.
+type pointQuerier interface {
+	FirstOverlap(trace.MachineID, sim.Window) (trace.Event, bool)
+	CountInWindow(trace.MachineID, sim.Window) int
+	AnyOverlap(trace.MachineID, sim.Window) bool
+	NextEventAfter(trace.MachineID, sim.Time) (trace.Event, bool)
+	LastEndBefore(trace.MachineID, sim.Time) (sim.Time, bool)
+}
+
+// pointQueryWorkload runs the fixed query mix — every point-query method
+// over 3-hour windows at a 2-hour stride on three machines — and folds the
+// answers into a checksum so the v1 and v2 paths can be compared exactly.
+func pointQueryWorkload(q pointQuerier, span sim.Window) uint64 {
+	sum := uint64(1469598103934665603)
+	mix := func(v int64) { sum = (sum ^ uint64(v)) * 1099511628211 }
+	for _, m := range []trace.MachineID{2, 7, 11} {
+		for start := span.Start; start+3*time.Hour <= span.End; start += 2 * time.Hour {
+			w := sim.Window{Start: start, End: start + 3*time.Hour}
+			if e, ok := q.FirstOverlap(m, w); ok {
+				mix(int64(e.Start))
+			}
+			mix(int64(q.CountInWindow(m, w)))
+			if q.AnyOverlap(m, w) {
+				mix(1)
+			}
+			if e, ok := q.NextEventAfter(m, w.Start); ok {
+				mix(int64(e.End))
+			}
+			if t, ok := q.LastEndBefore(m, w.End); ok {
+				mix(int64(t))
+			}
+		}
+	}
+	return sum
+}
+
+// sameAnalysis asserts two finished analyzers agree on every published
+// result: Table 2, the per-machine cause counts, the Figure 6 interval
+// lengths, and the Figure 7 hourly bins.
+func sameAnalysis(a, b *trace.StreamAnalyzer) error {
+	if a.Events() != b.Events() {
+		return fmt.Errorf("events: %d vs %d", a.Events(), b.Events())
+	}
+	if !reflect.DeepEqual(a.Table2(), b.Table2()) {
+		return fmt.Errorf("Table 2 differs")
+	}
+	if !reflect.DeepEqual(a.CountByCause(), b.CountByCause()) {
+		return fmt.Errorf("cause counts differ")
+	}
+	for _, dt := range []sim.DayType{sim.Weekday, sim.Weekend} {
+		if !reflect.DeepEqual(a.IntervalLengths(dt), b.IntervalLengths(dt)) {
+			return fmt.Errorf("interval lengths differ for %v", dt)
+		}
+		if !reflect.DeepEqual(a.HourlyOccurrences(dt), b.HourlyOccurrences(dt)) {
+			return fmt.Errorf("hourly occurrences differ for %v", dt)
+		}
+	}
+	return nil
 }
 
 // runCheck drives the differential correctness harness and reports its

@@ -13,6 +13,9 @@
 // written as one binary codec file (shard-0000.fgcb, shard-0001.fgcb, ...);
 // fgcs-analyze -shards reads them back as a merged stream. Peak memory then
 // scales with -shard-size, not the fleet, so arbitrarily large testbeds fit.
+// -shard-codec v2 (and -format binary2 for single files) selects the
+// columnar block format instead of the row codec: smaller files whose block
+// summaries let fgcs-analyze -parallel scan them with a worker pool.
 package main
 
 import (
@@ -37,10 +40,11 @@ func main() {
 		seed        = flag.Int64("seed", 2005, "simulation seed")
 		spread      = flag.Float64("spread", 0, "machine heterogeneity (0 = paper-like homogeneous lab)")
 		profile     = flag.String("profile", "lab", "workload profile: lab (paper) or enterprise (paper's future work)")
-		format      = flag.String("format", "json", "output format: json, csv or binary")
+		format      = flag.String("format", "json", "output format: json, csv, binary (row codec) or binary2 (columnar blocks)")
 		out         = flag.String("out", "-", "output file (- = stdout)")
 		shardDir    = flag.String("shard-dir", "", "write binary shard files into this directory instead of a single trace")
 		shardSize   = flag.Int("shard-size", 100, "machines per shard with -shard-dir")
+		shardCodec  = flag.String("shard-codec", "v1", "shard file codec with -shard-dir: v1 (row) or v2 (columnar blocks)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and pprof on this address while simulating (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
@@ -70,7 +74,7 @@ func main() {
 	}
 
 	if *shardDir != "" {
-		if err := runSharded(cfg, *shardDir, *shardSize); err != nil {
+		if err := runSharded(cfg, *shardDir, *shardSize, *shardCodec); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -102,8 +106,10 @@ func main() {
 		err = tr.WriteCSV(w)
 	case "binary":
 		err = tr.WriteBinary(w)
+	case "binary2":
+		err = tr.WriteBlocks(w, nil)
 	default:
-		log.Fatalf("unknown format %q (want json, csv or binary)", *format)
+		log.Fatalf("unknown format %q (want json, csv, binary or binary2)", *format)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -113,20 +119,30 @@ func main() {
 }
 
 // runSharded streams the fleet through the bounded-memory runner into one
-// binary codec file per shard.
-func runSharded(cfg testbed.Config, dir string, shardSize int) error {
+// binary codec file per shard, in the row (v1) or columnar block (v2)
+// format.
+func runSharded(cfg testbed.Config, dir string, shardSize int, codec string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	shards := 0
-	sink := testbed.NewEncoderSink(cfg, func(shard int) (io.WriteCloser, error) {
+	open := func(shard int) (io.WriteCloser, error) {
 		shards++
 		return os.Create(filepath.Join(dir, fmt.Sprintf("shard-%04d.fgcb", shard)))
-	})
+	}
+	var sink testbed.EventSink
+	switch codec {
+	case "v1":
+		sink = testbed.NewEncoderSink(cfg, open)
+	case "v2":
+		sink = testbed.NewEncoderSinkV2(cfg, nil, open)
+	default:
+		return fmt.Errorf("unknown -shard-codec %q (want v1 or v2)", codec)
+	}
 	if err := testbed.RunSharded(cfg, shardSize, sink); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d shard files to %s (%d machines x %d days, %d per shard)\n",
-		shards, dir, cfg.Machines, cfg.Days, shardSize)
+	fmt.Fprintf(os.Stderr, "wrote %d %s shard files to %s (%d machines x %d days, %d per shard)\n",
+		shards, codec, dir, cfg.Machines, cfg.Days, shardSize)
 	return nil
 }

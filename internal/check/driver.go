@@ -441,7 +441,44 @@ func roundTripTrace(tr *trace.Trace) error {
 	if err != nil {
 		return fmt.Errorf("CSV decode: %w", err)
 	}
-	return sameEvents("CSV round trip", tr.Events, evs)
+	if err := sameEvents("CSV round trip", tr.Events, evs); err != nil {
+		return err
+	}
+
+	// The v2 columnar codec always emits (machine, start, end) order, so
+	// the reference for both v2 paths is the sorted event list. A tiny
+	// block size forces multi-block files on every non-trivial seed.
+	ref := tr.Clone()
+	ref.Sort()
+	var col bytes.Buffer
+	if err := ref.WriteBlocks(&col, &trace.BlockWriterOptions{BlockSize: 32}); err != nil {
+		return fmt.Errorf("v2 encode: %w", err)
+	}
+	v2got, err := trace.ReadBlocks(bytes.NewReader(col.Bytes()))
+	if err != nil {
+		return fmt.Errorf("v2 stream decode: %w", err)
+	}
+	if err := sameEvents("v2 stream round trip", ref.Events, v2got.Events); err != nil {
+		return err
+	}
+	if v2got.Span != tr.Span || v2got.Calendar != tr.Calendar || v2got.Machines != tr.Machines {
+		return fmt.Errorf("v2 round trip lost header: %+v vs %+v", v2got, tr)
+	}
+	bf, err := trace.NewBlockFileBytes(col.Bytes())
+	if err != nil {
+		return fmt.Errorf("v2 block file open: %w", err)
+	}
+	bfTr, err := trace.CollectEvents(bf.Reader())
+	if err != nil {
+		return fmt.Errorf("v2 block file decode: %w", err)
+	}
+	if err := sameEvents("v2 block file round trip", ref.Events, bfTr.Events); err != nil {
+		return err
+	}
+	// v1-decode == v2-decode: both codecs must converge on the same sorted
+	// event list, not merely each match their own input.
+	got.Sort()
+	return sameEvents("v1 vs v2 decode", got.Events, v2got.Events)
 }
 
 func sameEvents(what string, want, got []trace.Event) error {

@@ -2,6 +2,7 @@ package predict
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -74,6 +75,14 @@ type Evaluation struct {
 	Scores []Score
 }
 
+// truthSource answers the two ground-truth queries the evaluation needs.
+// *trace.Index and *trace.BlockIndex both qualify; Evaluate layers the
+// hourly count matrix on top for hour-aligned windows.
+type truthSource interface {
+	CountInWindow(m trace.MachineID, w sim.Window) int
+	AnyOverlap(m trace.MachineID, w sim.Window) bool
+}
+
 // Evaluate trains each predictor on the trace prefix and scores it over
 // sliding windows of the remaining test period.
 func Evaluate(tr *trace.Trace, preds []Predictor, cfg EvalConfig) (*Evaluation, error) {
@@ -89,35 +98,80 @@ func Evaluate(tr *trace.Trace, preds []Predictor, cfg EvalConfig) (*Evaluation, 
 	for _, p := range preds {
 		p.Train(history)
 	}
+	// Ground truth goes through the indexed query layer: the hourly count
+	// matrix for hour-aligned windows, the O(log n) index otherwise and
+	// for overlap tests.
+	truth := hourlyFirstTruth{hc: tr.BuildHourlyCounts(), ix: tr.BuildIndex()}
+	return evaluateWindows(tr.Span, tr.Machines, cut, truth, preds, cfg)
+}
 
-	machines := tr.Machines
+// EvaluateBlocks is Evaluate over a v2 block file: training history is read
+// through a block-pruned scan (blocks entirely past the training cut are
+// never decoded) and ground truth is answered by the lazy BlockIndex, which
+// decodes only each queried machine's blocks. Scores are identical to
+// Evaluate over the decoded trace.
+func EvaluateBlocks(bf *trace.BlockFile, preds []Predictor, cfg EvalConfig) (*Evaluation, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := bf.Header()
+	cut := h.Span.Start + sim.Time(cfg.TrainDays)*sim.Day
+	if cut >= h.Span.End {
+		return nil, fmt.Errorf("predict: training period (%d days) consumes the whole trace", cfg.TrainDays)
+	}
+	// The history scan and the ground-truth queries go through one shared
+	// BlockIndex: the scan prunes blocks entirely past the training cut,
+	// and any block both paths need is inflated only once.
+	ix := trace.NewBlockIndex(bf)
+	history := trace.New(sim.Window{Start: h.Span.Start, End: cut}, h.Calendar, h.Machines)
+	filter := trace.ScanFilter{
+		HasWindow: true,
+		Window:    sim.Window{Start: math.MinInt64, End: cut},
+	}
+	if _, _, err := ix.Scan(filter, func(e trace.Event) error {
+		history.Add(e)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, p := range preds {
+		p.Train(history)
+	}
+	ev, err := evaluateWindows(h.Span, h.Machines, cut, ix, preds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.Err(); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// evaluateWindows scores already-trained predictors over the sliding test
+// windows, with ground truth answered by truth.
+func evaluateWindows(span sim.Window, machines int, cut sim.Time, truth truthSource, preds []Predictor, cfg EvalConfig) (*Evaluation, error) {
 	if cfg.MaxMachines > 0 && cfg.MaxMachines < machines {
 		machines = cfg.MaxMachines
 	}
-
-	// Collect per-window truths once, through the indexed query layer: the
-	// hourly count matrix for hour-aligned windows, the O(log n) index
-	// otherwise and for overlap tests.
 	type sample struct {
 		m trace.MachineID
 		w sim.Window
 	}
-	ix := tr.BuildIndex()
-	hc := tr.BuildHourlyCounts()
 	var samples []sample
 	var truthCounts []float64
 	var truthFail []bool
 	for m := 0; m < machines; m++ {
 		id := trace.MachineID(m)
-		for start := cut; start+cfg.Window <= tr.Span.End; start += cfg.Stride {
+		for start := cut; start+cfg.Window <= span.End; start += cfg.Stride {
 			w := sim.Window{Start: start, End: start + cfg.Window}
 			samples = append(samples, sample{id, w})
-			truthCounts = append(truthCounts, float64(groundTruthCount(hc, ix, id, w)))
-			truthFail = append(truthFail, ix.AnyOverlap(id, w))
+			truthCounts = append(truthCounts, float64(truth.CountInWindow(id, w)))
+			truthFail = append(truthFail, truth.AnyOverlap(id, w))
 		}
 	}
 	if len(samples) == 0 {
-		return nil, fmt.Errorf("predict: no test windows (window %v, span %v)", cfg.Window, tr.Span)
+		return nil, fmt.Errorf("predict: no test windows (window %v, span %v)", cfg.Window, span)
 	}
 
 	ev := &Evaluation{Config: cfg}
@@ -140,13 +194,22 @@ func Evaluate(tr *trace.Trace, preds []Predictor, cfg EvalConfig) (*Evaluation, 
 	return ev, nil
 }
 
-// groundTruthCount answers a window count from the hourly matrix when it
+// hourlyFirstTruth answers window counts from the hourly matrix when it
 // can, falling back to the index binary search; both count the same events.
-func groundTruthCount(hc *trace.HourlyCounts, ix *trace.Index, m trace.MachineID, w sim.Window) int {
-	if n, ok := hc.CountInWindow(m, w); ok {
+type hourlyFirstTruth struct {
+	hc *trace.HourlyCounts
+	ix *trace.Index
+}
+
+func (t hourlyFirstTruth) CountInWindow(m trace.MachineID, w sim.Window) int {
+	if n, ok := t.hc.CountInWindow(m, w); ok {
 		return n
 	}
-	return ix.CountInWindow(m, w)
+	return t.ix.CountInWindow(m, w)
+}
+
+func (t hourlyFirstTruth) AnyOverlap(m trace.MachineID, w sim.Window) bool {
+	return t.ix.AnyOverlap(m, w)
 }
 
 // Format renders the comparison table.

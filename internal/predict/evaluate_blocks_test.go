@@ -1,0 +1,48 @@
+package predict
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+// TestEvaluateBlocksMatchesEvaluate pins the block-routed evaluation:
+// reading training history through the pruned scan and ground truth through
+// the lazy BlockIndex must score every predictor identically to the
+// in-memory path.
+func TestEvaluateBlocksMatchesEvaluate(t *testing.T) {
+	cfg := testbed.DefaultConfig()
+	cfg.Machines = 6
+	cfg.Days = 40
+	cfg.Seed = 1234
+	tr, err := testbed.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := EvalConfig{TrainDays: 21, Window: 3 * time.Hour}
+
+	want, err := Evaluate(tr, DefaultPredictors(), ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteBlocks(&buf, &trace.BlockWriterOptions{BlockSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := trace.NewBlockFileBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateBlocks(bf, DefaultPredictors(), ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Scores, got.Scores) {
+		t.Errorf("EvaluateBlocks scores differ:\n got %+v\nwant %+v", got.Scores, want.Scores)
+	}
+}

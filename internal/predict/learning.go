@@ -43,8 +43,7 @@ func LearningCurve(tr *trace.Trace, mk func() Predictor, trainDays []int, cfg Ev
 	}
 
 	// Shared test windows and truths, through the indexed query layer.
-	ix := tr.BuildIndex()
-	hc := tr.BuildHourlyCounts()
+	truth := hourlyFirstTruth{hc: tr.BuildHourlyCounts(), ix: tr.BuildIndex()}
 	type sample struct {
 		m trace.MachineID
 		w sim.Window
@@ -61,8 +60,8 @@ func LearningCurve(tr *trace.Trace, mk func() Predictor, trainDays []int, cfg Ev
 		for start := testStart; start+cfg.Window <= tr.Span.End; start += cfg.Stride {
 			w := sim.Window{Start: start, End: start + cfg.Window}
 			samples = append(samples, sample{id, w})
-			truthCounts = append(truthCounts, float64(groundTruthCount(hc, ix, id, w)))
-			truthFail = append(truthFail, ix.AnyOverlap(id, w))
+			truthCounts = append(truthCounts, float64(truth.CountInWindow(id, w)))
+			truthFail = append(truthFail, truth.AnyOverlap(id, w))
 		}
 	}
 	if len(samples) == 0 {

@@ -1,6 +1,9 @@
 package stats
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Summary condenses a set of observations for one bin: mean plus the
 // min..max range across the contributing groups. This is the quantity the
@@ -61,6 +64,20 @@ func (g *GroupedBins) Touch(group int) {
 	if _, ok := g.acc[groupBin{group, 0}]; !ok {
 		g.acc[groupBin{group, 0}] = 0
 	}
+}
+
+// MergeFrom folds o's accumulated cells into g. Cell sums add, so two
+// accumulators fed disjoint partitions of an event stream merge into
+// exactly the accumulator a single pass would have built — Touch marks
+// (zero-valued cells) in both inputs stay zero. The bin counts must match.
+func (g *GroupedBins) MergeFrom(o *GroupedBins) error {
+	if g.bins != o.bins {
+		return fmt.Errorf("stats: merging GroupedBins with %d bins into %d bins", o.bins, g.bins)
+	}
+	for k, v := range o.acc {
+		g.acc[k] += v
+	}
+	return nil
 }
 
 // groups returns the sorted distinct group keys.

@@ -219,3 +219,72 @@ func (s *EncoderSink) ShardDone(trace.MachineID, int) error {
 	s.shard++
 	return err
 }
+
+// EncoderSinkV2 streams a sharded run into v2 columnar block files, one per
+// shard. Each file carries the full fleet header plus its shard's machine
+// coverage [first, first+n) in the block directory, which is exactly what
+// AnalyzeBlockFiles needs to chunk the files for the parallel analyzer —
+// and what lets it credit each shard's idle machines without consulting the
+// others.
+type EncoderSinkV2 struct {
+	header trace.Header
+	opts   *trace.BlockWriterOptions
+	open   func(shard int) (io.WriteCloser, error)
+	bw     *trace.BlockWriter
+	cur    io.WriteCloser
+	shard  int
+}
+
+// NewEncoderSinkV2 builds a sink writing one block-columnar file per shard.
+// opts may be nil for defaults (auto compression, default block size).
+func NewEncoderSinkV2(cfg Config, opts *trace.BlockWriterOptions, open func(shard int) (io.WriteCloser, error)) *EncoderSinkV2 {
+	return &EncoderSinkV2{header: SinkHeader(cfg), opts: opts, open: open}
+}
+
+func (s *EncoderSinkV2) openShard() error {
+	w, err := s.open(s.shard)
+	if err != nil {
+		return err
+	}
+	bw, err := trace.NewBlockWriter(w, s.header, s.opts)
+	if err != nil {
+		w.Close()
+		return err
+	}
+	s.cur, s.bw = w, bw
+	return nil
+}
+
+// Machine implements EventSink.
+func (s *EncoderSinkV2) Machine(_ trace.MachineID, events []trace.Event) error {
+	if s.bw == nil {
+		if err := s.openShard(); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		if err := s.bw.Write(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardDone implements EventSink: it stamps the shard's machine coverage
+// into the directory and closes the file. Empty shards still produce a
+// valid (blockless) file so readers see every shard.
+func (s *EncoderSinkV2) ShardDone(first trace.MachineID, n int) error {
+	if s.bw == nil {
+		if err := s.openShard(); err != nil {
+			return err
+		}
+	}
+	s.bw.SetCoverage(first, first+trace.MachineID(n))
+	err := s.bw.Close()
+	if cerr := s.cur.Close(); err == nil {
+		err = cerr
+	}
+	s.bw, s.cur = nil, nil
+	s.shard++
+	return err
+}

@@ -156,7 +156,7 @@ func TestEncoderSinkRoundTrip(t *testing.T) {
 	if wantShards := (cfg.Machines + 3) / 4; len(shards) != wantShards {
 		t.Fatalf("wrote %d shards, want %d", len(shards), wantShards)
 	}
-	var decs []*trace.Decoder
+	var decs []trace.EventReader
 	for i, s := range shards {
 		if !s.closed {
 			t.Fatalf("shard %d left open", i)
@@ -224,5 +224,84 @@ func TestRunShardedRejectsBadConfig(t *testing.T) {
 	cfg.Machines = -1 // zero means "default", negative is invalid
 	if err := RunSharded(cfg, 4, NewCollectSink(smallConfig())); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestEncoderSinkV2RoundTrip writes a sharded run as v2 block files and
+// expects (a) the merged stream to reproduce Run exactly, (b) each shard's
+// directory to carry its machine coverage, and (c) the parallel block
+// analyzer over the shards to match the in-memory analysis bit for bit.
+func TestEncoderSinkV2RoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*memShard
+	sink := NewEncoderSinkV2(cfg, &trace.BlockWriterOptions{BlockSize: 16}, func(int) (io.WriteCloser, error) {
+		s := &memShard{}
+		shards = append(shards, s)
+		return s, nil
+	})
+	if err := RunSharded(cfg, 4, sink); err != nil {
+		t.Fatal(err)
+	}
+	if wantShards := (cfg.Machines + 3) / 4; len(shards) != wantShards {
+		t.Fatalf("wrote %d shards, want %d", len(shards), wantShards)
+	}
+
+	var files []*trace.BlockFile
+	var decs []trace.EventReader
+	for i, s := range shards {
+		if !s.closed {
+			t.Fatalf("shard %d left open", i)
+		}
+		bf, err := trace.NewBlockFileBytes(s.Bytes())
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		lo, hi := bf.Coverage()
+		if lo != trace.MachineID(i*4) || int(hi) != min(cfg.Machines, (i+1)*4) {
+			t.Errorf("shard %d coverage [%d, %d), want [%d, %d)", i, lo, hi, i*4, min(cfg.Machines, (i+1)*4))
+		}
+		files = append(files, bf)
+		rd, err := trace.NewReader(bytes.NewReader(s.Bytes()))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		decs = append(decs, rd)
+	}
+
+	mr, err := trace.NewMergeReader(decs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.CollectEvents(mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("merged %d events, want %d", len(got.Events), len(want.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got.Events[i], want.Events[i])
+		}
+	}
+
+	a, err := trace.AnalyzeBlockFiles(files, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotT, wantT := a.Table2(), want.MakeTable2(); !reflect.DeepEqual(gotT, wantT) {
+		t.Errorf("Table2 mismatch:\n got %+v\nwant %+v", gotT, wantT)
+	}
+	for _, dt := range []sim.DayType{sim.Weekday, sim.Weekend} {
+		if !reflect.DeepEqual(a.IntervalECDF(dt), want.IntervalECDF(dt)) {
+			t.Errorf("IntervalECDF(%v) mismatch", dt)
+		}
+		if g, w := a.HourlyOccurrences(dt), want.HourlyOccurrences(dt); !reflect.DeepEqual(g, w) {
+			t.Errorf("HourlyOccurrences(%v) mismatch", dt)
+		}
 	}
 }

@@ -143,51 +143,24 @@ type Decoder struct {
 	prev   map[MachineID]sim.Time
 }
 
-// NewDecoder reads and validates the magic and header from r.
+// NewDecoder reads and validates the magic and header from r. It accepts
+// v1 streams only; use NewReader to sniff the version and handle both.
 func NewDecoder(r io.Reader) (*Decoder, error) {
-	d := &Decoder{r: bufio.NewReader(r), prev: make(map[MachineID]sim.Time)}
-	var magic [4]byte
-	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading codec magic: %w", truncatedEOF(err))
-	}
-	if magic != codecMagic {
-		return nil, fmt.Errorf("trace: bad codec magic %q", magic[:])
-	}
-	version, err := binary.ReadUvarint(d.r)
+	br := bufio.NewReader(r)
+	h, version, err := readCodecHeader(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading codec version: %w", truncatedEOF(err))
+		return nil, err
 	}
 	if version != codecVersion {
 		return nil, fmt.Errorf("trace: unsupported codec version %d", version)
 	}
-	spanStart, err := binary.ReadVarint(d.r)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading span start: %w", truncatedEOF(err))
-	}
-	spanEnd, err := binary.ReadVarint(d.r)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading span end: %w", truncatedEOF(err))
-	}
-	weekday, err := binary.ReadVarint(d.r)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading start weekday: %w", truncatedEOF(err))
-	}
-	machines, err := binary.ReadUvarint(d.r)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading machine count: %w", truncatedEOF(err))
-	}
-	if machines > math.MaxInt32 {
-		return nil, fmt.Errorf("trace: implausible machine count %d", machines)
-	}
-	d.header = Header{
-		Span:     sim.Window{Start: sim.Time(spanStart), End: sim.Time(spanEnd)},
-		Calendar: sim.Calendar{StartWeekday: int(weekday)},
-		Machines: int(machines),
-	}
-	if d.header.Span.End < d.header.Span.Start {
-		return nil, fmt.Errorf("trace: inverted span %v in codec header", d.header.Span)
-	}
-	return d, nil
+	return newDecoderAfterHeader(br, h), nil
+}
+
+// newDecoderAfterHeader wraps a reader already past the magic, version and
+// header.
+func newDecoderAfterHeader(br *bufio.Reader, h Header) *Decoder {
+	return &Decoder{r: br, header: h, prev: make(map[MachineID]sim.Time)}
 }
 
 // Header returns the stream's trace metadata.
@@ -307,12 +280,23 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
+// EventReader is the common face of every sorted event source: the v1
+// Decoder, the v2 BlockDecoder, a BlockFile reader and the MergeReader
+// itself all serve it, so analyzers and mergers are codec-agnostic.
+type EventReader interface {
+	// Header returns the stream's trace metadata.
+	Header() Header
+	// Next returns the next event, or io.EOF at a clean end of stream.
+	Next() (Event, error)
+}
+
 // MergeReader yields the union of several binary trace streams — typically
-// one per testbed shard — in (machine, start, end) order, in constant
-// memory. Every input must already be sorted that way (shard files written
-// by the sharded runner are) and all headers must agree.
+// one per testbed shard, of either codec version — in (machine, start, end)
+// order, in constant memory. Every input must already be sorted that way
+// (shard files written by the sharded runner are) and all headers must
+// agree.
 type MergeReader struct {
-	decs   []*Decoder
+	decs   []EventReader
 	heads  []Event
 	live   []bool
 	header Header
@@ -321,7 +305,7 @@ type MergeReader struct {
 }
 
 // NewMergeReader validates header agreement and primes one event per input.
-func NewMergeReader(decs ...*Decoder) (*MergeReader, error) {
+func NewMergeReader(decs ...EventReader) (*MergeReader, error) {
 	if len(decs) == 0 {
 		return nil, fmt.Errorf("trace: nothing to merge")
 	}

@@ -150,10 +150,10 @@ func TestEncoderClosed(t *testing.T) {
 
 // shardTraces splits a sorted trace into per-machine-range shards, each a
 // full-header binary stream — the layout the sharded testbed runner writes.
-func shardTraces(t *testing.T, tr *Trace, shards int) []*Decoder {
+func shardTraces(t *testing.T, tr *Trace, shards int) []EventReader {
 	t.Helper()
 	per := (tr.Machines + shards - 1) / shards
-	var decs []*Decoder
+	var decs []EventReader
 	for s := 0; s < shards; s++ {
 		lo := MachineID(s * per)
 		hi := MachineID((s + 1) * per)

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile on platforms without a memory-mapping syscall always reports an
+// error, steering OpenBlockFile onto the io.ReaderAt pread path, which
+// behaves identically (every BlockFile API is mapping-agnostic).
+func mmapFile(f *os.File, size int64) ([]byte, func(), error) {
+	return nil, nil, fmt.Errorf("trace: mmap unsupported on this platform")
+}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only and returns the mapped bytes plus an unmap
+// function. Zero-length files cannot be mapped (mmap(2) rejects length 0),
+// so they report an error and callers fall back to pread — which is also
+// the safe path on platforms without mmap (see mmap_other.go).
+//
+// Safety: the mapping is PROT_READ and the BlockFile layer never writes
+// through it. A writer truncating the file underneath a live mapping can
+// SIGBUS the process — the trace pipeline only maps files after their
+// writer closed them, and the fallback path has no such hazard, which is
+// why every entry point works identically over a plain io.ReaderAt.
+func mmapFile(f *os.File, size int64) ([]byte, func(), error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("trace: cannot map %d-byte file", size)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("trace: file too large to map")
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: mmap: %w", err)
+	}
+	unmap := func() { _ = syscall.Munmap(data) }
+	return data, unmap, nil
+}

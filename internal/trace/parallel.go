@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the parallel analyze engine over v2 block files. The unit of
+// work is a chunk: a run of consecutive blocks within one file whose machine
+// ranges are disjoint from every other chunk's. Because the writer emits
+// events sorted by (machine, start) and cuts blocks in stream order, block
+// i+1's MinMachine is always >= block i's MaxMachine; wherever the
+// inequality is strict the file can be split and the two sides analyzed
+// independently. Each worker drives a partial StreamAnalyzer over its
+// chunk's machine range, and the partials merge in range order with
+// MergeFrom — which is exact, not approximate, so the parallel result is
+// bit-identical to a serial pass (the equivalence is pinned by tests and
+// the check harness).
+
+// blockChunk is one worker's slice of the scan: blocks [blockLo, blockHi)
+// of one file, responsible for machines [lo, hi).
+type blockChunk struct {
+	file             *BlockFile
+	blockLo, blockHi int
+	lo, hi           MachineID
+}
+
+// chunkBlockFiles validates that files form a contiguous machine partition
+// and splits their blocks into independently analyzable chunks of at least
+// minBlocks blocks (chunks never split a machine across workers).
+func chunkBlockFiles(files []*BlockFile, minBlocks int) (Header, []blockChunk, error) {
+	if len(files) == 0 {
+		return Header{}, nil, fmt.Errorf("trace: no block files to analyze")
+	}
+	h := files[0].Header()
+	for _, f := range files[1:] {
+		if f.Header() != h {
+			return Header{}, nil, fmt.Errorf("trace: block files disagree on header: %+v vs %+v", h, f.Header())
+		}
+	}
+	var chunks []blockChunk
+	next := MachineID(0)
+	for _, f := range files {
+		lo, hi := f.Coverage()
+		if lo < next {
+			return Header{}, nil, fmt.Errorf("trace: block file coverages overlap: machines up to %d already covered, file covers [%d, %d)", next, lo, hi)
+		}
+		// Machines in a coverage gap [next, lo) have no events anywhere;
+		// fold them into this file's first chunk so they are idle-credited
+		// exactly as a serial pass over the same inputs would credit them.
+		cur := blockChunk{file: f, lo: next}
+		for i := 0; i < f.NumBlocks(); i++ {
+			m := f.Block(i)
+			if m.Count > 0 && (m.MinMachine < lo || m.MaxMachine >= hi) {
+				return Header{}, nil, fmt.Errorf("trace: block %d machines [%d, %d] outside file coverage [%d, %d)", i, m.MinMachine, m.MaxMachine, lo, hi)
+			}
+			// Split before block i when every machine of the preceding
+			// blocks is strictly below block i's first machine.
+			if i > cur.blockLo && i-cur.blockLo >= minBlocks {
+				prev := f.Block(i - 1)
+				if prev.MaxMachine < m.MinMachine {
+					cur.blockHi = i
+					cur.hi = m.MinMachine
+					chunks = append(chunks, cur)
+					cur = blockChunk{file: f, blockLo: i, lo: m.MinMachine}
+				}
+			}
+		}
+		cur.blockHi = f.NumBlocks()
+		cur.hi = hi
+		if cur.hi < cur.lo {
+			cur.hi = cur.lo
+		}
+		chunks = append(chunks, cur)
+		next = cur.hi
+	}
+	// A serial analyzer credits every trailing machine of the fleet as
+	// idle; widen the last chunk so the merged result does too.
+	if h.Machines > 0 && next < MachineID(h.Machines) {
+		chunks[len(chunks)-1].hi = MachineID(h.Machines)
+	}
+	return h, chunks, nil
+}
+
+// analyzeChunk runs one partial analyzer over a chunk's blocks.
+func analyzeChunk(h Header, c blockChunk) (*StreamAnalyzer, error) {
+	a := NewStreamAnalyzerRange(h.Span, h.Calendar, h.Machines, c.lo, c.hi)
+	var buf BlockBuf
+	for i := c.blockLo; i < c.blockHi; i++ {
+		events, err := c.file.DecodeBlock(i, &buf)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range events {
+			if err := a.Observe(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	a.Finish()
+	return a, nil
+}
+
+// AnalyzeBlockFiles computes the full trace analysis — Table 2, Figure 6,
+// Figure 7 — over one or more v2 block files whose coverages partition the
+// fleet contiguously from machine 0 (the natural output of the sharded
+// testbed, or a single file for the whole fleet). With workers > 1 the
+// chunks are scanned by a worker pool and the partial analyzers merged in
+// machine order; the result is bit-identical to workers == 1. workers <= 0
+// means runtime.NumCPU().
+func AnalyzeBlockFiles(files []*BlockFile, workers int) (*StreamAnalyzer, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	// Very small chunks would pay more in analyzer setup and merge than
+	// they win back in overlap, so aim for a few chunks per worker rather
+	// than one per splittable boundary.
+	total := 0
+	for _, f := range files {
+		total += f.NumBlocks()
+	}
+	minBlocks := total / (4 * workers)
+	if minBlocks < 1 {
+		minBlocks = 1
+	}
+	h, chunks, err := chunkBlockFiles(files, minBlocks)
+	if err != nil {
+		return nil, err
+	}
+
+	partials := make([]*StreamAnalyzer, len(chunks))
+	if workers == 1 || len(chunks) == 1 {
+		for i, c := range chunks {
+			if partials[i], err = analyzeChunk(h, c); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if workers > len(chunks) {
+			workers = len(chunks)
+		}
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					a, err := analyzeChunk(h, chunks[i])
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						continue
+					}
+					partials[i] = a
+				}
+			}()
+		}
+		for i := range chunks {
+			mu.Lock()
+			stop := firstErr != nil
+			mu.Unlock()
+			if stop {
+				break
+			}
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	out := partials[0]
+	for _, p := range partials[1:] {
+		if err := out.MergeFrom(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AnalyzeBlockPaths opens each path as a block file and analyzes them with
+// AnalyzeBlockFiles, closing the files before returning.
+func AnalyzeBlockPaths(paths []string, workers int) (*StreamAnalyzer, error) {
+	files := make([]*BlockFile, 0, len(paths))
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, p := range paths {
+		f, err := OpenBlockFile(p)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return AnalyzeBlockFiles(files, workers)
+}

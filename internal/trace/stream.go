@@ -27,6 +27,12 @@ type StreamAnalyzer struct {
 	cal      sim.Calendar
 	machines int
 
+	// lo and hi bound the machine range [lo, hi) this analyzer is
+	// responsible for. A full analyzer covers [0, machines); partial
+	// analyzers built by NewStreamAnalyzerRange cover a sub-range and are
+	// combined with MergeFrom. counts[i] belongs to machine lo+i.
+	lo, hi MachineID
+
 	counts     []CauseCounts
 	urrTotal   int
 	urrReboots int
@@ -55,11 +61,26 @@ type StreamAnalyzer struct {
 // NewStreamAnalyzer creates an analyzer for a stream covering span with the
 // given calendar and machine count (IDs 0..machines-1).
 func NewStreamAnalyzer(span sim.Window, cal sim.Calendar, machines int) *StreamAnalyzer {
+	return NewStreamAnalyzerRange(span, cal, machines, 0, MachineID(machines))
+}
+
+// NewStreamAnalyzerRange creates a partial analyzer responsible for the
+// machine range [lo, hi) of a machines-wide fleet: it accepts only events
+// of those machines and credits idle intervals only for them. Partials over
+// adjacent ranges combine with MergeFrom into exactly the analyzer a single
+// full pass would have produced — the associativity the parallel scan
+// relies on.
+func NewStreamAnalyzerRange(span sim.Window, cal sim.Calendar, machines int, lo, hi MachineID) *StreamAnalyzer {
+	if lo < 0 || hi < lo || (machines > 0 && int(hi) > machines) {
+		panic(fmt.Sprintf("trace: analyzer range [%d, %d) outside fleet of %d", lo, hi, machines))
+	}
 	a := &StreamAnalyzer{
 		span:       span,
 		cal:        cal,
 		machines:   machines,
-		counts:     make([]CauseCounts, machines),
+		lo:         lo,
+		hi:         hi,
+		counts:     make([]CauseCounts, hi-lo),
 		hourly:     map[sim.DayType]*stats.GroupedBins{sim.Weekday: stats.NewGroupedBins(24), sim.Weekend: stats.NewGroupedBins(24)},
 		ivLens:     make(map[sim.DayType][]float64),
 		rebootsCut: DefaultRebootCutoff,
@@ -94,6 +115,9 @@ func (a *StreamAnalyzer) Observe(e Event) error {
 	if e.Machine < 0 || (a.machines > 0 && int(e.Machine) >= a.machines) {
 		return fmt.Errorf("trace: event machine %d outside 0..%d", e.Machine, a.machines-1)
 	}
+	if e.Machine < a.lo || (a.machines > 0 && e.Machine >= a.hi) {
+		return fmt.Errorf("trace: event machine %d outside analyzer range [%d, %d)", e.Machine, a.lo, a.hi)
+	}
 	if a.started {
 		if e.Machine < a.cur || (e.Machine == a.cur && e.Start < a.lastStart) {
 			return fmt.Errorf("trace: StreamAnalyzer needs (machine, start)-sorted input; got machine %d start %v after machine %d start %v",
@@ -106,7 +130,7 @@ func (a *StreamAnalyzer) Observe(e Event) error {
 		}
 	} else {
 		a.started = true
-		a.creditIdle(0, e.Machine)
+		a.creditIdle(a.lo, e.Machine)
 		a.cur = e.Machine
 		a.cursor = a.span.Start
 	}
@@ -114,9 +138,13 @@ func (a *StreamAnalyzer) Observe(e Event) error {
 
 	a.noteEvent(e)
 
-	// Table 2 accumulation.
+	// Table 2 accumulation. A header with an unknown fleet size (machines
+	// 0) grows the counts on demand.
 	a.events++
-	c := &a.counts[e.Machine]
+	for int(e.Machine-a.lo) >= len(a.counts) {
+		a.counts = append(a.counts, CauseCounts{})
+	}
+	c := &a.counts[e.Machine-a.lo]
 	c.Total++
 	switch e.Cause() {
 	case availability.CauseCPU:
@@ -224,9 +252,9 @@ func (a *StreamAnalyzer) Finish() {
 	a.finished = true
 	if a.started {
 		a.closeMachine()
-		a.creditIdle(a.cur+1, MachineID(a.machines))
+		a.creditIdle(a.cur+1, a.hi)
 	} else {
-		a.creditIdle(0, MachineID(a.machines))
+		a.creditIdle(a.lo, a.hi)
 	}
 }
 
@@ -244,12 +272,13 @@ func (a *StreamAnalyzer) MachineDays() float64 {
 	return float64(a.machines) * float64(a.span.Duration()) / float64(sim.Day)
 }
 
-// Table2 reproduces Trace.MakeTable2 from the accumulated counts.
+// Table2 reproduces Trace.MakeTable2 from the accumulated counts. On a
+// partial analyzer the ranges cover only the machines in [lo, hi).
 func (a *StreamAnalyzer) Table2() Table2 {
 	a.mustBeFinished()
 	tb := Table2{RebootCutoff: a.rebootsCut}
 	first := true
-	for m := 0; m < a.machines; m++ {
+	for m := 0; m < len(a.counts); m++ {
 		c := a.counts[m]
 		if first {
 			tb.Total = Range{c.Total, c.Total}
@@ -285,10 +314,52 @@ func (a *StreamAnalyzer) CountByCause() map[MachineID]CauseCounts {
 	out := make(map[MachineID]CauseCounts)
 	for m, c := range a.counts {
 		if c.Total > 0 {
-			out[MachineID(m)] = c
+			out[a.lo+MachineID(m)] = c
 		}
 	}
 	return out
+}
+
+// Range returns the machine range [lo, hi) the analyzer covers.
+func (a *StreamAnalyzer) Range() (lo, hi MachineID) { return a.lo, a.hi }
+
+// MergeFrom folds the finished partial analyzer b, covering the machine
+// range immediately after a's, into a — afterwards a covers [a.lo, b.hi)
+// and every query answers exactly as a single serial pass over the combined
+// range would have. Merging is associative: any grouping of adjacent
+// partials yields the identical result, which is what lets the parallel
+// scanner combine partials as workers finish. b must not be used again.
+// Instrumentation (Instrument) is per-partial and is not merged.
+func (a *StreamAnalyzer) MergeFrom(b *StreamAnalyzer) error {
+	if !a.finished || !b.finished {
+		return fmt.Errorf("trace: MergeFrom needs both analyzers finished")
+	}
+	if a.span != b.span || a.cal != b.cal || a.machines != b.machines {
+		return fmt.Errorf("trace: MergeFrom over mismatched traces (%v/%d vs %v/%d)", a.span, a.machines, b.span, b.machines)
+	}
+	if a.rebootsCut != b.rebootsCut {
+		return fmt.Errorf("trace: MergeFrom over mismatched reboot cutoffs")
+	}
+	if b.lo != a.hi {
+		return fmt.Errorf("trace: MergeFrom ranges not adjacent: [%d, %d) then [%d, %d)", a.lo, a.hi, b.lo, b.hi)
+	}
+	// Machine-indexed state concatenates; scalar tallies add; the hourly
+	// bins sum per (day, hour) cell. Interval samples append in machine
+	// order, preserving the exact sequence a serial pass emits.
+	a.counts = append(a.counts, b.counts...)
+	a.urrTotal += b.urrTotal
+	a.urrReboots += b.urrReboots
+	a.events += b.events
+	for dt, lens := range b.ivLens {
+		a.ivLens[dt] = append(a.ivLens[dt], lens...)
+	}
+	for dt, bins := range b.hourly {
+		if err := a.hourly[dt].MergeFrom(bins); err != nil {
+			return err
+		}
+	}
+	a.hi = b.hi
+	return nil
 }
 
 // IntervalLengths returns the accumulated interval durations (hours) for a

@@ -15,6 +15,7 @@ go run ./cmd/fgcs-bench -check -check-seeds 200
 go test -run '^$' -fuzz 'FuzzDetectorObserve' -fuzztime 5s ./internal/check/
 go test -run '^$' -fuzz 'FuzzCodecRoundTrip' -fuzztime 5s ./internal/check/
 go test -run '^$' -fuzz 'FuzzIndexQueries' -fuzztime 5s ./internal/check/
+go test -run '^$' -fuzz 'FuzzColBlockRoundTrip' -fuzztime 5s ./internal/check/
 # Deterministic-seed chaos smoke: scripted partition + refusal burst over a
 # live registry and nodes, asserting exactly-once completion.
 go test -race -run 'TestChaosSmoke' -count 1 ./internal/chaos/
@@ -24,6 +25,14 @@ go test -run '^$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|Benc
 # and the accelerated predictor evaluation, one iteration each.
 go test -run '^$' -bench 'BenchmarkRunShardedFleet|BenchmarkWriteBinary|BenchmarkReadBinary|BenchmarkStreamAnalyzer|BenchmarkEvaluateHistoryWindow' \
     -benchtime 1x ./internal/testbed/ ./internal/trace/ ./internal/predict/
+# Parallel-analyzer smoke under the race detector: worker-pool block
+# scanner, merge associativity, sharded v2 encoder round-trip.
+go test -race -count 1 -run 'TestAnalyzeBlockFiles|TestMergeFrom|TestBlockIndexMatchesIndex' ./internal/trace/
+go test -race -count 1 -run 'TestEncoderSinkV2RoundTrip' ./internal/testbed/
+# Regression-gated core benchmarks: v2 codec, block scan, point queries,
+# serial/parallel analyze, predictor evaluation — against their recorded
+# expectations plus the v2-size, parallel-speedup and point-query gates.
+go run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/' -out ''
 # Metrics-endpoint smoke: start ishared with an ephemeral metrics port,
 # scrape /healthz and /metrics, assert the expected families.
 sh "$(dirname "$0")/metrics_smoke.sh"
