@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check fuzz-smoke chaos-smoke bench-smoke bench-parallel metrics-smoke bench bench-gates ci
+.PHONY: all vet build test race check fuzz-smoke chaos-smoke loadtest-smoke bench-smoke bench-parallel metrics-smoke bench bench-gates ci
 
 all: ci
 
@@ -40,6 +40,13 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) test -race -run 'TestChaosSmoke' -count 1 ./internal/chaos/
 
+# Control-plane smoke: a 10k-node synthetic fleet over 2 registry shards,
+# batched registration, churned heartbeats, ranked fan-out discovery, then
+# the same discovery with shard 0 chaos-partitioned — gated on the smoke
+# SLOs (exits nonzero on violation).
+loadtest-smoke:
+	$(GO) run ./cmd/fgcs-loadtest -smoke
+
 # A short benchmark pass that exercises the performance-critical paths
 # without producing stable numbers; full runs go through cmd/fgcs-bench.
 bench-smoke:
@@ -54,11 +61,12 @@ bench-parallel:
 	$(GO) test -race -count 1 -run 'TestEncoderSinkV2RoundTrip' ./internal/testbed/
 
 # Regression-gated subset of the core benchmarks: the v2 codec, the block
-# scanner, point queries, the serial/parallel analyze engines and predictor
-# evaluation, checked against their recorded expectations (and the v2-size,
-# speedup and point-query gates) without rewriting BENCH_core.json.
+# scanner, point queries, the serial/parallel analyze engines, predictor
+# evaluation and the sharded control plane, checked against their recorded
+# expectations (and the v2-size, speedup, point-query, shard-scaling and
+# discovery-p99 gates) without rewriting BENCH_core.json.
 bench-gates:
-	$(GO) run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/' -out ''
+	$(GO) run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/|ishare/' -out ''
 
 # Metrics-endpoint smoke: start ishared with an ephemeral metrics port,
 # scrape /healthz and /metrics, assert the expected families are served.
@@ -70,4 +78,4 @@ metrics-smoke:
 bench:
 	$(GO) run ./cmd/fgcs-bench -out BENCH_core.json
 
-ci: vet build test race check fuzz-smoke chaos-smoke bench-smoke bench-parallel bench-gates metrics-smoke
+ci: vet build test race check fuzz-smoke chaos-smoke loadtest-smoke bench-smoke bench-parallel bench-gates metrics-smoke

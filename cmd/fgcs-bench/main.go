@@ -2,7 +2,9 @@
 // the full 20x92 testbed simulation, one machine-week, the sharded fleet
 // pipeline at 500 machines x 365 days, the v1 and v2 trace codecs, the
 // columnar block scanner, the serial and parallel analyze engines,
-// predictor evaluation (row-indexed and block-pruned), and the contention
+// predictor evaluation (row-indexed and block-pruned), the sharded
+// control plane under a 50k-node loadgen fleet (batched registration and
+// ranked fan-out discovery at 1 and 4 shards), and the contention
 // figures behind the Th1/Th2 calibration — and writes the results as JSON
 // (default BENCH_core.json). Each entry carries ns/op, allocs/op, the cores
 // available (num_cpu) and the worker count it ran with (parallelism), plus,
@@ -19,7 +21,10 @@
 // (within the -max-regress tolerance); block-pruned point queries from the
 // lazy BlockIndex must answer the same query mix no slower (and with the
 // same answers) than decoding the v1 file and querying its eager Index;
-// and the observability tax —
+// on >= 4 cores a 4-shard control plane must serve discovery at >= 2.5x
+// the single-shard throughput, and the discovery entries' p99 latencies
+// must stay within their recorded expectations (a tail blowup can hide
+// behind a healthy mean); and the observability tax —
 // the full testbed runs once more with a live obs registry attached, must
 // stay within -max-obs-overhead of the uninstrumented run, and must
 // produce byte-identical trace output at the fixed seed.
@@ -45,6 +50,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -62,6 +68,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/contention"
+	"repro/internal/loadgen"
 	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/sim"
@@ -111,7 +118,29 @@ var expectedNs = map[string]float64{
 	"analyze/parallel":     0.45e9,
 	"predict/eval":         11e6,
 	"predict/eval-blocks":  13e6,
+	// Control-plane entries: aggregate per-op wall cost (1e9 / ops-per-sec
+	// across the driver's workers) from the loadgen harness at the fixed
+	// 50k-node configuration below. The 4-shard entry is its single-core
+	// bound: every extra shard is an extra RPC per discovery with no cores
+	// to absorb them; on multicore the scaling gate takes over.
+	"ishare/register-batch":   12e6,
+	"ishare/discovery":        1.5e6,
+	"ishare/discovery-4shard": 7e6,
 }
+
+// expectedP99Ns gates the per-op p99 latency of the control-plane entries
+// (the SLO figure a placement decision actually waits for), under the
+// same -max-regress tolerance as the ns/op expectations.
+var expectedP99Ns = map[string]float64{
+	"ishare/discovery":        25e6,
+	"ishare/discovery-4shard": 60e6,
+}
+
+// Dimensions of the control-plane load behind the ishare benchmarks.
+const (
+	ishareNodes       = 50000
+	ishareDiscoverOps = 400
+)
 
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -140,6 +169,13 @@ type benchResult struct {
 	// PeakHeapMB is the peak live heap sampled at shard boundaries
 	// (sharded fleet benchmark only).
 	PeakHeapMB float64 `json:"peak_heap_mb,omitempty"`
+	// P50Ns and P99Ns are per-op latency percentiles for the control-plane
+	// (ishare/*) entries, whose NsPerOp is an aggregate throughput inverse.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
+	// OpsPerS is the aggregate operation throughput across the driver's
+	// workers (control-plane entries).
+	OpsPerS float64 `json:"ops_per_s,omitempty"`
 }
 
 type report struct {
@@ -623,6 +659,57 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, eval)
 	}
 
+	// Control-plane load: the sharded registry, batch protocol and ranked
+	// fan-out discovery driven by the loadgen harness at a fixed 50k-node
+	// fleet. Entries record per-op p50/p99 and aggregate ops/s; NsPerOp is
+	// the throughput inverse so the -max-regress gate applies uniformly.
+	// The 1- vs 4-shard pair feeds the shard-scaling gate below.
+	var disc1OpsPerS, disc4OpsPerS float64
+	if sel("ishare/register-batch") || sel("ishare/discovery") || sel("ishare/discovery-4shard") {
+		ishareRun := func(shards int) *loadgen.Result {
+			fmt.Fprintf(os.Stderr, "running ishare loadgen (%d nodes, %d shard(s))...\n", ishareNodes, shards)
+			res, err := loadgen.Run(context.Background(), loadgen.Config{
+				Nodes: ishareNodes, Shards: shards,
+				DiscoverOps: ishareDiscoverOps, Concurrency: workers,
+			})
+			if err != nil {
+				log.Fatalf("ishare loadgen (%d shards): %v", shards, err)
+			}
+			return res
+		}
+		fromStats := func(name string, s loadgen.LatencyStats) benchResult {
+			r := benchResult{
+				Name:        name,
+				Iterations:  s.Ops,
+				Parallelism: workers,
+				P50Ns:       float64(s.P50.Nanoseconds()),
+				P99Ns:       float64(s.P99.Nanoseconds()),
+				OpsPerS:     s.OpsPerSec,
+			}
+			if s.OpsPerSec > 0 {
+				r.NsPerOp = 1e9 / s.OpsPerSec
+			}
+			return r
+		}
+		if sel("ishare/register-batch") || sel("ishare/discovery") {
+			res1 := ishareRun(1)
+			if sel("ishare/register-batch") {
+				rep.Benchmarks = append(rep.Benchmarks, fromStats("ishare/register-batch", res1.Register))
+			}
+			if sel("ishare/discovery") {
+				r := fromStats("ishare/discovery", res1.Discover)
+				disc1OpsPerS = r.OpsPerS
+				rep.Benchmarks = append(rep.Benchmarks, r)
+			}
+		}
+		if sel("ishare/discovery-4shard") {
+			res4 := ishareRun(4)
+			r := fromStats("ishare/discovery-4shard", res4.Discover)
+			disc4OpsPerS = r.OpsPerS
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	}
+
 	if sel("contention/fig1a") || sel("contention/fig2") {
 		// Contention figures, with the same reduced windows the root
 		// benchmarks use so the baselines are comparable. The calibration
@@ -734,6 +821,49 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "note: analyze/parallel speedup %.2fx at num_cpu=%d workers=%d; >=4x gate needs >= 4 cores\n",
 				speedup, runtime.NumCPU(), workers)
+		}
+	}
+
+	// Shard-scaling gate: on >= 4 cores a 4-shard control plane must serve
+	// discovery at >= 2.5x the single-shard throughput, within the
+	// -max-regress tolerance. On fewer cores the shards contend for the
+	// same CPU and fan-out only adds coordination cost, so the gate is
+	// skipped and the honest ratio is noted instead.
+	if disc1OpsPerS > 0 && disc4OpsPerS > 0 {
+		speedup := disc4OpsPerS / disc1OpsPerS
+		if runtime.NumCPU() >= 4 && workers >= 4 {
+			min := 2.5 / (1 + *maxRegress)
+			if *maxRegress <= 0 {
+				min = 2.5
+			}
+			if speedup < min {
+				failed = true
+				fmt.Fprintf(os.Stderr,
+					"REGRESSION: ishare/discovery-4shard throughput %.2fx over 1 shard on %d cores (want >= %.2fx)\n",
+					speedup, runtime.NumCPU(), min)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "note: ishare discovery 4-shard/1-shard throughput %.2fx at num_cpu=%d workers=%d; >=2.5x gate needs >= 4 cores\n",
+				speedup, runtime.NumCPU(), workers)
+		}
+	}
+
+	// Control-plane latency gate: the discovery entries carry per-op p99s
+	// alongside the aggregate NsPerOp; a tail blowup can hide behind a
+	// healthy mean, so the p99s are bounded separately.
+	if *maxRegress > 0 {
+		for _, b := range rep.Benchmarks {
+			exp, ok := expectedP99Ns[b.Name]
+			if !ok || exp <= 0 || b.P99Ns <= 0 {
+				continue
+			}
+			limit := exp * (1 + *maxRegress)
+			if b.P99Ns > limit {
+				failed = true
+				fmt.Fprintf(os.Stderr,
+					"REGRESSION: %s p99 at %.0f ns, %.0f%% over the expected %.0f ns (limit %.0f)\n",
+					b.Name, b.P99Ns, 100*(b.P99Ns/exp-1), exp, limit)
+			}
 		}
 	}
 

@@ -1,0 +1,163 @@
+// Command fgcs-loadtest drives the sharded control plane with a synthetic
+// fleet: batched registration, churned digest heartbeats, ranked fan-out
+// discovery, and optionally the same discovery load with one shard
+// chaos-partitioned. It prints a latency summary, optionally writes the
+// full result as JSON, and exits nonzero when an SLO is missed — the CI
+// smoke gate runs it via `make loadtest-smoke`.
+//
+// Usage:
+//
+//	fgcs-loadtest -nodes 100000 -shards 4
+//	fgcs-loadtest -smoke
+//	fgcs-loadtest -nodes 20000 -scaling 1,4
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		nodes         = flag.Int("nodes", 100000, "simulated fleet size")
+		shards        = flag.Int("shards", 4, "registry shard count")
+		batch         = flag.Int("batch", 1000, "nodes per register/heartbeat batch")
+		rounds        = flag.Int("rounds", 1, "full-fleet heartbeat sweeps")
+		churn         = flag.Float64("churn", 0.2, "fleet fraction re-drawing availability state per sweep")
+		discoverOps   = flag.Int("discover-ops", 200, "fan-out discoveries to measure")
+		discoverLimit = flag.Int("discover-limit", 32, "ranked candidates requested per shard")
+		concurrency   = flag.Int("concurrency", 8, "parallel driver workers")
+		partition     = flag.Int("partition-shard", -1, "shard index to chaos-partition for a degraded discovery phase (-1 = off)")
+		seed          = flag.Int64("seed", 1, "fleet/churn seed")
+		scaling       = flag.String("scaling", "", "comma-separated shard counts: run the scaling sweep instead of one load run")
+		out           = flag.String("out", "", "write the full result JSON here")
+		smoke         = flag.Bool("smoke", false, "CI preset: 10k nodes, 2 shards, partitioned phase, SLO gates on")
+		sloRegP99     = flag.Duration("slo-register-p99", 0, "register batch p99 objective (0 = ungated)")
+		sloHBP99      = flag.Duration("slo-heartbeat-p99", 0, "heartbeat batch p99 objective (0 = ungated)")
+		sloDiscP50    = flag.Duration("slo-discover-p50", 0, "discovery p50 objective (0 = ungated)")
+		sloDiscP99    = flag.Duration("slo-discover-p99", 0, "discovery p99 objective (0 = ungated)")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Nodes: *nodes, Shards: *shards, BatchSize: *batch,
+		HeartbeatRounds: *rounds, ChurnFraction: *churn,
+		DiscoverOps: *discoverOps, DiscoverLimit: *discoverLimit,
+		Concurrency: *concurrency, Seed: *seed,
+		SLO: loadgen.SLO{RegisterP99: *sloRegP99, HeartbeatP99: *sloHBP99,
+			DiscoverP50: *sloDiscP50, DiscoverP99: *sloDiscP99},
+	}
+	if *partition >= 0 {
+		cfg.Partition = true
+		cfg.PartitionShard = *partition
+	}
+	if *smoke {
+		cfg = smokeConfig()
+	}
+
+	ctx := context.Background()
+	if *scaling != "" {
+		if err := runScaling(ctx, cfg, *scaling, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "fgcs-loadtest:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgcs-loadtest:", err)
+		os.Exit(1)
+	}
+	printResult(res, time.Since(start))
+	if *out != "" {
+		if err := writeJSON(*out, res); err != nil {
+			fmt.Fprintln(os.Stderr, "fgcs-loadtest:", err)
+			os.Exit(1)
+		}
+	}
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "SLO VIOLATION:", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// smokeConfig is the CI gate: a 10k-node fleet over 2 shards, a chaos
+// partition of shard 0, and SLOs generous enough for a loaded single-core
+// CI runner while still catching order-of-magnitude regressions.
+func smokeConfig() loadgen.Config {
+	return loadgen.Config{
+		Nodes: 10000, Shards: 2, BatchSize: 1000,
+		HeartbeatRounds: 2, ChurnFraction: 0.2,
+		DiscoverOps: 100, DiscoverLimit: 32,
+		Concurrency: 4, Seed: 1,
+		Partition: true, PartitionShard: 0,
+		SLO: loadgen.SLO{
+			RegisterP99:  2 * time.Second,
+			HeartbeatP99: 2 * time.Second,
+			DiscoverP50:  250 * time.Millisecond,
+			DiscoverP99:  1500 * time.Millisecond,
+		},
+	}
+}
+
+func runScaling(ctx context.Context, cfg loadgen.Config, spec, out string) error {
+	var counts []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -scaling entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	rows, err := loadgen.RunScaling(ctx, cfg, counts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scaling sweep: %d nodes, %d discoveries/row, limit %d\n",
+		cfg.Nodes, cfg.DiscoverOps, cfg.DiscoverLimit)
+	for _, r := range rows {
+		fmt.Printf("  %d shard(s): discover p50 %-10v p99 %-10v %8.1f ops/s  speedup %.2fx\n",
+			r.Shards, r.Discover.P50, r.Discover.P99, r.Discover.OpsPerSec, r.SpeedupVs)
+	}
+	if out != "" {
+		return writeJSON(out, rows)
+	}
+	return nil
+}
+
+func printResult(res *loadgen.Result, wall time.Duration) {
+	fmt.Printf("fleet: %d nodes over %d shard(s), %d candidates discovered (wall %v)\n",
+		res.Nodes, res.Shards, res.Candidates, wall.Round(time.Millisecond))
+	row := func(name string, s loadgen.LatencyStats) {
+		fmt.Printf("  %-22s ops %-6d p50 %-10v p90 %-10v p99 %-10v max %-10v %8.1f ops/s\n",
+			name, s.Ops, s.P50, s.P90, s.P99, s.Max, s.OpsPerSec)
+	}
+	row("register (per batch)", res.Register)
+	row("heartbeat (per batch)", res.Heartbeat)
+	row("discover (fan-out)", res.Discover)
+	if res.PartitionDiscover != nil {
+		row("discover (partitioned)", *res.PartitionDiscover)
+		fmt.Printf("  degraded phase: %d candidates, %d stale serves, %d shard errors, %d gossip serves\n",
+			res.PartitionCandidates, res.StaleServes, res.ShardErrors, res.GossipServes)
+	}
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -19,18 +19,42 @@ import (
 // gsched policies make over traces — and, because FGCS resources fail by
 // design, it also owns recovery: failover to the next candidate when a
 // submission dies, resubmission of killed jobs from their last virtual
-// checkpoint, and placement from a last-known-good node list when the
-// registry itself is unreachable.
+// checkpoint, and placement from last-known-good node lists when
+// registries are unreachable.
+//
+// Against a sharded control plane the broker fans discovery out to every
+// shard (bounded by DiscoverConcurrency), keeps one stale-fallback cache
+// per shard so losing a shard degrades only that shard's slice of the
+// fleet, and merges the per-shard lists into one ranked candidate list.
+// With a Gossiper attached, placement survives losing every shard:
+// candidates are then served from gossip-learned availability digests.
 type Broker struct {
 	Client *Client
-	// CacheTTL bounds how stale the last-known-good node list may be and
-	// still serve placements during a registry partition (default 30 s).
+	// CacheTTL bounds how stale a shard's last-known-good node list may be
+	// and still serve placements during a registry partition (default 30 s).
 	CacheTTL time.Duration
 	// MaxRounds caps placement rounds per job: one round is one ranked
 	// pass over the candidates (default 8).
 	MaxRounds int
 	// RoundDelay paces consecutive rounds (default 50 ms).
 	RoundDelay time.Duration
+	// DiscoverLimit, when positive, requests each shard's ranked
+	// discovery form (up to that many alive nodes per shard, best
+	// availability classes first) and ranks candidates from the digest
+	// states those lists carry, querying Info only for nodes that never
+	// reported a digest. Zero keeps the legacy single-registry behavior:
+	// full listings and one Info round trip per alive node.
+	DiscoverLimit int
+	// DiscoverConcurrency bounds how many shards are listed in parallel
+	// during one discovery (default 4).
+	DiscoverConcurrency int
+	// Gossip, when set, is the decentralized fallback discovery path: if
+	// every shard is unreachable and no cache is usable, candidates come
+	// from the gossip store's availability digests (bounded by GossipTTL).
+	Gossip *Gossiper
+	// GossipTTL bounds how old a gossip digest may be and still produce a
+	// placement candidate (default 30 s).
+	GossipTTL time.Duration
 	// Obs receives the broker's counters and latency histograms. Leave nil
 	// to keep the metrics private (a registry is created lazily); set it
 	// before first use to export them on a shared /metrics endpoint.
@@ -39,24 +63,37 @@ type Broker struct {
 	// resubmissions) carrying the job's trace ID. Nil discards them.
 	Logger *slog.Logger
 
-	jobSeq  atomic.Int64
-	metOnce sync.Once
-	met     *brokerMetrics
+	jobSeq atomic.Int64
 
-	mu      sync.Mutex
-	cache   []NodeInfo
-	cacheAt time.Time
+	metMu  sync.Mutex
+	met    *brokerMetrics
+	metObs *obs.Registry // the registry met was built against
+
+	mu    sync.Mutex
+	cache map[string]shardCache // per shard address
+}
+
+// shardCache is one shard's last-known-good node list.
+type shardCache struct {
+	nodes []NodeInfo
+	at    time.Time
 }
 
 // BrokerMetrics is a snapshot of the broker's recovery counters. All
 // fields are cumulative since construction.
 type BrokerMetrics struct {
-	// StaleServes counts candidate lists served from the cached node list
-	// because the registry was unreachable.
+	// StaleServes counts per-shard candidate lists served from the cached
+	// node list because that shard was unreachable.
 	StaleServes int
 	// RegistryErrors counts discovery attempts that failed outright
-	// (registry unreachable and no usable cache).
+	// (every shard unreachable and no usable cache or gossip).
 	RegistryErrors int
+	// ShardErrors counts individual shard list calls that failed during
+	// fan-out discovery (the shard may still have been served stale).
+	ShardErrors int
+	// GossipServes counts candidate lists served from the gossip store
+	// with every registry shard unreachable.
+	GossipServes int
 	// InfoFailures counts alive-listed nodes whose Info query failed.
 	InfoFailures int
 	// Failovers counts submissions moved to the next candidate after a
@@ -73,24 +110,46 @@ type BrokerMetrics struct {
 	DedupHits int
 }
 
-// NewBroker builds a broker over a registry.
+// NewBroker builds a broker over a single registry.
 func NewBroker(registryAddr string) *Broker {
 	return &Broker{Client: &Client{RegistryAddr: registryAddr}}
 }
 
+// NewShardedBroker builds a shard-aware broker over the given registry
+// shards, using their ranked discovery form with the given per-shard
+// candidate limit (<= 0 uses 32).
+func NewShardedBroker(shards []string, limit int) *Broker {
+	if limit <= 0 {
+		limit = 32
+	}
+	return &Broker{
+		Client:        &Client{Shards: append([]string(nil), shards...)},
+		DiscoverLimit: limit,
+	}
+}
+
 // metrics returns the broker's counter set, creating it (and, if needed, a
 // private registry) on first use. The client shares the broker's registry
-// unless it already has its own.
+// unless it already has its own. If a caller installs its own Obs registry
+// after the lazy private one already existed, the metrics are rebuilt in
+// the caller's registry on the next use (cumulative counts restart there)
+// — a caller-supplied registry is never silently shadowed by the private
+// one. Obs must not be reassigned concurrently with broker use.
 func (b *Broker) metrics() *brokerMetrics {
-	b.metOnce.Do(func() {
-		if b.Obs == nil {
-			b.Obs = obs.NewRegistry()
-		}
-		b.met = newBrokerMetrics(b.Obs)
-		if b.Client != nil && b.Client.Obs == nil {
-			b.Client.Obs = b.Obs
-		}
-	})
+	b.metMu.Lock()
+	defer b.metMu.Unlock()
+	if b.met != nil && (b.Obs == nil || b.Obs == b.metObs) {
+		return b.met
+	}
+	if b.Obs == nil {
+		b.Obs = obs.NewRegistry()
+	}
+	prev := b.metObs
+	b.metObs = b.Obs
+	b.met = newBrokerMetrics(b.Obs)
+	if b.Client != nil && (b.Client.Obs == nil || b.Client.Obs == prev) {
+		b.Client.Obs = b.Obs
+	}
 	return b.met
 }
 
@@ -104,6 +163,8 @@ func (b *Broker) Metrics() BrokerMetrics {
 	return BrokerMetrics{
 		StaleServes:     int(m.staleServes.Value()),
 		RegistryErrors:  int(m.registryErrors.Value()),
+		ShardErrors:     int(m.shardErrors.Value()),
+		GossipServes:    int(m.gossipServes.Value()),
 		InfoFailures:    int(m.infoFailures.Value()),
 		Failovers:       int(m.failovers.Value()),
 		SameNodeRetries: int(m.sameNodeRetries.Value()),
@@ -117,6 +178,13 @@ func (b *Broker) cacheTTL() time.Duration {
 		return 30 * time.Second
 	}
 	return b.CacheTTL
+}
+
+func (b *Broker) gossipTTL() time.Duration {
+	if b.GossipTTL <= 0 {
+		return 30 * time.Second
+	}
+	return b.GossipTTL
 }
 
 func (b *Broker) maxRounds() int {
@@ -133,14 +201,22 @@ func (b *Broker) roundDelay() time.Duration {
 	return b.RoundDelay
 }
 
+func (b *Broker) discoverConcurrency() int {
+	if b.DiscoverConcurrency <= 0 {
+		return 4
+	}
+	return b.DiscoverConcurrency
+}
+
 // Candidate is a scored placement option.
 type Candidate struct {
 	Node  NodeInfo
 	State string
 	// Score orders candidates: lower is better (0 = S1, 1 = S2).
 	Score int
-	// Stale is true when this candidate came from the broker's cached
-	// node list because the registry was unreachable.
+	// Stale is true when this candidate came from a fallback path — a
+	// shard's cached node list, or the gossip store — because live
+	// discovery was unavailable.
 	Stale bool
 }
 
@@ -157,46 +233,146 @@ func rankState(state string) int {
 	}
 }
 
-// aliveNodes discovers placement targets, degrading to the cached
-// last-known-good list (within CacheTTL) when the registry is partitioned.
-func (b *Broker) aliveNodes(ctx context.Context) ([]NodeInfo, bool, error) {
-	m := b.metrics()
-	nodes, err := b.Client.AliveNodes(ctx)
-	if err == nil {
-		b.mu.Lock()
-		b.cache = append(b.cache[:0:0], nodes...)
-		b.cacheAt = time.Now()
-		b.mu.Unlock()
-		return nodes, false, nil
+// listOneShard fetches one shard's node list in the configured discovery
+// form (ranked when DiscoverLimit > 0, full legacy listing otherwise),
+// already filtered to alive nodes.
+func (b *Broker) listOneShard(ctx context.Context, addr string) ([]NodeInfo, error) {
+	nodes, err := b.Client.ListShard(ctx, addr, b.DiscoverLimit)
+	if err != nil {
+		return nil, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if len(b.cache) > 0 && time.Since(b.cacheAt) <= b.cacheTTL() {
-		m.staleServes.Inc()
-		b.logger().Log(ctx, slog.LevelWarn, "registry unreachable, serving cached node list",
-			"trace", TraceIDFrom(ctx), "cached_nodes", len(b.cache), "err", err.Error())
-		return append([]NodeInfo(nil), b.cache...), true, nil
+	if b.DiscoverLimit > 0 {
+		return nodes, nil // ranked form is alive-only already
 	}
-	m.registryErrors.Inc()
-	return nil, false, err
+	alive := nodes[:0]
+	for _, n := range nodes {
+		if n.Alive {
+			alive = append(alive, n)
+		}
+	}
+	return alive, nil
 }
 
-// Candidates returns the usable nodes ordered best-first. During a
-// registry partition it falls back to the last-known-good node list, so a
-// broker keeps placing jobs on previously discovered resources until the
-// cache exceeds CacheTTL.
+// discover fans discovery out across every shard, degrading per shard to
+// that shard's cached last-known-good list (within CacheTTL) and, when no
+// shard yields anything, to the gossip store. The stale return is true
+// when any candidate came from a fallback path.
+func (b *Broker) discover(ctx context.Context) ([]NodeInfo, bool, error) {
+	m := b.metrics()
+	addrs := b.Client.ShardAddrs()
+	type shardResult struct {
+		nodes []NodeInfo
+		err   error
+	}
+	results := make([]shardResult, len(addrs))
+	sem := make(chan struct{}, b.discoverConcurrency())
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			nodes, err := b.listOneShard(ctx, addr)
+			results[i] = shardResult{nodes: nodes, err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+
+	var merged []NodeInfo
+	stale := false
+	errs := 0
+	var lastErr error
+	now := time.Now()
+	b.mu.Lock()
+	if b.cache == nil {
+		b.cache = make(map[string]shardCache)
+	}
+	for i, addr := range addrs {
+		res := results[i]
+		if res.err == nil {
+			b.cache[addr] = shardCache{nodes: append([]NodeInfo(nil), res.nodes...), at: now}
+			merged = append(merged, res.nodes...)
+			continue
+		}
+		errs++
+		lastErr = res.err
+		m.shardErrors.Inc()
+		if c, ok := b.cache[addr]; ok && len(c.nodes) > 0 && now.Sub(c.at) <= b.cacheTTL() {
+			m.staleServes.Inc()
+			stale = true
+			merged = append(merged, c.nodes...)
+			b.logger().Log(ctx, slog.LevelWarn, "registry shard unreachable, serving cached node list",
+				"trace", TraceIDFrom(ctx), "shard", addr, "cached_nodes", len(c.nodes), "err", res.err.Error())
+		}
+	}
+	b.mu.Unlock()
+
+	if len(merged) > 0 || errs < len(addrs) {
+		return merged, stale, nil
+	}
+	// Every shard failed and no cache was usable: the decentralized path.
+	if g := b.Gossip; g != nil {
+		if nodes := candidatesFromGossip(g.Snapshot(), now, b.gossipTTL()); len(nodes) > 0 {
+			m.gossipServes.Inc()
+			b.logger().Log(ctx, slog.LevelWarn, "all registry shards unreachable, serving gossip-learned candidates",
+				"trace", TraceIDFrom(ctx), "gossip_nodes", len(nodes), "err", lastErr.Error())
+			return nodes, true, nil
+		}
+	}
+	m.registryErrors.Inc()
+	return nil, false, lastErr
+}
+
+// candidatesFromGossip converts fresh, guest-hostable gossip digests into
+// placement candidates.
+func candidatesFromGossip(digests []NodeDigest, now time.Time, ttl time.Duration) []NodeInfo {
+	var out []NodeInfo
+	for _, d := range digests {
+		if d.Addr == "" || rankState(d.State) < 0 {
+			continue
+		}
+		if d.UnixMS > 0 && now.UnixMilli()-d.UnixMS > ttl.Milliseconds() {
+			continue
+		}
+		out = append(out, NodeInfo{Name: d.Name, Addr: d.Addr, Alive: true,
+			LastSeenMS: d.UnixMS, State: d.State, Load: d.Load, Gen: d.Gen})
+	}
+	return out
+}
+
+// Candidates returns the usable nodes across every shard, ordered
+// best-first. During registry partitions it falls back per shard to the
+// last-known-good node list (within CacheTTL), and with every shard down
+// to gossip-learned digests, so a broker keeps placing jobs on previously
+// discovered resources through a full control-plane outage.
 func (b *Broker) Candidates(ctx context.Context) ([]Candidate, error) {
-	nodes, stale, err := b.aliveNodes(ctx)
+	m := b.metrics()
+	start := time.Now()
+	defer func() { m.discoverSeconds.Observe(time.Since(start).Seconds()) }()
+	nodes, stale, err := b.discover(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var out []Candidate
 	for _, n := range nodes {
+		// Ranked discovery carries digest states; trust them and skip the
+		// per-node Info round trip — the scaling win that makes fan-out
+		// discovery over 100k-node shards affordable. Legacy mode (and
+		// digest-less nodes in ranked mode) keeps the live Info query.
+		if b.DiscoverLimit > 0 && n.State != "" {
+			score := rankState(n.State)
+			if score < 0 {
+				continue
+			}
+			out = append(out, Candidate{Node: n, State: n.State, Score: score, Stale: stale})
+			continue
+		}
 		st, err := b.Client.Info(ctx, n.Addr)
 		if err != nil {
 			// Unreachable despite a fresh heartbeat (or a stale cache
 			// entry that died during the partition): skip.
-			b.metrics().infoFailures.Inc()
+			m.infoFailures.Inc()
 			continue
 		}
 		score := rankState(st.State)
@@ -205,18 +381,29 @@ func (b *Broker) Candidates(ctx context.Context) ([]Candidate, error) {
 		}
 		out = append(out, Candidate{Node: n, State: st.State, Score: score, Stale: stale})
 	}
-	// Stable selection sort by (score, name); candidate lists are small.
+	// Stable selection sort by (score, load, name); candidate lists are
+	// bounded by shards x DiscoverLimit. Load is zero throughout legacy
+	// discovery, so the legacy order (score, name) is unchanged.
 	for i := 0; i < len(out); i++ {
 		best := i
 		for j := i + 1; j < len(out); j++ {
-			if out[j].Score < out[best].Score ||
-				(out[j].Score == out[best].Score && out[j].Node.Name < out[best].Node.Name) {
+			if candidateLess(out[j], out[best]) {
 				best = j
 			}
 		}
 		out[i], out[best] = out[best], out[i]
 	}
 	return out, nil
+}
+
+func candidateLess(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	if a.Node.Load != b.Node.Load {
+		return a.Node.Load < b.Node.Load
+	}
+	return a.Node.Name < b.Node.Name
 }
 
 // submitOnce sends one submission, with a single dedup-safe retry on the

@@ -16,8 +16,14 @@ import (
 // once per call — failover and resubmission belong to the Broker, which
 // knows how to do them without running a job twice.
 type Client struct {
-	// RegistryAddr is the registry's dial address.
+	// RegistryAddr is the registry's dial address (single-registry
+	// deployments, or the bootstrap address for FetchShardMap).
 	RegistryAddr string
+	// Shards lists every registry shard of a scaled-out deployment. When
+	// set it takes precedence over RegistryAddr: List fans out over all
+	// shards and merges, and shard-routed operations hash node IDs over
+	// this list. Populate it directly or from FetchShardMap.
+	Shards []string
 	// Timeout bounds each request attempt (default 3 s).
 	Timeout time.Duration
 	// SubmitTimeout bounds a submission attempt (default 30 s; jobs run
@@ -120,17 +126,91 @@ func (c *Client) do(ctx context.Context, addr string, req Request, timeout time.
 	return nil, lastErr
 }
 
-// List returns the registry's published nodes, sorted by name.
+// ShardAddrs returns the registry addresses this client talks to: the
+// configured Shards, or the single RegistryAddr.
+func (c *Client) ShardAddrs() []string {
+	if len(c.Shards) > 0 {
+		return append([]string(nil), c.Shards...)
+	}
+	return []string{c.RegistryAddr}
+}
+
+// List returns the published nodes across every configured shard, sorted
+// by name. Any shard failing fails the whole call — partial discovery
+// with per-shard stale fallback is the Broker's job.
 func (c *Client) List(ctx context.Context) ([]NodeInfo, error) {
-	resp, err := c.do(ctx, c.RegistryAddr, Request{Op: "list"}, c.timeout(), true)
+	var all []NodeInfo
+	for _, addr := range c.ShardAddrs() {
+		nodes, err := c.ListShard(ctx, addr, 0)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, nodes...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all, nil
+}
+
+// ListShard lists one registry shard. A positive limit requests the
+// shard's ranked discovery form: up to limit alive nodes from the best
+// availability classes, digest states included; zero returns every
+// registered node, dead ones included (the legacy full listing).
+func (c *Client) ListShard(ctx context.Context, addr string, limit int) ([]NodeInfo, error) {
+	resp, err := c.do(ctx, addr, Request{Op: "list", Limit: limit}, c.timeout(), true)
 	if err != nil {
 		return nil, err
 	}
 	if !resp.OK {
 		return nil, fmt.Errorf("ishare: list failed: %s", resp.Error)
 	}
-	sort.Slice(resp.Nodes, func(i, j int) bool { return resp.Nodes[i].Name < resp.Nodes[j].Name })
 	return resp.Nodes, nil
+}
+
+// FetchShardMap bootstraps the shard list from any one registry address:
+// it asks addr (RegistryAddr when empty) for the deployment's versioned
+// shard map. The caller decides whether to adopt it into c.Shards.
+func (c *Client) FetchShardMap(ctx context.Context, addr string) (*ShardMap, error) {
+	if addr == "" {
+		addr = c.RegistryAddr
+	}
+	resp, err := c.do(ctx, addr, Request{Op: "shardmap"}, c.timeout(), true)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK || resp.ShardMap == nil {
+		return nil, fmt.Errorf("ishare: shardmap failed: %s", resp.Error)
+	}
+	return resp.ShardMap, nil
+}
+
+// RegisterBatch registers a batch of nodes (with optional availability
+// digests) on one registry shard. The caller is responsible for routing
+// the batch to the shard owning its names (see ShardRing); loadtest
+// drivers and fleet controllers use this to publish large populations
+// without one round trip per node.
+func (c *Client) RegisterBatch(ctx context.Context, addr string, batch []NodeDigest) error {
+	resp, err := c.do(ctx, addr, Request{Op: "register_batch", Digests: batch}, c.timeout(), true)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("ishare: register_batch failed: %s", resp.Error)
+	}
+	return nil
+}
+
+// HeartbeatBatch refreshes liveness (and any carried digests) for a batch
+// of nodes on one shard. It returns the names the shard does not know —
+// after a shard restart, exactly those need re-registration.
+func (c *Client) HeartbeatBatch(ctx context.Context, addr string, batch []NodeDigest) ([]string, error) {
+	resp, err := c.do(ctx, addr, Request{Op: "heartbeat_batch", Digests: batch}, c.timeout(), true)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("ishare: heartbeat_batch failed: %s", resp.Error)
+	}
+	return resp.Missing, nil
 }
 
 // AliveNodes returns only the nodes whose FGCS service is responding.

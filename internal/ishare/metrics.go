@@ -54,6 +54,8 @@ var requestSecondsBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 
 type brokerMetrics struct {
 	staleServes     *obs.Counter
 	registryErrors  *obs.Counter
+	shardErrors     *obs.Counter
+	gossipServes    *obs.Counter
 	infoFailures    *obs.Counter
 	failovers       *obs.Counter
 	sameNodeRetries *obs.Counter
@@ -62,12 +64,15 @@ type brokerMetrics struct {
 	submissions     *obs.Counter
 	completions     *obs.Counter
 	submitSeconds   *obs.Histogram
+	discoverSeconds *obs.Histogram
 }
 
 func newBrokerMetrics(r *obs.Registry) *brokerMetrics {
 	return &brokerMetrics{
-		staleServes:     r.Counter("fgcs_broker_stale_serves_total", "candidate lists served from the cached node list during registry partitions"),
-		registryErrors:  r.Counter("fgcs_broker_registry_errors_total", "discovery attempts that failed with no usable cache"),
+		staleServes:     r.Counter("fgcs_broker_stale_serves_total", "per-shard candidate lists served from the cached node list during registry partitions"),
+		registryErrors:  r.Counter("fgcs_broker_registry_errors_total", "discovery attempts that failed with no usable cache on any shard"),
+		shardErrors:     r.Counter("fgcs_broker_shard_errors_total", "individual shard list calls that failed during fan-out discovery"),
+		gossipServes:    r.Counter("fgcs_broker_gossip_serves_total", "candidate lists served from the gossip store with every registry shard unreachable"),
 		infoFailures:    r.Counter("fgcs_broker_info_failures_total", "alive-listed nodes whose Info query failed"),
 		failovers:       r.Counter("fgcs_broker_failovers_total", "submissions moved to the next candidate after a transport failure"),
 		sameNodeRetries: r.Counter("fgcs_broker_same_node_retries_total", "dedup-safe immediate retries on the same node after a dropped response"),
@@ -76,6 +81,24 @@ func newBrokerMetrics(r *obs.Registry) *brokerMetrics {
 		submissions:     r.Counter("fgcs_broker_submissions_total", "SubmitBest calls"),
 		completions:     r.Counter("fgcs_broker_completions_total", "SubmitBest calls that returned a completed job"),
 		submitSeconds:   r.Histogram("fgcs_broker_submit_seconds", "wall time of one SubmitBest call", requestSecondsBuckets),
+		discoverSeconds: r.Histogram("fgcs_broker_discover_seconds", "wall time of one fan-out discovery across all shards", requestSecondsBuckets),
+	}
+}
+
+// gossipMetrics count a gossiper's anti-entropy traffic.
+type gossipMetrics struct {
+	exchanges *obs.Counter
+	serves    *obs.Counter
+	failures  *obs.Counter
+	merged    *obs.Counter
+}
+
+func newGossipMetrics(r *obs.Registry) *gossipMetrics {
+	return &gossipMetrics{
+		exchanges: r.Counter("fgcs_gossip_exchanges_total", "successful outgoing push-pull exchanges"),
+		serves:    r.Counter("fgcs_gossip_serves_total", "incoming gossip exchanges answered"),
+		failures:  r.Counter("fgcs_gossip_failures_total", "outgoing exchanges that failed transport or protocol"),
+		merged:    r.Counter("fgcs_gossip_digests_merged_total", "digests accepted as news into the store"),
 	}
 }
 
@@ -145,6 +168,7 @@ func (m *nodeMetrics) job(name, outcome string) *obs.Counter {
 type registryMetrics struct {
 	requests  map[string]*obs.Counter
 	unknownHB *obs.Counter
+	batched   *obs.Counter
 	nodes     *obs.Gauge
 	alive     *obs.Gauge
 }
@@ -153,10 +177,11 @@ func newRegistryMetrics(r *obs.Registry) *registryMetrics {
 	m := &registryMetrics{
 		requests:  make(map[string]*obs.Counter),
 		unknownHB: r.Counter("fgcs_registry_unknown_heartbeats_total", "heartbeats from nodes the registry does not know"),
+		batched:   r.Counter("fgcs_registry_batched_entries_total", "node entries carried by register_batch and heartbeat_batch requests"),
 		nodes:     r.Gauge("fgcs_registry_nodes", "registered nodes"),
 		alive:     r.Gauge("fgcs_registry_alive_nodes", "nodes alive at the last list"),
 	}
-	for _, op := range []string{"register", "unregister", "heartbeat", "list", "unknown"} {
+	for _, op := range []string{"register", "register_batch", "unregister", "heartbeat", "heartbeat_batch", "list", "shardmap", "unknown"} {
 		m.requests[op] = r.Counter("fgcs_registry_requests_total", "registry exchanges by operation", obs.L("op", op))
 	}
 	return m

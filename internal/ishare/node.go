@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -33,8 +34,19 @@ type NodeConfig struct {
 	InteractiveHost bool
 	// RegistryAddr, when set, makes the node register and heartbeat.
 	RegistryAddr string
+	// RegistryAddrs lists the shards of a scaled-out registry; the node
+	// routes its registration and heartbeats to the shard owning its name
+	// on the consistent-hash ring. When set it takes precedence over
+	// RegistryAddr.
+	RegistryAddrs []string
 	// HeartbeatEvery is the wall-clock heartbeat interval.
 	HeartbeatEvery time.Duration
+	// HeartbeatJitter spreads each heartbeat interval (and each backoff
+	// step) by ±this fraction, deseeding the synchronized heartbeat bursts
+	// a fleet restarted together would otherwise aim at one shard. The
+	// node's own name seeds the jitter, so a given node's schedule is
+	// reproducible. Default 0.1; negative disables.
+	HeartbeatJitter float64
 	// HeartbeatMaxBackoff caps the backoff between heartbeat attempts
 	// while the registry is unreachable (default 16× HeartbeatEvery).
 	// Local jobs keep running throughout; the node re-registers with
@@ -47,6 +59,11 @@ type NodeConfig struct {
 	Dialer Dialer
 	// Limits bounds each served protocol exchange.
 	Limits Limits
+	// Gossip, when set, enables peer-to-peer availability gossip: the node
+	// answers "gossip" exchanges and (if the config carries an Interval)
+	// runs its own anti-entropy loop. Self, Dialer and Limits default to
+	// the node's own.
+	Gossip *GossipConfig
 	// CrashAtVirtual, when positive, is a fault-injection hook: the node
 	// crashes — drops in-flight connections without replying, stops
 	// heartbeating and closes its listener — the first time its virtual
@@ -78,6 +95,15 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.HeartbeatMaxBackoff == 0 {
 		c.HeartbeatMaxBackoff = 16 * c.HeartbeatEvery
 	}
+	if c.HeartbeatJitter == 0 {
+		c.HeartbeatJitter = 0.1
+	}
+	if c.HeartbeatJitter < 0 {
+		c.HeartbeatJitter = 0
+	}
+	if len(c.RegistryAddrs) > 0 {
+		c.RegistryAddr = "" // shard routing owns registry traffic
+	}
 	if c.MaxJobVirtual == 0 {
 		c.MaxJobVirtual = 24 * time.Hour
 	}
@@ -87,19 +113,25 @@ func (c NodeConfig) withDefaults() NodeConfig {
 // Node is a published FGCS resource: a machine plus the non-intrusive
 // monitoring stack, reachable over TCP.
 type Node struct {
-	cfg NodeConfig
-	met *nodeMetrics // nil when NodeConfig.Metrics is nil
-	log *slog.Logger
+	cfg    NodeConfig
+	met    *nodeMetrics // nil when NodeConfig.Metrics is nil
+	log    *slog.Logger
+	ring   *ShardRing // nil for single-registry deployments
+	gossip *Gossiper  // nil unless NodeConfig.Gossip is set
+	hbRand *rand.Rand // heartbeat jitter source, seeded by the node name
 
-	mu      sync.Mutex
-	machine *simos.Machine
-	sampler *monitor.MachineSampler
-	mon     *monitor.Monitor
-	det     *availability.Detector
-	host    *simos.Process
-	crashed bool
-	done    map[string]JobResult
-	execs   map[string]int
+	mu        sync.Mutex
+	machine   *simos.Machine
+	sampler   *monitor.MachineSampler
+	mon       *monitor.Monitor
+	det       *availability.Detector
+	host      *simos.Process
+	crashed   bool
+	done      map[string]JobResult
+	execs     map[string]int
+	lastState string
+	lastLoad  float64
+	gen       int64
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -127,15 +159,25 @@ func NewNode(addr string, cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("ishare: node listen: %w", err)
 	}
 	n := &Node{
-		cfg:     cfg,
-		log:     loggerOrDiscard(cfg.Logger).With("node", cfg.Name),
-		machine: machine,
-		mon:     mon,
-		det:     det,
-		ln:      ln,
-		done:    make(map[string]JobResult),
-		execs:   make(map[string]int),
-		closed:  make(chan struct{}),
+		cfg:       cfg,
+		log:       loggerOrDiscard(cfg.Logger).With("node", cfg.Name),
+		hbRand:    rand.New(rand.NewSource(int64(fnv64a(cfg.Name)))),
+		machine:   machine,
+		mon:       mon,
+		det:       det,
+		ln:        ln,
+		done:      make(map[string]JobResult),
+		execs:     make(map[string]int),
+		lastState: det.State().String(),
+		gen:       1,
+		closed:    make(chan struct{}),
+	}
+	if len(cfg.RegistryAddrs) > 0 {
+		n.ring, err = NewShardRing(cfg.RegistryAddrs, 0)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
 	}
 	if cfg.Metrics != nil {
 		n.met = newNodeMetrics(cfg.Metrics, cfg.Name)
@@ -143,10 +185,26 @@ func NewNode(addr string, cfg NodeConfig) (*Node, error) {
 	n.sampler = monitor.NewMachineSampler(machine)
 	n.setHostLocked(cfg.HostLoad, 300*simos.MB)
 
+	if cfg.Gossip != nil {
+		gcfg := *cfg.Gossip
+		gcfg.Self = n.selfDigest
+		if gcfg.Dialer == nil {
+			gcfg.Dialer = cfg.Dialer
+		}
+		if gcfg.Limits == (Limits{}) {
+			gcfg.Limits = cfg.Limits
+		}
+		if gcfg.Seed == 0 {
+			gcfg.Seed = int64(fnv64a(cfg.Name))
+		}
+		n.gossip = NewGossiper(gcfg)
+		n.gossip.Start()
+	}
+
 	n.wg.Add(1)
 	go n.acceptLoop()
 
-	if cfg.RegistryAddr != "" {
+	if n.hasRegistry() {
 		if err := n.register(); err != nil {
 			n.Close()
 			return nil, err
@@ -155,6 +213,47 @@ func NewNode(addr string, cfg NodeConfig) (*Node, error) {
 		go n.heartbeatLoop()
 	}
 	return n, nil
+}
+
+// hasRegistry reports whether the node was configured to publish itself.
+func (n *Node) hasRegistry() bool {
+	return n.cfg.RegistryAddr != "" || n.ring != nil
+}
+
+// registryAddr resolves where this node's registry traffic goes: the ring
+// shard owning its name, or the single configured registry.
+func (n *Node) registryAddr() string {
+	if n.ring != nil {
+		return n.ring.Addr(n.cfg.Name)
+	}
+	return n.cfg.RegistryAddr
+}
+
+// Gossiper returns the node's gossip store (nil unless enabled).
+func (n *Node) Gossiper() *Gossiper { return n.gossip }
+
+// selfDigest is the node's own availability digest: its last observed
+// state and host load, with a generation that advances on state changes.
+func (n *Node) selfDigest() NodeDigest {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return NodeDigest{
+		Name: n.cfg.Name, Addr: n.Addr(),
+		State: n.lastState, Load: n.lastLoad, Gen: n.gen,
+		UnixMS: time.Now().UnixMilli(),
+	}
+}
+
+// noteStateLocked records the latest availability observation for
+// heartbeat digests and gossip; the generation advances when the state
+// class changes. Caller holds n.mu.
+func (n *Node) noteStateLocked(state availability.State, hostCPU float64) {
+	s := state.String()
+	if s != n.lastState {
+		n.gen++
+	}
+	n.lastState = s
+	n.lastLoad = hostCPU
 }
 
 // Addr returns the node's dial address.
@@ -171,6 +270,9 @@ func (n *Node) Close() error {
 	close(n.closed)
 	err := n.ln.Close()
 	n.wg.Wait()
+	if n.gossip != nil {
+		n.gossip.Close()
+	}
 	return err
 }
 
@@ -187,14 +289,23 @@ func (n *Node) ExecutionCounts() map[string]int {
 	return out
 }
 
-// rpc sends one registry-bound request through the node's dialer.
+// rpc sends one registry-bound request through the node's dialer to the
+// shard owning this node's name.
 func (n *Node) rpc(req Request, timeout time.Duration) (*Response, error) {
 	lim := n.cfg.Limits.withDefaults()
-	return roundTrip(context.Background(), n.cfg.Dialer, n.cfg.RegistryAddr, req, timeout, lim.MaxMessageBytes)
+	return roundTrip(context.Background(), n.cfg.Dialer, n.registryAddr(), req, timeout, lim.MaxMessageBytes)
+}
+
+// digestFields stamps the node's current availability digest onto a
+// registry-bound request so discovery can rank it without an Info query.
+func (n *Node) digestFields(req Request) Request {
+	d := n.selfDigest()
+	req.State, req.Load, req.Gen = d.State, d.Load, d.Gen
+	return req
 }
 
 func (n *Node) register() error {
-	resp, err := n.rpc(Request{Op: "register", Name: n.cfg.Name, Addr: n.Addr()}, 2*time.Second)
+	resp, err := n.rpc(n.digestFields(Request{Op: "register", Name: n.cfg.Name, Addr: n.Addr()}), 2*time.Second)
 	if err != nil {
 		return err
 	}
@@ -202,6 +313,22 @@ func (n *Node) register() error {
 		return fmt.Errorf("ishare: register rejected: %s", resp.Error)
 	}
 	return nil
+}
+
+// jitterHB spreads one heartbeat delay by ±HeartbeatJitter.
+func (n *Node) jitterHB(d time.Duration) time.Duration {
+	f := n.cfg.HeartbeatJitter
+	if f <= 0 || d <= 0 {
+		return d
+	}
+	// u in [-1, 1): the node-name-seeded source makes the schedule
+	// reproducible per node while decorrelating nodes from each other.
+	u := 2*n.hbRand.Float64() - 1
+	j := time.Duration(float64(d) * (1 + f*u))
+	if j <= 0 {
+		j = time.Millisecond
+	}
+	return j
 }
 
 // heartbeatLoop keeps the registry's liveness view fresh. When the
@@ -213,7 +340,7 @@ func (n *Node) heartbeatLoop() {
 	defer n.wg.Done()
 	interval := n.cfg.HeartbeatEvery
 	fails := 0
-	timer := time.NewTimer(interval)
+	timer := time.NewTimer(n.jitterHB(interval))
 	defer timer.Stop()
 	for {
 		select {
@@ -221,7 +348,7 @@ func (n *Node) heartbeatLoop() {
 			return
 		case <-timer.C:
 		}
-		resp, err := n.rpc(Request{Op: "heartbeat", Name: n.cfg.Name}, time.Second)
+		resp, err := n.rpc(n.digestFields(Request{Op: "heartbeat", Name: n.cfg.Name}), time.Second)
 		switch {
 		case err != nil:
 			fails++
@@ -252,7 +379,7 @@ func (n *Node) heartbeatLoop() {
 				next = n.cfg.HeartbeatMaxBackoff
 			}
 		}
-		timer.Reset(next)
+		timer.Reset(n.jitterHB(next))
 	}
 }
 
@@ -333,6 +460,11 @@ func (n *Node) handle(req Request) *Response {
 			return &Response{OK: false, Error: "submit requires a job"}
 		}
 		return n.submit(*req.Job, req.Trace)
+	case "gossip":
+		if n.gossip == nil {
+			return &Response{OK: false, Error: "gossip not enabled"}
+		}
+		return n.gossip.HandleRequest(req)
 	default:
 		return &Response{OK: false, Error: "unknown op " + req.Op}
 	}
@@ -348,6 +480,7 @@ func (n *Node) info() *Response {
 	}
 	obs := n.mon.Observe(n.sampler.Sample())
 	state, _ := n.det.Observe(obs)
+	n.noteStateLocked(state, obs.HostCPU)
 	if n.met != nil {
 		n.met.state.Set(float64(state))
 	}
@@ -413,6 +546,7 @@ func (n *Node) submit(spec JobSpec, trace string) *Response {
 		obs := n.mon.Observe(n.sampler.Sample())
 		var action availability.Action
 		state, action, _ = ctrl.Observe(obs)
+		n.noteStateLocked(state, obs.HostCPU)
 		if action == availability.ActionSuspend {
 			result.Suspensions++
 			if n.met != nil {

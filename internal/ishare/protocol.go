@@ -27,7 +27,8 @@ import (
 // Request is the single message type clients and nodes send.
 type Request struct {
 	// Op selects the action: "register", "unregister", "heartbeat",
-	// "list" (registry); "info", "submit", "sethost" (node).
+	// "register_batch", "heartbeat_batch", "list", "shardmap" (registry);
+	// "info", "submit", "sethost", "gossip" (node).
 	Op string `json:"op"`
 	// Name identifies a node (register/unregister/heartbeat).
 	Name string `json:"name,omitempty"`
@@ -39,11 +40,60 @@ type Request struct {
 	HostLoad float64 `json:"host_load,omitempty"`
 	// HostMemMB sets the node's synthetic host memory (sethost).
 	HostMemMB int64 `json:"host_mem_mb,omitempty"`
+	// State, Load and Gen are the availability digest a register or
+	// heartbeat may carry (see NodeDigest); a registry that receives them
+	// serves state-ranked discovery without per-node Info round trips.
+	// Absent fields leave the stored digest untouched, so old nodes keep
+	// working against new registries.
+	State string  `json:"state,omitempty"`
+	Load  float64 `json:"load,omitempty"`
+	Gen   int64   `json:"gen,omitempty"`
+	// Digests carries a batch of node states: the whole batch for
+	// register_batch and heartbeat_batch, the sender's view for gossip.
+	Digests []NodeDigest `json:"digests,omitempty"`
+	// Limit bounds a list response to the best Limit available nodes,
+	// ranked by digest state (S1 before S2 before unknown). Zero keeps the
+	// legacy behavior: every registered node, dead ones included.
+	Limit int `json:"limit,omitempty"`
 	// Trace correlates this exchange with the logical operation (usually a
 	// job placement) it belongs to: the client stamps the context's trace
 	// ID here and serving components log it, so one job's discovery,
 	// submissions, retries and failovers line up across process logs.
 	Trace string `json:"trace,omitempty"`
+}
+
+// NodeDigest is the compact availability summary the scale-out control
+// plane moves around: batched registrations and heartbeats carry them to
+// registry shards, and the gossip layer anti-entropy-exchanges them
+// between peers so placement survives losing every shard. Gen is the
+// node's own version counter; a digest with a higher Gen (ties broken by
+// the later UnixMS stamp) supersedes any older one for the same name.
+type NodeDigest struct {
+	Name  string  `json:"name"`
+	Addr  string  `json:"addr,omitempty"`
+	State string  `json:"state,omitempty"`
+	Load  float64 `json:"load,omitempty"`
+	Gen   int64   `json:"gen,omitempty"`
+	// UnixMS is the wall-clock stamp of the observation behind this
+	// digest; consumers bound staleness with it.
+	UnixMS int64 `json:"unix_ms,omitempty"`
+}
+
+// Newer reports whether d supersedes the other digest for the same node.
+func (d NodeDigest) Newer(o NodeDigest) bool {
+	if d.Gen != o.Gen {
+		return d.Gen > o.Gen
+	}
+	return d.UnixMS > o.UnixMS
+}
+
+// ShardMap is the versioned registry-shard list. Every shard of one
+// deployment serves the same map, so a client bootstrapped with any one
+// shard address can discover the full control plane; Gen lets a client
+// replace its map when the deployment is resharded.
+type ShardMap struct {
+	Gen    int64    `json:"gen"`
+	Shards []string `json:"shards"`
 }
 
 // JobSpec describes a guest job: a compute-bound batch program.
@@ -74,6 +124,12 @@ type NodeInfo struct {
 	Alive bool `json:"alive"`
 	// LastSeenMS is the wall-clock time of the last heartbeat.
 	LastSeenMS int64 `json:"last_seen_ms"`
+	// State, Load and Gen echo the node's last reported availability
+	// digest. State is empty for nodes that never reported one (legacy
+	// agents); a broker falls back to a per-node Info query for those.
+	State string  `json:"state,omitempty"`
+	Load  float64 `json:"load,omitempty"`
+	Gen   int64   `json:"gen,omitempty"`
 }
 
 // NodeStatus is a node's self-report.
@@ -118,6 +174,13 @@ type Response struct {
 	Nodes []NodeInfo  `json:"nodes,omitempty"`
 	Info  *NodeStatus `json:"info,omitempty"`
 	Job   *JobResult  `json:"job,omitempty"`
+	// Digests is the peer's view in a gossip exchange.
+	Digests []NodeDigest `json:"digests,omitempty"`
+	// Missing names the heartbeat_batch entries the registry does not
+	// know, so the sender can re-register exactly those.
+	Missing []string `json:"missing,omitempty"`
+	// ShardMap answers a shardmap request.
+	ShardMap *ShardMap `json:"shard_map,omitempty"`
 }
 
 // roundTrip dials addr through d, sends one request and reads one bounded

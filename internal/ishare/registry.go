@@ -13,14 +13,27 @@ import (
 // Registry is the publication/discovery service: nodes register and
 // heartbeat; clients list published resources. A node whose heartbeats
 // stop for longer than the TTL is reported dead — the URR signal.
+//
+// At fleet scale a registry is one shard of the control plane: node IDs
+// are assigned to shards by a ShardRing, every shard serves the same
+// versioned ShardMap for bootstrap, and registrations and heartbeats may
+// arrive in batches carrying availability digests. Discovery with a
+// Limit is served from per-score buckets — S1 nodes, then S2, then nodes
+// with no digest — so a ranked candidate list costs O(limit), not a scan
+// of every registered node.
 type Registry struct {
 	ttl time.Duration
 	lim Limits
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	nodes map[string]*registryEntry
-	met   *registryMetrics // nil until Instrument
-	log   *slog.Logger     // nil until Instrument
+	// buckets index alive-or-not entries by digest score (see digestScore):
+	// 0 = S1, 1 = S2, 2 = no digest, 3 = unavailable (S3–S5). Ranked
+	// discovery walks buckets 0..2 and stops at Limit.
+	buckets  [4]map[string]*registryEntry
+	shardMap *ShardMap
+	met      *registryMetrics // nil until Instrument
+	log      *slog.Logger     // nil until Instrument
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -30,6 +43,22 @@ type Registry struct {
 type registryEntry struct {
 	info     NodeInfo
 	lastSeen time.Time
+	bucket   int
+}
+
+// digestScore buckets a reported state for ranked discovery: S1 hosts
+// guests at full speed, S2 at lowest priority, an empty state means the
+// node never reported a digest (a legacy agent the broker must Info-query)
+// and anything else cannot host a guest at all.
+func digestScore(state string) int {
+	switch s := rankState(state); {
+	case s >= 0:
+		return s
+	case state == "":
+		return 2
+	default:
+		return 3
+	}
 }
 
 // NewRegistry starts a registry listening on addr (use "127.0.0.1:0" for
@@ -56,6 +85,9 @@ func NewRegistryWithLimits(addr string, ttl time.Duration, lim Limits) (*Registr
 		ln:     ln,
 		closed: make(chan struct{}),
 	}
+	for i := range r.buckets {
+		r.buckets[i] = make(map[string]*registryEntry)
+	}
 	r.wg.Add(1)
 	go r.acceptLoop()
 	return r, nil
@@ -63,6 +95,16 @@ func NewRegistryWithLimits(addr string, ttl time.Duration, lim Limits) (*Registr
 
 // Addr returns the registry's dial address.
 func (r *Registry) Addr() string { return r.ln.Addr().String() }
+
+// SetShardMap installs the versioned shard list this registry serves to
+// bootstrapping clients. Every shard of a deployment should carry the
+// same map; a single-registry deployment can leave it unset.
+func (r *Registry) SetShardMap(m ShardMap) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := ShardMap{Gen: m.Gen, Shards: append([]string(nil), m.Shards...)}
+	r.shardMap = &cp
+}
 
 // Instrument attaches an obs registry (per-op request counters, node and
 // alive-node gauges) and an optional structured logger. The metric
@@ -113,10 +155,51 @@ func (r *Registry) acceptLoop() {
 	}
 }
 
+// upsertLocked creates or refreshes the entry for d, keeping the score
+// bucket index consistent. A digest only replaces the stored one when it
+// is newer (higher Gen, later stamp); a bare heartbeat (empty digest)
+// refreshes liveness without touching the stored state.
+func (r *Registry) upsertLocked(d NodeDigest, now time.Time) {
+	e, ok := r.nodes[d.Name]
+	if !ok {
+		e = &registryEntry{info: NodeInfo{Name: d.Name}, bucket: -1}
+		r.nodes[d.Name] = e
+	}
+	if d.Addr != "" {
+		e.info.Addr = d.Addr
+	}
+	if d.State != "" {
+		stored := NodeDigest{Gen: e.info.Gen, UnixMS: e.lastSeen.UnixMilli()}
+		if e.info.State == "" || d.Newer(stored) {
+			e.info.State = d.State
+			e.info.Load = d.Load
+			e.info.Gen = d.Gen
+		}
+	}
+	e.lastSeen = now
+	want := digestScore(e.info.State)
+	if want != e.bucket {
+		if e.bucket >= 0 {
+			delete(r.buckets[e.bucket], e.info.Name)
+		}
+		r.buckets[want][e.info.Name] = e
+		e.bucket = want
+	}
+}
+
+func (r *Registry) removeLocked(name string) {
+	if e, ok := r.nodes[name]; ok {
+		if e.bucket >= 0 {
+			delete(r.buckets[e.bucket], name)
+		}
+		delete(r.nodes, name)
+	}
+}
+
 func (r *Registry) handle(req Request) *Response {
-	r.mu.Lock()
+	r.mu.RLock()
 	met, log := r.met, r.log
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	if met != nil {
 		met.request(req.Op)
 	}
@@ -126,10 +209,7 @@ func (r *Registry) handle(req Request) *Response {
 			return &Response{OK: false, Error: "register requires name and addr"}
 		}
 		r.mu.Lock()
-		r.nodes[req.Name] = &registryEntry{
-			info:     NodeInfo{Name: req.Name, Addr: req.Addr},
-			lastSeen: time.Now(),
-		}
+		r.upsertLocked(NodeDigest{Name: req.Name, Addr: req.Addr, State: req.State, Load: req.Load, Gen: req.Gen}, time.Now())
 		n := len(r.nodes)
 		r.mu.Unlock()
 		if met != nil {
@@ -139,9 +219,27 @@ func (r *Registry) handle(req Request) *Response {
 			log.Info("node registered", "trace", req.Trace, "name", req.Name, "addr", req.Addr)
 		}
 		return &Response{OK: true}
+	case "register_batch":
+		for _, d := range req.Digests {
+			if d.Name == "" || d.Addr == "" {
+				return &Response{OK: false, Error: "register_batch requires name and addr on every digest"}
+			}
+		}
+		now := time.Now()
+		r.mu.Lock()
+		for _, d := range req.Digests {
+			r.upsertLocked(d, now)
+		}
+		n := len(r.nodes)
+		r.mu.Unlock()
+		if met != nil {
+			met.nodes.Set(float64(n))
+			met.batched.Add(uint64(len(req.Digests)))
+		}
+		return &Response{OK: true}
 	case "unregister":
 		r.mu.Lock()
-		delete(r.nodes, req.Name)
+		r.removeLocked(req.Name)
 		n := len(r.nodes)
 		r.mu.Unlock()
 		if met != nil {
@@ -152,10 +250,11 @@ func (r *Registry) handle(req Request) *Response {
 		}
 		return &Response{OK: true}
 	case "heartbeat":
+		now := time.Now()
 		r.mu.Lock()
-		e, ok := r.nodes[req.Name]
+		_, ok := r.nodes[req.Name]
 		if ok {
-			e.lastSeen = time.Now()
+			r.upsertLocked(NodeDigest{Name: req.Name, State: req.State, Load: req.Load, Gen: req.Gen}, now)
 		}
 		r.mu.Unlock()
 		if !ok {
@@ -168,9 +267,32 @@ func (r *Registry) handle(req Request) *Response {
 			return &Response{OK: false, Error: "unknown node " + req.Name}
 		}
 		return &Response{OK: true}
-	case "list":
+	case "heartbeat_batch":
 		now := time.Now()
+		var missing []string
 		r.mu.Lock()
+		for _, d := range req.Digests {
+			if _, ok := r.nodes[d.Name]; !ok {
+				missing = append(missing, d.Name)
+				continue
+			}
+			d.Addr = "" // liveness refresh, not re-registration
+			r.upsertLocked(d, now)
+		}
+		r.mu.Unlock()
+		if met != nil {
+			met.batched.Add(uint64(len(req.Digests)))
+			if len(missing) > 0 {
+				met.unknownHB.Add(uint64(len(missing)))
+			}
+		}
+		return &Response{OK: true, Missing: missing}
+	case "list":
+		if req.Limit > 0 {
+			return r.listRanked(req.Limit)
+		}
+		now := time.Now()
+		r.mu.RLock()
 		nodes := make([]NodeInfo, 0, len(r.nodes))
 		alive := 0
 		for _, e := range r.nodes {
@@ -182,12 +304,75 @@ func (r *Registry) handle(req Request) *Response {
 			info.LastSeenMS = e.lastSeen.UnixMilli()
 			nodes = append(nodes, info)
 		}
-		r.mu.Unlock()
+		r.mu.RUnlock()
 		if met != nil {
 			met.alive.Set(float64(alive))
 		}
 		return &Response{OK: true, Nodes: nodes}
+	case "shardmap":
+		r.mu.RLock()
+		m := r.shardMap
+		r.mu.RUnlock()
+		if m == nil {
+			return &Response{OK: false, Error: "no shard map configured"}
+		}
+		cp := ShardMap{Gen: m.Gen, Shards: append([]string(nil), m.Shards...)}
+		return &Response{OK: true, ShardMap: &cp}
 	default:
 		return &Response{OK: false, Error: "unknown op " + req.Op}
 	}
+}
+
+// listRanked serves discovery: up to limit alive nodes from the best
+// available score buckets. It walks S1, then S2, then digest-less entries
+// and stops as soon as limit candidates are found, so its cost is bounded
+// by the limit (plus dead entries skipped along the way), not by the
+// shard's total population — the property that keeps discovery flat as a
+// shard grows to hundreds of thousands of nodes. Within one bucket the
+// choice among alive nodes is map-order arbitrary: every returned S1 node
+// is as good as any other under the paper's placement rule, which ranks
+// by state class. The response itself is ordered (state, load, name) so
+// callers merge deterministically ranked lists.
+func (r *Registry) listRanked(limit int) *Response {
+	now := time.Now()
+	nodes := make([]NodeInfo, 0, limit)
+	r.mu.RLock()
+	for score := 0; score <= 2 && len(nodes) < limit; score++ {
+		for _, e := range r.buckets[score] {
+			if now.Sub(e.lastSeen) > r.ttl {
+				continue
+			}
+			info := e.info
+			info.Alive = true
+			info.LastSeenMS = e.lastSeen.UnixMilli()
+			nodes = append(nodes, info)
+			if len(nodes) >= limit {
+				break
+			}
+		}
+	}
+	r.mu.RUnlock()
+	sortCandidateInfos(nodes)
+	return &Response{OK: true, Nodes: nodes}
+}
+
+// sortCandidateInfos orders a ranked discovery response best-first:
+// digest score, then load, then name.
+func sortCandidateInfos(nodes []NodeInfo) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && candidateInfoLess(nodes[j], nodes[j-1]); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}
+
+func candidateInfoLess(a, b NodeInfo) bool {
+	sa, sb := digestScore(a.State), digestScore(b.State)
+	if sa != sb {
+		return sa < sb
+	}
+	if a.Load != b.Load {
+		return a.Load < b.Load
+	}
+	return a.Name < b.Name
 }

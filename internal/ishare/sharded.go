@@ -1,0 +1,95 @@
+package ishare
+
+import (
+	"fmt"
+	"log/slog"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ShardedRegistry runs N registry shards in one process and wires them
+// into a consistent-hash ring: the in-process deployment shape used by
+// tests, the load driver and the demo. Each shard is a full Registry on
+// its own listener serving the shared versioned ShardMap, so a client
+// bootstrapped from any one shard address discovers all of them; nothing
+// distinguishes these shards from N separately deployed processes with
+// the same map.
+type ShardedRegistry struct {
+	shards []*Registry
+	ring   *ShardRing
+}
+
+// NewShardedRegistry starts n registry shards on ephemeral loopback ports
+// with the given heartbeat TTL and per-exchange limits, and installs the
+// generation-1 shard map on every shard.
+func NewShardedRegistry(n int, ttl time.Duration, lim Limits) (*ShardedRegistry, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ishare: sharded registry needs at least one shard, got %d", n)
+	}
+	s := &ShardedRegistry{}
+	for i := 0; i < n; i++ {
+		reg, err := NewRegistryWithLimits("127.0.0.1:0", ttl, lim)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.shards = append(s.shards, reg)
+	}
+	addrs := s.Addrs()
+	ring, err := NewShardRing(addrs, 0)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.ring = ring
+	m := ShardMap{Gen: 1, Shards: addrs}
+	for _, reg := range s.shards {
+		reg.SetShardMap(m)
+	}
+	return s, nil
+}
+
+// Addrs returns the shard dial addresses in shard order.
+func (s *ShardedRegistry) Addrs() []string {
+	out := make([]string, len(s.shards))
+	for i, reg := range s.shards {
+		out[i] = reg.Addr()
+	}
+	return out
+}
+
+// N returns the shard count.
+func (s *ShardedRegistry) N() int { return len(s.shards) }
+
+// Shard returns the i-th shard.
+func (s *ShardedRegistry) Shard(i int) *Registry { return s.shards[i] }
+
+// Ring returns the consistent-hash ring over the shard addresses.
+func (s *ShardedRegistry) Ring() *ShardRing { return s.ring }
+
+// Owner returns the shard index owning the given node ID.
+func (s *ShardedRegistry) Owner(nodeID string) int { return s.ring.Owner(nodeID) }
+
+// Instrument attaches an obs registry and logger to every shard. Shard
+// metrics share one family; per-shard resolution comes from running the
+// shards in separate processes, which is the production shape.
+func (s *ShardedRegistry) Instrument(reg *obs.Registry, logger *slog.Logger) {
+	for _, r := range s.shards {
+		r.Instrument(reg, logger)
+	}
+}
+
+// Close stops every shard.
+func (s *ShardedRegistry) Close() error {
+	var first error
+	for _, reg := range s.shards {
+		if reg == nil {
+			continue
+		}
+		if err := reg.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,403 @@
+package ishare
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// newTestRand mirrors the node's name-seeded jitter source.
+func newTestRand(name string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(fnv64a(name))))
+}
+
+func startSharded(t *testing.T, n int, ttl time.Duration) *ShardedRegistry {
+	t.Helper()
+	s, err := NewShardedRegistry(n, ttl, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// nowMS keeps digest timestamps fresh relative to broker TTL checks.
+func nowMS() int64 { return time.Now().UnixMilli() }
+
+func TestRegisterBatchAndRankedList(t *testing.T) {
+	reg := startRegistry(t, time.Minute)
+	c := fastClient(reg.Addr())
+	batch := []NodeDigest{
+		{Name: "busy", Addr: "10.0.0.3:1", State: "S2(lowest-priority)", Load: 0.6, Gen: 1, UnixMS: nowMS()},
+		{Name: "idle", Addr: "10.0.0.1:1", State: "S1(full)", Load: 0.1, Gen: 1, UnixMS: nowMS()},
+		{Name: "gone", Addr: "10.0.0.4:1", State: "S5(machine-unavail)", Gen: 1, UnixMS: nowMS()},
+		{Name: "warm", Addr: "10.0.0.2:1", State: "S1(full)", Load: 0.3, Gen: 1, UnixMS: nowMS()},
+	}
+	if err := c.RegisterBatch(ctx, reg.Addr(), batch); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ranked form: alive S1/S2 nodes only, best class first, load as
+	// the tiebreak, and the unavailable node excluded.
+	ranked, err := c.ListShard(ctx, reg.Addr(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, n := range ranked {
+		names = append(names, n.Name)
+	}
+	if got := strings.Join(names, ","); got != "idle,warm,busy" {
+		t.Fatalf("ranked list = %s, want idle,warm,busy", got)
+	}
+
+	// The limit truncates from the best end.
+	top, err := c.ListShard(ctx, reg.Addr(), 1)
+	if err != nil || len(top) != 1 || top[0].Name != "idle" {
+		t.Fatalf("limit=1 list = %+v, %v", top, err)
+	}
+
+	// The legacy full listing still returns everything, S5 included.
+	all, err := c.ListShard(ctx, reg.Addr(), 0)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("full list = %+v, %v", all, err)
+	}
+}
+
+func TestRegisterBatchRejectsIncompleteEntries(t *testing.T) {
+	reg := startRegistry(t, time.Minute)
+	c := fastClient(reg.Addr())
+	err := c.RegisterBatch(ctx, reg.Addr(), []NodeDigest{{Name: "ok", Addr: "10.0.0.1:1"}, {Name: "no-addr"}})
+	if err == nil {
+		t.Fatal("batch with an addressless entry accepted")
+	}
+}
+
+func TestHeartbeatBatchReportsMissing(t *testing.T) {
+	reg := startRegistry(t, 100*time.Millisecond)
+	c := fastClient(reg.Addr())
+	if err := c.RegisterBatch(ctx, reg.Addr(), []NodeDigest{
+		{Name: "known", Addr: "10.0.0.1:1", State: "S1(full)", Gen: 1, UnixMS: nowMS()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := c.HeartbeatBatch(ctx, reg.Addr(), []NodeDigest{
+		{Name: "known", State: "S2(lowest-priority)", Gen: 2, UnixMS: nowMS()},
+		{Name: "stranger", Gen: 1, UnixMS: nowMS()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || missing[0] != "stranger" {
+		t.Fatalf("missing = %v, want [stranger]", missing)
+	}
+	// The carried digest updated the known node's state.
+	ranked, err := c.ListShard(ctx, reg.Addr(), 10)
+	if err != nil || len(ranked) != 1 || !strings.HasPrefix(ranked[0].State, "S2") {
+		t.Fatalf("ranked after digest heartbeat = %+v, %v", ranked, err)
+	}
+}
+
+func TestShardMapBootstrap(t *testing.T) {
+	s := startSharded(t, 3, time.Minute)
+	c := &Client{Timeout: time.Second}
+	// Any single shard address bootstraps the full map.
+	m, err := c.FetchShardMap(ctx, s.Addrs()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gen != 1 || len(m.Shards) != 3 {
+		t.Fatalf("shard map = %+v", m)
+	}
+	c.Shards = m.Shards
+	if got := len(c.ShardAddrs()); got != 3 {
+		t.Fatalf("ShardAddrs = %d, want 3", got)
+	}
+}
+
+func TestShardedListMergesAllShards(t *testing.T) {
+	s := startSharded(t, 3, time.Minute)
+	c := &Client{Shards: s.Addrs(), Timeout: time.Second}
+	// Route each registration to the shard the ring says owns the name —
+	// exactly what the load driver does at scale.
+	byShard := make(map[int][]NodeDigest)
+	for i := 0; i < 30; i++ {
+		name := fmt.Sprintf("node-%02d", i)
+		own := s.Owner(name)
+		byShard[own] = append(byShard[own], NodeDigest{
+			Name: name, Addr: fmt.Sprintf("10.0.%d.%d:1", own, i),
+			State: "S1(full)", Gen: 1, UnixMS: nowMS(),
+		})
+	}
+	spread := 0
+	for own, batch := range byShard {
+		if err := c.RegisterBatch(ctx, s.Addrs()[own], batch); err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("ring sent all 30 nodes to %d shard(s); want spread", spread)
+	}
+	all, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 30 {
+		t.Fatalf("merged list has %d nodes, want 30", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name > all[i].Name {
+			t.Fatalf("merged list unsorted at %d: %q > %q", i, all[i-1].Name, all[i].Name)
+		}
+	}
+}
+
+func TestShardedBrokerMergesRankedCandidates(t *testing.T) {
+	s := startSharded(t, 2, time.Minute)
+	c := &Client{Shards: s.Addrs(), Timeout: time.Second}
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("node-%02d", i)
+		state := "S1(full)"
+		if i%3 == 0 {
+			state = "S2(lowest-priority)"
+		}
+		d := NodeDigest{Name: name, Addr: fmt.Sprintf("10.1.0.%d:1", i),
+			State: state, Load: float64(i) / 20, Gen: 1, UnixMS: nowMS()}
+		if err := c.RegisterBatch(ctx, s.Addrs()[s.Owner(name)], []NodeDigest{d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := &Broker{Client: c, DiscoverLimit: 10}
+	cands, err := b.Candidates(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 12 {
+		t.Fatalf("got %d candidates, want 12", len(cands))
+	}
+	// Digest ranking: no Info round trips were possible (the addresses are
+	// fake), and the order is S1 before S2, ascending load within a class.
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Score > cands[i].Score {
+			t.Fatalf("candidates unsorted by score at %d: %+v", i, cands)
+		}
+		if cands[i-1].Score == cands[i].Score && cands[i-1].Node.Load > cands[i].Node.Load {
+			t.Fatalf("candidates unsorted by load at %d: %+v", i, cands)
+		}
+	}
+	if m := b.Metrics(); m.InfoFailures != 0 {
+		t.Fatalf("digest-ranked discovery dialed nodes: %+v", m)
+	}
+}
+
+func TestShardedBrokerServesStaleForLostShardOnly(t *testing.T) {
+	s := startSharded(t, 2, time.Minute)
+	c := &Client{Shards: s.Addrs(), Timeout: 300 * time.Millisecond,
+		Retry: RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Seed: 1}}
+	perShard := make([]int, 2)
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("node-%02d", i)
+		own := s.Owner(name)
+		perShard[own]++
+		d := NodeDigest{Name: name, Addr: fmt.Sprintf("10.2.0.%d:1", i),
+			State: "S1(full)", Gen: 1, UnixMS: nowMS()}
+		if err := c.RegisterBatch(ctx, s.Addrs()[own], []NodeDigest{d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if perShard[0] == 0 || perShard[1] == 0 {
+		t.Fatalf("ring did not spread nodes: %v", perShard)
+	}
+	b := &Broker{Client: c, DiscoverLimit: 16, CacheTTL: time.Minute}
+	if cands, err := b.Candidates(ctx); err != nil || len(cands) != 10 {
+		t.Fatalf("warm discovery = %d cands, %v", len(cands), err)
+	}
+
+	// Losing one shard must not lose the other shard's slice: its nodes
+	// come back from that shard's cache, marked stale.
+	s.Shard(0).Close()
+	cands, err := b.Candidates(ctx)
+	if err != nil {
+		t.Fatalf("discovery with one shard down: %v", err)
+	}
+	if len(cands) != 10 {
+		t.Fatalf("got %d candidates with one shard down, want 10 (live + cached)", len(cands))
+	}
+	m := b.Metrics()
+	if m.ShardErrors == 0 || m.StaleServes == 0 {
+		t.Fatalf("metrics after shard loss = %+v, want ShardErrors and StaleServes > 0", m)
+	}
+	if m.RegistryErrors != 0 {
+		t.Fatalf("partial shard loss counted as full discovery failure: %+v", m)
+	}
+}
+
+// A caller-supplied Obs registry must win even when the broker already
+// lazily created its private one — the counters move to the caller's
+// registry instead of silently vanishing into the private instance.
+func TestBrokerAdoptsLateObsRegistry(t *testing.T) {
+	reg := startRegistry(t, time.Minute)
+	b := &Broker{Client: fastClient(reg.Addr())}
+	// First use builds the lazy private registry.
+	if _, err := b.Candidates(ctx); err != nil {
+		t.Fatal(err)
+	}
+	private := b.Obs
+	if private == nil {
+		t.Fatal("no private registry was created")
+	}
+
+	// The demo-binary pattern: attach a shared registry after construction.
+	shared := obs.NewRegistry()
+	b.Obs = shared
+	reg.Close()
+	if _, err := b.Candidates(ctx); err == nil {
+		t.Fatal("discovery against a closed registry succeeded")
+	}
+	if b.Obs != shared {
+		t.Fatalf("broker replaced the caller's registry: %p != %p", b.Obs, shared)
+	}
+	errs := shared.Counter("fgcs_broker_registry_errors_total", "discovery attempts that failed with no usable cache on any shard")
+	if errs.Value() == 0 {
+		t.Fatal("counters did not move to the caller-supplied registry")
+	}
+	if m := b.Metrics(); m.RegistryErrors != int(errs.Value()) {
+		t.Fatalf("Metrics() = %+v not backed by the caller's registry (%d)", m, errs.Value())
+	}
+}
+
+func TestGossipMergeNewerWins(t *testing.T) {
+	g := NewGossiper(GossipConfig{})
+	defer g.Close()
+	g.Update(NodeDigest{Name: "n", Addr: "a:1", State: "S1(full)", Gen: 2, UnixMS: 100})
+	// Older generation loses.
+	if g.Merge([]NodeDigest{{Name: "n", State: "S5(machine-unavail)", Gen: 1, UnixMS: 999}}) != 0 {
+		t.Fatal("older generation merged as news")
+	}
+	// Same generation, later timestamp wins, and a digest without an
+	// address inherits the stored one.
+	if g.Merge([]NodeDigest{{Name: "n", State: "S2(lowest-priority)", Gen: 2, UnixMS: 200}}) != 1 {
+		t.Fatal("fresher same-generation digest rejected")
+	}
+	snap := g.Snapshot()
+	if len(snap) != 1 || snap[0].State != "S2(lowest-priority)" || snap[0].Addr != "a:1" {
+		t.Fatalf("store = %+v", snap)
+	}
+}
+
+func TestGossipExchangeBetweenNodes(t *testing.T) {
+	// Two nodes, no registry anywhere: availability state must still
+	// spread peer-to-peer.
+	a := startNode(t, NodeConfig{Name: "peer-a", HostLoad: 0.05, Gossip: &GossipConfig{}})
+	bNode := startNode(t, NodeConfig{Name: "peer-b", HostLoad: 0.05, Gossip: &GossipConfig{Peers: []string{a.Addr()}}})
+
+	if n := bNode.Gossiper().Tick(ctx); n != 1 {
+		t.Fatalf("tick exchanged with %d peers, want 1", n)
+	}
+	// Push-pull: b now knows a (from a's reply), and a knows b (from b's
+	// pushed self digest).
+	if got := digestNames(bNode.Gossiper().Snapshot()); !strings.Contains(got, "peer-a") {
+		t.Fatalf("b's store after exchange = %s, want peer-a", got)
+	}
+	if got := digestNames(a.Gossiper().Snapshot()); !strings.Contains(got, "peer-b") {
+		t.Fatalf("a's store after exchange = %s, want peer-b", got)
+	}
+}
+
+func digestNames(ds []NodeDigest) string {
+	var names []string
+	for _, d := range ds {
+		names = append(names, d.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+func TestGossipSpreadsTransitively(t *testing.T) {
+	// a <- b <- c seed chain: after two rounds c's state reaches a only
+	// through b. This is the epidemic property the broker fallback needs.
+	a := startNode(t, NodeConfig{Name: "hop-a", HostLoad: 0.05, Gossip: &GossipConfig{}})
+	bNode := startNode(t, NodeConfig{Name: "hop-b", HostLoad: 0.05, Gossip: &GossipConfig{Peers: []string{a.Addr()}}})
+	cNode := startNode(t, NodeConfig{Name: "hop-c", HostLoad: 0.05, Gossip: &GossipConfig{Peers: []string{bNode.Addr()}}})
+
+	cNode.Gossiper().Tick(ctx) // c -> b: b learns c
+	bNode.Gossiper().Tick(ctx) // b -> a: a learns b and c
+	if got := digestNames(a.Gossiper().Snapshot()); !strings.Contains(got, "hop-c") {
+		t.Fatalf("a's store = %s, want hop-c learned transitively", got)
+	}
+}
+
+func TestBrokerPlacesViaGossipWithAllShardsDown(t *testing.T) {
+	g := NewGossiper(GossipConfig{})
+	defer g.Close()
+	g.Update(NodeDigest{Name: "ghost", Addr: "10.3.0.1:1", State: "S1(full)", Gen: 1, UnixMS: nowMS()})
+	g.Update(NodeDigest{Name: "downed", Addr: "10.3.0.2:1", State: "S5(machine-unavail)", Gen: 1, UnixMS: nowMS()})
+	g.Update(NodeDigest{Name: "ancient", Addr: "10.3.0.3:1", State: "S1(full)", Gen: 1, UnixMS: 1}) // long past GossipTTL
+
+	reg := startRegistry(t, time.Minute)
+	addr := reg.Addr()
+	reg.Close() // every shard down, nothing ever cached
+	b := &Broker{
+		Client: &Client{RegistryAddr: addr, Timeout: 300 * time.Millisecond,
+			Retry: RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Seed: 1}},
+		DiscoverLimit: 8,
+		Gossip:        g,
+	}
+	cands, err := b.Candidates(ctx)
+	if err != nil {
+		t.Fatalf("gossip-backed discovery failed: %v", err)
+	}
+	if len(cands) != 1 || cands[0].Node.Name != "ghost" || !cands[0].Stale {
+		t.Fatalf("candidates = %+v, want exactly stale ghost (S5 and expired digests excluded)", cands)
+	}
+	if m := b.Metrics(); m.GossipServes == 0 {
+		t.Fatalf("metrics = %+v, want GossipServes > 0", m)
+	}
+}
+
+func TestHeartbeatJitterBoundsAndDeterminism(t *testing.T) {
+	mk := func(name string) *Node {
+		return &Node{cfg: NodeConfig{HeartbeatJitter: 0.2}, hbRand: newTestRand(name)}
+	}
+	base := 100 * time.Millisecond
+	a1, a2 := mk("alpha"), mk("alpha")
+	var diffFromBase bool
+	for i := 0; i < 100; i++ {
+		d1, d2 := a1.jitterHB(base), a2.jitterHB(base)
+		if d1 != d2 {
+			t.Fatalf("same-name jitter diverged at step %d: %v vs %v", i, d1, d2)
+		}
+		if d1 < 80*time.Millisecond || d1 > 120*time.Millisecond {
+			t.Fatalf("jittered interval %v outside ±20%% of %v", d1, base)
+		}
+		if d1 != base {
+			diffFromBase = true
+		}
+	}
+	if !diffFromBase {
+		t.Fatal("jitter never moved the interval")
+	}
+	// Different names must not share a schedule (that is the point).
+	alpha, beta := mk("alpha"), mk("beta")
+	same := true
+	for i := 0; i < 20; i++ {
+		if alpha.jitterHB(base) != beta.jitterHB(base) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two differently named nodes produced identical jitter schedules")
+	}
+	// Disabled jitter is the identity.
+	off := &Node{cfg: NodeConfig{HeartbeatJitter: -1}.withDefaults(), hbRand: newTestRand("x")}
+	if got := off.jitterHB(base); got != base {
+		t.Fatalf("disabled jitter returned %v, want %v", got, base)
+	}
+}

@@ -1,0 +1,146 @@
+package ishare
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardRingValidation(t *testing.T) {
+	if _, err := NewShardRing(nil, 0); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if _, err := NewShardRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty shard address accepted")
+	}
+	if _, err := NewShardRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate shard address accepted")
+	}
+}
+
+func TestShardRingSingleShardOwnsEverything(t *testing.T) {
+	ring, err := NewShardRing([]string{"only:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("node-%04d", i)
+		if ring.Owner(id) != 0 || ring.Addr(id) != "only:1" {
+			t.Fatalf("single-shard ring sent %q to shard %d (%s)", id, ring.Owner(id), ring.Addr(id))
+		}
+	}
+}
+
+// Two rings built from the same shard list must agree on every owner —
+// placement is a pure function of (shard list, node ID), which is what
+// lets nodes, brokers and load drivers route independently without
+// coordination. This also exercises the (hash, shard) tie-break: any
+// nondeterminism in equal-hash ordering would diverge here.
+func TestShardRingDeterministicAcrossInstances(t *testing.T) {
+	shards := []string{"s0:1", "s1:1", "s2:1", "s3:1", "s4:1"}
+	a, err := NewShardRing(shards, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewShardRing(shards, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		id := fmt.Sprintf("node-%05d", i)
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("rings disagree on %q: %d vs %d", id, a.Owner(id), b.Owner(id))
+		}
+	}
+}
+
+// Growing the ring from N to N+1 shards must remap roughly 1/(N+1) of the
+// keys, and every remapped key must land on the NEW shard — consistent
+// hashing's defining property. A modulo-based placement would remap ~N/(N+1).
+func TestShardRingRemapFractionOnGrowth(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 4, 8} {
+		shards := make([]string, n)
+		for i := range shards {
+			shards[i] = fmt.Sprintf("shard-%d:9", i)
+		}
+		before, err := NewShardRing(shards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown := append(append([]string(nil), shards...), fmt.Sprintf("shard-%d:9", n))
+		after, err := NewShardRing(grown, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < keys; i++ {
+			id := fmt.Sprintf("node-%06d", i)
+			oldOwner, newOwner := before.Owner(id), after.Owner(id)
+			if oldOwner == newOwner {
+				continue
+			}
+			if newOwner != n {
+				t.Fatalf("n=%d: %q moved shard %d -> %d, not to the new shard", n, id, oldOwner, newOwner)
+			}
+			moved++
+		}
+		frac := float64(moved) / keys
+		ideal := 1.0 / float64(n+1)
+		// 64 vnodes per shard keeps the arc sizes uneven enough that we
+		// allow 2x the ideal fraction, but never the ~n/(n+1) of modulo.
+		if frac > 2*ideal {
+			t.Errorf("n=%d: remapped %.3f of keys, want <= %.3f", n, frac, 2*ideal)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: no keys remapped to the new shard", n)
+		}
+	}
+}
+
+// Owner must be safe for concurrent readers (brokers, nodes and load
+// drivers share one ring); run with -race.
+func TestShardRingConcurrentReaders(t *testing.T) {
+	ring, err := NewShardRing([]string{"a:1", "b:1", "c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, 200)
+	for i := range want {
+		want[i] = ring.Owner(fmt.Sprintf("node-%d", i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range want {
+				if got := ring.Owner(fmt.Sprintf("node-%d", i)); got != want[i] {
+					t.Errorf("concurrent Owner(node-%d) = %d, want %d", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// The ring must spread keys across all shards (no starving arc).
+func TestShardRingBalance(t *testing.T) {
+	shards := []string{"s0:1", "s1:1", "s2:1", "s3:1"}
+	ring, err := NewShardRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(shards))
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[ring.Owner(fmt.Sprintf("node-%06d", i))]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("shard %d owns %.3f of keys (counts=%v), outside [0.10, 0.45]", i, frac, counts)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package loadgen drives the sharded ishare control plane with synthetic
+// fleets — hundreds of thousands to a million simulated nodes — and
+// measures what the paper's system section only sketches: how discovery,
+// registration and heartbeat latencies behave as the fine-grained cycle
+// sharing fleet and its registry scale. Nodes are simulated at the
+// protocol level (digest batches, not TCP listeners): their availability
+// states churn through the paper's five-state model while the registry,
+// ring and broker under test are the real production code paths.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config parameterizes one load run. The zero value is not runnable; see
+// Validate. Defaults are applied by Run.
+type Config struct {
+	// Nodes is the simulated fleet size (required).
+	Nodes int
+	// Shards is the registry shard count (default 1).
+	Shards int
+	// BatchSize is how many nodes ride one register/heartbeat batch
+	// request (default 1000, capped by protocol message limits).
+	BatchSize int
+	// HeartbeatRounds is how many full-fleet heartbeat sweeps to run
+	// (default 1). Each sweep re-draws availability states for a churn
+	// fraction of the fleet first.
+	HeartbeatRounds int
+	// ChurnFraction is the fraction of the fleet whose availability state
+	// is re-drawn (from the paper's stationary state distribution) before
+	// each heartbeat round (default 0.2).
+	ChurnFraction float64
+	// DiscoverOps is how many ranked fan-out discoveries to measure
+	// (default 200).
+	DiscoverOps int
+	// DiscoverLimit is the per-shard ranked candidate limit (default 32).
+	DiscoverLimit int
+	// Concurrency bounds the parallel workers driving batches and
+	// discoveries (default 8).
+	Concurrency int
+	// Partition enables a second discovery phase with PartitionShard
+	// chaos-partitioned, exercising the broker's per-shard stale cache.
+	Partition bool
+	// PartitionShard is the shard index cut off during the partition
+	// phase (default 0; only meaningful with Partition set).
+	PartitionShard int
+	// TTL is the registry heartbeat TTL (default 30 s — large, so the
+	// fleet stays alive across slow CI phases).
+	TTL time.Duration
+	// Seed makes fleet states and churn reproducible (default 1).
+	Seed int64
+	// SLO holds the latency objectives checked after the run; zero fields
+	// are ungated.
+	SLO SLO
+	// Obs, when set, receives the run's latency histograms
+	// (fgcs_loadgen_*_seconds) and fleet gauges. Nil keeps them private.
+	Obs *obs.Registry
+}
+
+// SLO are the latency objectives of a run. Register and heartbeat
+// latencies are per batch request; discovery latencies are per fan-out
+// Candidates call. Zero fields are not checked.
+type SLO struct {
+	RegisterP99  time.Duration
+	HeartbeatP99 time.Duration
+	DiscoverP50  time.Duration
+	DiscoverP99  time.Duration
+}
+
+// Validate checks the configuration without applying defaults: zero
+// means "default", negatives and inconsistencies are errors.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("loadgen: nodes must be positive, got %d", c.Nodes)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("loadgen: shards must not be negative, got %d", c.Shards)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("loadgen: batch size must not be negative, got %d", c.BatchSize)
+	}
+	if c.ChurnFraction < 0 || c.ChurnFraction > 1 {
+		return fmt.Errorf("loadgen: churn fraction must be within [0, 1], got %g", c.ChurnFraction)
+	}
+	if c.HeartbeatRounds < 0 {
+		return fmt.Errorf("loadgen: heartbeat rounds must not be negative, got %d", c.HeartbeatRounds)
+	}
+	if c.DiscoverOps < 0 {
+		return fmt.Errorf("loadgen: discover ops must not be negative, got %d", c.DiscoverOps)
+	}
+	if c.Concurrency < 0 {
+		return fmt.Errorf("loadgen: concurrency must not be negative, got %d", c.Concurrency)
+	}
+	if c.PartitionShard < 0 {
+		return fmt.Errorf("loadgen: partition shard must not be negative, got %d", c.PartitionShard)
+	}
+	if c.Partition {
+		shards := c.Shards
+		if shards == 0 {
+			shards = 1
+		}
+		if shards < 2 {
+			return fmt.Errorf("loadgen: partitioning needs at least 2 shards so discovery can degrade, got %d", shards)
+		}
+		if c.PartitionShard >= shards {
+			return fmt.Errorf("loadgen: partition shard %d out of range for %d shard(s)", c.PartitionShard, shards)
+		}
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1000
+	}
+	if c.HeartbeatRounds == 0 {
+		c.HeartbeatRounds = 1
+	}
+	if c.ChurnFraction == 0 {
+		c.ChurnFraction = 0.2
+	}
+	if c.DiscoverOps == 0 {
+		c.DiscoverOps = 200
+	}
+	if c.DiscoverLimit == 0 {
+		c.DiscoverLimit = 32
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 8
+	}
+	if c.TTL == 0 {
+		c.TTL = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}

@@ -1,0 +1,438 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/ishare"
+	"repro/internal/obs"
+)
+
+// paperStates is the stationary availability-state distribution the fleet
+// is drawn from, approximating the paper's empirical occupancy of the
+// five-state model (most machines fully available, a steady tail of
+// loaded and revoked ones). Churn re-draws from the same distribution,
+// which keeps the fleet's aggregate behavior stationary — the ergodic
+// framing under which the paper's multi-state availability model is fit.
+var paperStates = []struct {
+	state string
+	p     float64
+}{
+	{"S1(full)", 0.55},
+	{"S2(lowest-priority)", 0.20},
+	{"S3(cpu-unavail)", 0.10},
+	{"S4(mem-thrash)", 0.05},
+	{"S5(machine-unavail)", 0.10},
+}
+
+func drawState(rng *rand.Rand) string {
+	u := rng.Float64()
+	acc := 0.0
+	for _, s := range paperStates {
+		acc += s.p
+		if u < acc {
+			return s.state
+		}
+	}
+	return paperStates[len(paperStates)-1].state
+}
+
+// LatencyStats summarizes one operation class from its raw samples.
+type LatencyStats struct {
+	Ops       int           `json:"ops"`
+	P50       time.Duration `json:"p50_ns"`
+	P90       time.Duration `json:"p90_ns"`
+	P99       time.Duration `json:"p99_ns"`
+	Max       time.Duration `json:"max_ns"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+}
+
+func summarize(samples []time.Duration, wall time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	q := func(p float64) time.Duration {
+		i := int(p*float64(len(samples)-1) + 0.5)
+		return samples[i]
+	}
+	s := LatencyStats{
+		Ops: len(samples),
+		P50: q(0.50), P90: q(0.90), P99: q(0.99),
+		Max: samples[len(samples)-1],
+	}
+	if wall > 0 {
+		s.OpsPerSec = float64(len(samples)) / wall.Seconds()
+	}
+	return s
+}
+
+// Result is the outcome of one load run.
+type Result struct {
+	Nodes  int `json:"nodes"`
+	Shards int `json:"shards"`
+	// Register and Heartbeat are per-batch-request latencies; Discover is
+	// per fan-out Candidates call over all shards.
+	Register  LatencyStats `json:"register"`
+	Heartbeat LatencyStats `json:"heartbeat"`
+	Discover  LatencyStats `json:"discover"`
+	// PartitionDiscover is the discovery phase repeated with one shard
+	// partitioned (nil when the phase is disabled).
+	PartitionDiscover *LatencyStats `json:"partition_discover,omitempty"`
+	// Candidates is the candidate count of the last healthy discovery.
+	Candidates int `json:"candidates"`
+	// PartitionCandidates is the candidate count with the shard cut off —
+	// nonzero proves the stale-cache path kept the lost shard's slice.
+	PartitionCandidates int `json:"partition_candidates,omitempty"`
+	// StaleServes/ShardErrors/GossipServes snapshot the broker's recovery
+	// counters after the partition phase.
+	StaleServes  int `json:"stale_serves"`
+	ShardErrors  int `json:"shard_errors"`
+	GossipServes int `json:"gossip_serves"`
+	// Violations lists every SLO the run missed (empty = pass).
+	Violations []string `json:"violations,omitempty"`
+}
+
+// runMetrics are the obs-exported histograms of a run.
+type runMetrics struct {
+	register  *obs.Histogram
+	heartbeat *obs.Histogram
+	discover  *obs.Histogram
+	fleet     *obs.Gauge
+}
+
+func newRunMetrics(r *obs.Registry) *runMetrics {
+	buckets := obs.ExpBuckets(0.0005, 2, 14) // 0.5 ms .. ~4 s
+	return &runMetrics{
+		register:  r.Histogram("fgcs_loadgen_register_seconds", "latency of one register_batch request", buckets),
+		heartbeat: r.Histogram("fgcs_loadgen_heartbeat_seconds", "latency of one heartbeat_batch request", buckets),
+		discover:  r.Histogram("fgcs_loadgen_discover_seconds", "latency of one fan-out discovery", buckets),
+		fleet:     r.Gauge("fgcs_loadgen_fleet_nodes", "simulated nodes registered by the driver"),
+	}
+}
+
+// simNode is one simulated fleet member: protocol-level only, no listener.
+type simNode struct {
+	name  string
+	addr  string
+	state string
+	load  float64
+	gen   int64
+	shard int
+}
+
+// forEach runs fn(i) for i in [0, n) across the given number of workers.
+func forEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Run executes one load run against a freshly started in-process sharded
+// registry: register the fleet in batches, sweep heartbeats with state
+// churn, measure ranked fan-out discovery, and (optionally) repeat
+// discovery with one shard partitioned. It returns the measured result;
+// SLO violations are reported in Result.Violations, not as an error.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	met := newRunMetrics(reg)
+
+	sharded, err := ishare.NewShardedRegistry(cfg.Shards, cfg.TTL, ishare.Limits{})
+	if err != nil {
+		return nil, err
+	}
+	defer sharded.Close()
+	addrs := sharded.Addrs()
+	inj := chaos.New(cfg.Seed)
+
+	// Build the fleet: names, fake addresses (these nodes are never
+	// dialed — digest ranking is the whole point), paper-drawn states.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fleet := make([]*simNode, cfg.Nodes)
+	for i := range fleet {
+		fleet[i] = &simNode{
+			name:  fmt.Sprintf("sim-%07d", i),
+			addr:  fmt.Sprintf("10.%d.%d.%d:7", i>>16&0xff, i>>8&0xff, i&0xff),
+			state: drawState(rng),
+			load:  rng.Float64(),
+			gen:   1,
+		}
+		fleet[i].shard = sharded.Owner(fleet[i].name)
+	}
+
+	// Group into shard-routed batches once; register and heartbeat reuse
+	// the grouping.
+	var batches [][]*simNode
+	perShard := make([][]*simNode, cfg.Shards)
+	for _, n := range fleet {
+		perShard[n.shard] = append(perShard[n.shard], n)
+	}
+	for _, nodes := range perShard {
+		for off := 0; off < len(nodes); off += cfg.BatchSize {
+			end := off + cfg.BatchSize
+			if end > len(nodes) {
+				end = len(nodes)
+			}
+			batches = append(batches, nodes[off:end])
+		}
+	}
+
+	client := &ishare.Client{Shards: addrs, Dialer: inj, Timeout: 10 * time.Second}
+	result := &Result{Nodes: cfg.Nodes, Shards: cfg.Shards}
+
+	// Phase 1: register the fleet.
+	regSamples := make([]time.Duration, len(batches))
+	regStart := time.Now()
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	forEach(cfg.Concurrency, len(batches), func(i int) {
+		batch := batches[i]
+		ds := make([]ishare.NodeDigest, len(batch))
+		now := time.Now().UnixMilli()
+		for j, n := range batch {
+			ds[j] = ishare.NodeDigest{Name: n.name, Addr: n.addr, State: n.state, Load: n.load, Gen: n.gen, UnixMS: now}
+		}
+		t0 := time.Now()
+		if err := client.RegisterBatch(ctx, addrs[batch[0].shard], ds); err != nil {
+			fail(fmt.Errorf("loadgen: register batch %d: %w", i, err))
+			return
+		}
+		regSamples[i] = time.Since(t0)
+		met.register.Observe(regSamples[i].Seconds())
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	met.fleet.Set(float64(cfg.Nodes))
+	result.Register = summarize(regSamples, time.Since(regStart))
+
+	// Phase 2: heartbeat sweeps with availability churn.
+	var hbSamples []time.Duration
+	hbStart := time.Now()
+	for round := 0; round < cfg.HeartbeatRounds; round++ {
+		churn := int(cfg.ChurnFraction * float64(cfg.Nodes))
+		for k := 0; k < churn; k++ {
+			n := fleet[rng.Intn(len(fleet))]
+			if s := drawState(rng); s != n.state {
+				n.state = s
+				n.load = rng.Float64()
+				n.gen++
+			}
+		}
+		roundSamples := make([]time.Duration, len(batches))
+		forEach(cfg.Concurrency, len(batches), func(i int) {
+			batch := batches[i]
+			ds := make([]ishare.NodeDigest, len(batch))
+			now := time.Now().UnixMilli()
+			for j, n := range batch {
+				ds[j] = ishare.NodeDigest{Name: n.name, State: n.state, Load: n.load, Gen: n.gen, UnixMS: now}
+			}
+			t0 := time.Now()
+			missing, err := client.HeartbeatBatch(ctx, addrs[batch[0].shard], ds)
+			if err != nil {
+				fail(fmt.Errorf("loadgen: heartbeat batch %d: %w", i, err))
+				return
+			}
+			if len(missing) > 0 {
+				fail(fmt.Errorf("loadgen: heartbeat batch %d: %d registered nodes unknown to their shard", i, len(missing)))
+				return
+			}
+			roundSamples[i] = time.Since(t0)
+			met.heartbeat.Observe(roundSamples[i].Seconds())
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		hbSamples = append(hbSamples, roundSamples...)
+	}
+	result.Heartbeat = summarize(hbSamples, time.Since(hbStart))
+
+	// Phase 3: ranked fan-out discovery, the latency that bounds every
+	// placement decision.
+	broker := &ishare.Broker{
+		Client:        client,
+		DiscoverLimit: cfg.DiscoverLimit,
+		CacheTTL:      time.Minute,
+		Obs:           reg,
+	}
+	discSamples := make([]time.Duration, cfg.DiscoverOps)
+	discStart := time.Now()
+	var lastCands int
+	var candMu sync.Mutex
+	forEach(cfg.Concurrency, cfg.DiscoverOps, func(i int) {
+		t0 := time.Now()
+		cands, err := broker.Candidates(ctx)
+		if err != nil {
+			fail(fmt.Errorf("loadgen: discovery %d: %w", i, err))
+			return
+		}
+		discSamples[i] = time.Since(t0)
+		met.discover.Observe(discSamples[i].Seconds())
+		candMu.Lock()
+		lastCands = len(cands)
+		candMu.Unlock()
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	result.Discover = summarize(discSamples, time.Since(discStart))
+	result.Candidates = lastCands
+	if lastCands == 0 {
+		return nil, fmt.Errorf("loadgen: healthy discovery returned no candidates from a %d-node fleet", cfg.Nodes)
+	}
+
+	// Phase 4 (optional): the same discovery load with one shard cut off.
+	// The broker must keep answering — the lost shard's slice comes from
+	// its stale cache — and latency must stay bounded, which requires a
+	// no-retry client (retrying into a partition buys nothing).
+	if cfg.Partition {
+		partClient := &ishare.Client{Shards: addrs, Dialer: inj, Timeout: 2 * time.Second,
+			Retry: ishare.RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Seed: cfg.Seed}}
+		partBroker := &ishare.Broker{
+			Client:        partClient,
+			DiscoverLimit: cfg.DiscoverLimit,
+			CacheTTL:      time.Minute,
+			Obs:           reg,
+		}
+		// Warm every shard's cache, then cut one off.
+		if _, err := partBroker.Candidates(ctx); err != nil {
+			return nil, fmt.Errorf("loadgen: warming partition broker: %w", err)
+		}
+		inj.Partition(addrs[cfg.PartitionShard])
+		partSamples := make([]time.Duration, cfg.DiscoverOps)
+		partStart := time.Now()
+		var partCands int
+		forEach(cfg.Concurrency, cfg.DiscoverOps, func(i int) {
+			t0 := time.Now()
+			cands, err := partBroker.Candidates(ctx)
+			if err != nil {
+				fail(fmt.Errorf("loadgen: partitioned discovery %d: %w", i, err))
+				return
+			}
+			partSamples[i] = time.Since(t0)
+			met.discover.Observe(partSamples[i].Seconds())
+			candMu.Lock()
+			partCands = len(cands)
+			candMu.Unlock()
+		})
+		inj.Heal(addrs[cfg.PartitionShard])
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		ps := summarize(partSamples, time.Since(partStart))
+		result.PartitionDiscover = &ps
+		result.PartitionCandidates = partCands
+		if partCands == 0 {
+			return nil, fmt.Errorf("loadgen: partitioned discovery returned no candidates (stale cache failed)")
+		}
+		bm := partBroker.Metrics()
+		result.StaleServes = bm.StaleServes
+		result.ShardErrors = bm.ShardErrors
+		result.GossipServes = bm.GossipServes
+		if bm.StaleServes == 0 {
+			return nil, fmt.Errorf("loadgen: partition phase never hit the stale-cache path")
+		}
+	}
+
+	result.Violations = cfg.SLO.check(result)
+	return result, nil
+}
+
+// check compares a result against the objectives, returning one line per
+// missed SLO.
+func (s SLO) check(r *Result) []string {
+	var v []string
+	add := func(name string, got, want time.Duration) {
+		if want > 0 && got > want {
+			v = append(v, fmt.Sprintf("%s %v exceeds SLO %v", name, got, want))
+		}
+	}
+	add("register p99", r.Register.P99, s.RegisterP99)
+	add("heartbeat p99", r.Heartbeat.P99, s.HeartbeatP99)
+	add("discover p50", r.Discover.P50, s.DiscoverP50)
+	add("discover p99", r.Discover.P99, s.DiscoverP99)
+	if r.PartitionDiscover != nil {
+		// The degraded path answers from cache; holding it to the same p99
+		// keeps "resilient" from meaning "slow".
+		add("partitioned discover p99", r.PartitionDiscover.P99, s.DiscoverP99)
+	}
+	return v
+}
+
+// ScalingResult is one row of a shard-scaling sweep.
+type ScalingResult struct {
+	Shards    int          `json:"shards"`
+	Discover  LatencyStats `json:"discover"`
+	SpeedupVs float64      `json:"speedup_vs_first"`
+}
+
+// RunScaling measures discovery throughput for each shard count on an
+// otherwise identical configuration, reporting each row's throughput
+// speedup over the first. On multi-core hosts the fan-out path should
+// scale discovery throughput close to the shard count; on a single core
+// the rows mostly measure protocol overhead (see EXPERIMENTS.md).
+func RunScaling(ctx context.Context, cfg Config, shardCounts []int) ([]ScalingResult, error) {
+	if len(shardCounts) == 0 {
+		return nil, fmt.Errorf("loadgen: scaling sweep needs at least one shard count")
+	}
+	var out []ScalingResult
+	for _, n := range shardCounts {
+		c := cfg
+		c.Shards = n
+		c.Partition = false
+		c.Obs = nil // fresh private registry per row: histograms must not mix
+		res, err := Run(ctx, c)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: scaling row %d shards: %w", n, err)
+		}
+		row := ScalingResult{Shards: n, Discover: res.Discover}
+		if len(out) > 0 && out[0].Discover.OpsPerSec > 0 {
+			row.SpeedupVs = res.Discover.OpsPerSec / out[0].Discover.OpsPerSec
+		} else {
+			row.SpeedupVs = 1
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var ctx = context.Background()
+
+func TestDrawStateCoversDistribution(t *testing.T) {
+	counts := make(map[string]int)
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[drawState(rng)]++
+	}
+	for _, s := range paperStates {
+		frac := float64(counts[s.state]) / n
+		if frac < s.p-0.03 || frac > s.p+0.03 {
+			t.Errorf("state %s drawn %.3f, want ~%.2f", s.state, frac, s.p)
+		}
+	}
+}
+
+func TestSummarizeQuantiles(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	s := summarize(samples, time.Second)
+	if s.Ops != 100 || s.Max != 100*time.Millisecond {
+		t.Fatalf("summarize = %+v", s)
+	}
+	if s.P50 < 49*time.Millisecond || s.P50 > 52*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P99 < 98*time.Millisecond || s.P99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v", s.P99)
+	}
+	if s.OpsPerSec != 100 {
+		t.Errorf("ops/s = %v", s.OpsPerSec)
+	}
+	if z := summarize(nil, time.Second); z.Ops != 0 {
+		t.Errorf("empty summarize = %+v", z)
+	}
+}
+
+// A miniature end-to-end run: the whole pipeline (batched registration,
+// churned heartbeats, fan-out discovery, partition degradation) against a
+// real 2-shard registry, small enough for the race detector.
+func TestRunSmallFleet(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := Run(ctx, Config{
+		Nodes: 2000, Shards: 2, BatchSize: 250,
+		HeartbeatRounds: 2, DiscoverOps: 20, Concurrency: 4,
+		Partition: true, PartitionShard: 0,
+		Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Register.Ops == 0 || res.Heartbeat.Ops == 0 || res.Discover.Ops != 20 {
+		t.Fatalf("phase ops = %+v", res)
+	}
+	if res.Candidates == 0 {
+		t.Fatal("healthy discovery returned no candidates")
+	}
+	if res.PartitionDiscover == nil || res.PartitionCandidates == 0 {
+		t.Fatalf("partition phase missing: %+v", res)
+	}
+	if res.StaleServes == 0 || res.ShardErrors == 0 {
+		t.Fatalf("partition metrics = %+v, want stale serves and shard errors", res)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("ungated run reported violations: %v", res.Violations)
+	}
+	// The histograms landed in the caller's registry.
+	found := false
+	for _, fam := range reg.Snapshot() {
+		if fam.Name == "fgcs_loadgen_discover_seconds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fgcs_loadgen_discover_seconds not in the supplied obs registry")
+	}
+}
+
+func TestRunReportsSLOViolations(t *testing.T) {
+	res, err := Run(ctx, Config{
+		Nodes: 200, Shards: 1, DiscoverOps: 5, Concurrency: 2,
+		SLO: SLO{DiscoverP99: time.Nanosecond}, // impossible on purpose
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("impossible SLO not reported as violated")
+	}
+}
+
+func TestRunScalingRows(t *testing.T) {
+	rows, err := RunScaling(ctx, Config{Nodes: 500, DiscoverOps: 10, Concurrency: 2}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Shards != 1 || rows[1].Shards != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].SpeedupVs != 1 || rows[1].SpeedupVs <= 0 {
+		t.Fatalf("speedups = %+v", rows)
+	}
+	if _, err := RunScaling(ctx, Config{Nodes: 10}, nil); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	if _, err := Run(ctx, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

@@ -19,6 +19,9 @@ go test -run '^$' -fuzz 'FuzzColBlockRoundTrip' -fuzztime 5s ./internal/check/
 # Deterministic-seed chaos smoke: scripted partition + refusal burst over a
 # live registry and nodes, asserting exactly-once completion.
 go test -race -run 'TestChaosSmoke' -count 1 ./internal/chaos/
+# Control-plane smoke: 10k synthetic nodes over 2 shards with a chaos
+# partition of shard 0, gated on the smoke SLOs.
+go run ./cmd/fgcs-loadtest -smoke
 go test -run '^$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|BenchmarkDetectorObserve' \
     -benchtime 10x ./internal/testbed/ ./internal/simos/ ./internal/availability/
 # Fleet-pipeline smoke: sharded runner + streaming analyzer, binary codec,
@@ -30,9 +33,10 @@ go test -run '^$' -bench 'BenchmarkRunShardedFleet|BenchmarkWriteBinary|Benchmar
 go test -race -count 1 -run 'TestAnalyzeBlockFiles|TestMergeFrom|TestBlockIndexMatchesIndex' ./internal/trace/
 go test -race -count 1 -run 'TestEncoderSinkV2RoundTrip' ./internal/testbed/
 # Regression-gated core benchmarks: v2 codec, block scan, point queries,
-# serial/parallel analyze, predictor evaluation — against their recorded
-# expectations plus the v2-size, parallel-speedup and point-query gates.
-go run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/' -out ''
+# serial/parallel analyze, predictor evaluation, sharded control plane —
+# against their recorded expectations plus the v2-size, parallel-speedup,
+# point-query, shard-scaling and discovery-p99 gates.
+go run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/|ishare/' -out ''
 # Metrics-endpoint smoke: start ishared with an ephemeral metrics port,
 # scrape /healthz and /metrics, assert the expected families.
 sh "$(dirname "$0")/metrics_smoke.sh"
