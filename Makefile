@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check fuzz-smoke chaos-smoke loadtest-smoke bench-smoke bench-parallel metrics-smoke bench bench-gates ci
+.PHONY: all vet build test race check fuzz-smoke chaos-smoke chaos-crash-soak loadtest-smoke bench-smoke bench-parallel metrics-smoke bench bench-gates ci
 
 all: ci
 
@@ -34,16 +34,28 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzCodecRoundTrip' -fuzztime 5s ./internal/check/
 	$(GO) test -run '^$$' -fuzz 'FuzzIndexQueries' -fuzztime 5s ./internal/check/
 	$(GO) test -run '^$$' -fuzz 'FuzzColBlockRoundTrip' -fuzztime 5s ./internal/check/
+	$(GO) test -run '^$$' -fuzz 'FuzzProtocolDecode' -fuzztime 5s ./internal/ishare/
+	$(GO) test -run '^$$' -fuzz 'FuzzWALReplay' -fuzztime 5s ./internal/ishare/
 
 # Deterministic-seed chaos smoke: scripted partition + refusal burst over a
 # live registry and nodes, asserting exactly-once completion.
 chaos-smoke:
 	$(GO) test -race -run 'TestChaosSmoke' -count 1 ./internal/chaos/
 
+# Crash-recovery soak: 50 fixed-seed randomized schedules of shard and
+# broker kills at virtual times (with fsync latency and clock skew on some
+# seeds), asserting under -race that no acked registration is lost, the
+# ShardMap version stays monotonic, exactly-once submission holds through
+# shard death, and gossip reconverges after heal.
+chaos-crash-soak:
+	$(GO) test -race -run 'TestCrashSoak' -count 1 ./internal/chaos/
+
 # Control-plane smoke: a 10k-node synthetic fleet over 2 registry shards,
-# batched registration, churned heartbeats, ranked fan-out discovery, then
-# the same discovery with shard 0 chaos-partitioned — gated on the smoke
-# SLOs (exits nonzero on violation).
+# batched registration, churned heartbeats, ranked fan-out discovery, the
+# same discovery with shard 0 chaos-partitioned, then a crash-restart
+# phase (shard killed and WAL-recovered under load) — gated on the smoke
+# SLOs including recovery < 2 s and crash-window discovery p99 <= 2x
+# healthy (exits nonzero on violation).
 loadtest-smoke:
 	$(GO) run ./cmd/fgcs-loadtest -smoke
 
@@ -78,4 +90,4 @@ metrics-smoke:
 bench:
 	$(GO) run ./cmd/fgcs-bench -out BENCH_core.json
 
-ci: vet build test race check fuzz-smoke chaos-smoke loadtest-smoke bench-smoke bench-parallel bench-gates metrics-smoke
+ci: vet build test race check fuzz-smoke chaos-smoke chaos-crash-soak loadtest-smoke bench-smoke bench-parallel bench-gates metrics-smoke

@@ -36,6 +36,9 @@ func main() {
 		discoverLimit = flag.Int("discover-limit", 32, "ranked candidates requested per shard")
 		concurrency   = flag.Int("concurrency", 8, "parallel driver workers")
 		partition     = flag.Int("partition-shard", -1, "shard index to chaos-partition for a degraded discovery phase (-1 = off)")
+		crash         = flag.Int("crash-shard", -1, "shard index to SIGKILL-crash and WAL-restart for a recovery phase (-1 = off; needs -wal-dir)")
+		walDir        = flag.String("wal-dir", "", "durability root: shards WAL-log acked registrations under it (empty = volatile; a temp dir is used when -crash-shard or -smoke needs one)")
+		maxInflight   = flag.Int("max-inflight", 0, "per-shard admission bound on concurrently served exchanges (0 = unbounded)")
 		seed          = flag.Int64("seed", 1, "fleet/churn seed")
 		scaling       = flag.String("scaling", "", "comma-separated shard counts: run the scaling sweep instead of one load run")
 		out           = flag.String("out", "", "write the full result JSON here")
@@ -44,6 +47,8 @@ func main() {
 		sloHBP99      = flag.Duration("slo-heartbeat-p99", 0, "heartbeat batch p99 objective (0 = ungated)")
 		sloDiscP50    = flag.Duration("slo-discover-p50", 0, "discovery p50 objective (0 = ungated)")
 		sloDiscP99    = flag.Duration("slo-discover-p99", 0, "discovery p99 objective (0 = ungated)")
+		sloRecovery   = flag.Duration("slo-recovery", 0, "crash phase: restart-to-serving objective (0 = ungated)")
+		sloCrashFac   = flag.Float64("slo-crash-factor", 0, "crash phase: during-crash discovery p99 bound as a multiple of healthy p99 (0 = ungated)")
 	)
 	flag.Parse()
 
@@ -51,16 +56,30 @@ func main() {
 		Nodes: *nodes, Shards: *shards, BatchSize: *batch,
 		HeartbeatRounds: *rounds, ChurnFraction: *churn,
 		DiscoverOps: *discoverOps, DiscoverLimit: *discoverLimit,
-		Concurrency: *concurrency, Seed: *seed,
+		Concurrency: *concurrency, Seed: *seed, WALDir: *walDir, MaxInflight: *maxInflight,
 		SLO: loadgen.SLO{RegisterP99: *sloRegP99, HeartbeatP99: *sloHBP99,
-			DiscoverP50: *sloDiscP50, DiscoverP99: *sloDiscP99},
+			DiscoverP50: *sloDiscP50, DiscoverP99: *sloDiscP99,
+			Recovery: *sloRecovery, CrashDiscoverFactor: *sloCrashFac},
 	}
 	if *partition >= 0 {
 		cfg.Partition = true
 		cfg.PartitionShard = *partition
 	}
+	if *crash >= 0 {
+		cfg.CrashRestart = true
+		cfg.CrashShard = *crash
+	}
 	if *smoke {
 		cfg = smokeConfig()
+	}
+	if cfg.CrashRestart && cfg.WALDir == "" {
+		dir, err := os.MkdirTemp("", "fgcs-loadtest-wal-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgcs-loadtest:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		cfg.WALDir = dir
 	}
 
 	ctx := context.Background()
@@ -103,11 +122,18 @@ func smokeConfig() loadgen.Config {
 		DiscoverOps: 100, DiscoverLimit: 32,
 		Concurrency: 4, Seed: 1,
 		Partition: true, PartitionShard: 0,
+		CrashRestart: true, CrashShard: 0,
 		SLO: loadgen.SLO{
 			RegisterP99:  2 * time.Second,
 			HeartbeatP99: 2 * time.Second,
 			DiscoverP50:  250 * time.Millisecond,
 			DiscoverP99:  1500 * time.Millisecond,
+			// The crash-recovery acceptance gates: a killed shard is back
+			// to serving its WAL-recovered 5k nodes in under 2 s, and the
+			// breaker keeps during-outage discovery within 2x the healthy
+			// p99.
+			Recovery:            2 * time.Second,
+			CrashDiscoverFactor: 2,
 		},
 	}
 }
@@ -151,6 +177,13 @@ func printResult(res *loadgen.Result, wall time.Duration) {
 		row("discover (partitioned)", *res.PartitionDiscover)
 		fmt.Printf("  degraded phase: %d candidates, %d stale serves, %d shard errors, %d gossip serves\n",
 			res.PartitionCandidates, res.StaleServes, res.ShardErrors, res.GossipServes)
+	}
+	if res.CrashDiscover != nil {
+		row("discover (shard dead)", *res.CrashDiscover)
+		fmt.Printf("  crash phase: %d candidates during outage, breaker opened %d time(s), %d short circuits\n",
+			res.CrashCandidates, res.BreakerOpens, res.BreakerShortCircuits)
+		fmt.Printf("  recovery: shard back to serving %d WAL-recovered nodes in %.3fs\n",
+			res.RecoveredNodes, res.RecoverySeconds)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/ishare"
@@ -84,6 +85,9 @@ func main() {
 		maxMsg      = flag.Int64("max-message-bytes", 1<<20, "per-exchange message size bound")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /healthz and pprof on this address (e.g. 127.0.0.1:9090; empty = disabled)")
 		verbose     = flag.Bool("v", false, "log structured events at info level (default warn)")
+		walDir      = flag.String("wal-dir", "", "registry mode: durability directory; acked registrations are WAL-logged there and recovered on restart (empty = volatile)")
+		drain       = flag.Duration("drain", 5*time.Second, "registry mode: how long a SIGTERM/interrupt shutdown waits for in-flight exchanges before closing")
+		maxInflight = flag.Int("max-inflight", 0, "registry mode: admission bound on concurrently served exchanges; excess connections queue briefly, then are shed with a retry-after hint (0 = unbounded)")
 	)
 	flag.Parse()
 	lim := ishare.Limits{MaxMessageBytes: *maxMsg, IODeadline: *deadline}
@@ -92,7 +96,7 @@ func main() {
 
 	switch *mode {
 	case "registry":
-		runRegistry(*addr, *ttl, lim, o)
+		runRegistry(*addr, *ttl, lim, *walDir, *drain, *maxInflight, o)
 	case "node":
 		runNode(*addr, *registry, *name, *load, lim, o)
 	case "demo":
@@ -110,15 +114,39 @@ func waitForInterrupt() {
 	<-ch
 }
 
-func runRegistry(addr string, ttl time.Duration, lim ishare.Limits, o *observability) {
-	reg, err := ishare.NewRegistryWithLimits(addr, ttl, lim)
+// runRegistry serves a registry until SIGTERM or interrupt, then shuts
+// down gracefully: stop accepting, drain in-flight exchanges up to the
+// drain deadline, fsync the WAL. With -wal-dir a restart over the same
+// directory recovers every acked registration before serving again.
+func runRegistry(addr string, ttl time.Duration, lim ishare.Limits, walDir string, drain time.Duration, maxInflight int, o *observability) {
+	// The handler must be live before the listen announcement: a
+	// supervisor that SIGTERMs the instant the address prints must still
+	// get a drained exit, not the default kill.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opt := ishare.RegistryOptions{TTL: ttl, Limits: lim, MaxInflight: maxInflight}
+	if walDir != "" {
+		opt.WAL = &ishare.WALOptions{Dir: walDir}
+	}
+	reg, err := ishare.NewRegistryWithOptions(addr, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer reg.Close()
 	reg.Instrument(o.reg, o.logger)
-	fmt.Printf("registry listening on %s (ttl %v); ctrl-c to stop\n", reg.Addr(), ttl)
-	waitForInterrupt()
+	if n := reg.RecoveredRecords(); n > 0 {
+		fmt.Printf("recovered %d WAL records from %s\n", n, walDir)
+	}
+	fmt.Printf("registry listening on %s (ttl %v); SIGTERM or ctrl-c to stop\n", reg.Addr(), ttl)
+
+	<-sigCtx.Done()
+	stop()
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := reg.Shutdown(drainCtx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("registry drained and stopped")
 }
 
 func runNode(addr, registry, name string, load float64, lim ishare.Limits, o *observability) {

@@ -304,8 +304,8 @@ func FuzzIndexQueries(f *testing.F) {
 // at any offset must salvage a block-aligned event prefix with the damage
 // reported — never a wrong event, never a crash.
 func FuzzColBlockRoundTrip(f *testing.F) {
-	f.Add([]byte{255, 0})                              // zero-length: header + empty directory only
-	f.Add([]byte{128, 0, 0, 1, 30, 0, 8, 1, 2, 60, 1, 9, 2, 3, 5, 2, 7}) // block size 1: every block holds one event
+	f.Add([]byte{255, 0})                                                   // zero-length: header + empty directory only
+	f.Add([]byte{128, 0, 0, 1, 30, 0, 8, 1, 2, 60, 1, 9, 2, 3, 5, 2, 7})    // block size 1: every block holds one event
 	f.Add([]byte{200, 5, 255, 255, 255, 255, 255, 254, 255, 255, 253, 255}) // max-delta timestamps
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {

@@ -48,6 +48,14 @@ type Broker struct {
 	// DiscoverConcurrency bounds how many shards are listed in parallel
 	// during one discovery (default 4).
 	DiscoverConcurrency int
+	// BreakerThreshold, when positive, arms a circuit breaker per registry
+	// shard: after that many consecutive list failures the shard is
+	// skipped (short-circuited to its stale cache) until BreakerCooldown
+	// elapses, then probed with a single call. Zero disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker denies calls before the
+	// half-open probe (default 500 ms).
+	BreakerCooldown time.Duration
 	// Gossip, when set, is the decentralized fallback discovery path: if
 	// every shard is unreachable and no cache is usable, candidates come
 	// from the gossip store's availability digests (bounded by GossipTTL).
@@ -69,8 +77,9 @@ type Broker struct {
 	met    *brokerMetrics
 	metObs *obs.Registry // the registry met was built against
 
-	mu    sync.Mutex
-	cache map[string]shardCache // per shard address
+	mu       sync.Mutex
+	cache    map[string]shardCache // per shard address
+	breakers map[string]*breaker   // per shard address, nil entries never created when disabled
 }
 
 // shardCache is one shard's last-known-good node list.
@@ -108,6 +117,12 @@ type BrokerMetrics struct {
 	// DedupHits counts submissions answered from a node's completed-job
 	// cache rather than by running the job again.
 	DedupHits int
+	// BreakerOpens counts per-shard circuit breakers tripping open after
+	// consecutive discovery failures.
+	BreakerOpens int
+	// BreakerShortCircuits counts shard list calls skipped outright
+	// because the shard's breaker was open.
+	BreakerShortCircuits int
 }
 
 // NewBroker builds a broker over a single registry.
@@ -170,7 +185,29 @@ func (b *Broker) Metrics() BrokerMetrics {
 		SameNodeRetries: int(m.sameNodeRetries.Value()),
 		Resubmissions:   int(m.resubmissions.Value()),
 		DedupHits:       int(m.dedupHits.Value()),
+
+		BreakerOpens:         int(m.breakerOpens.Value()),
+		BreakerShortCircuits: int(m.breakerShorts.Value()),
 	}
+}
+
+// breakerFor returns the shard's circuit breaker, creating it on first
+// use; nil when breakers are disabled.
+func (b *Broker) breakerFor(addr string) *breaker {
+	if b.BreakerThreshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.breakers == nil {
+		b.breakers = make(map[string]*breaker)
+	}
+	br, ok := b.breakers[addr]
+	if !ok {
+		br = newBreaker(b.BreakerThreshold, b.BreakerCooldown, nil)
+		b.breakers[addr] = br
+	}
+	return br
 }
 
 func (b *Broker) cacheTTL() time.Duration {
@@ -219,6 +256,10 @@ type Candidate struct {
 	// discovery was unavailable.
 	Stale bool
 }
+
+// errBreakerOpen marks a shard skipped by its open circuit breaker
+// during fan-out discovery.
+var errBreakerOpen = fmt.Errorf("ishare: shard skipped: circuit breaker open")
 
 // rankState maps a node's reported state to a placement score; states that
 // cannot host a guest return -1.
@@ -273,7 +314,22 @@ func (b *Broker) discover(ctx context.Context) ([]NodeInfo, bool, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			br := b.breakerFor(addr)
+			if br != nil && !br.allow() {
+				// Open breaker: skip the call entirely. The shard still
+				// counts as failed, so its stale cache (and, with every
+				// shard down, gossip) serves exactly as for a live error —
+				// the fan-out just stops paying a dial timeout for it.
+				m.breakerShorts.Inc()
+				results[i] = shardResult{err: errBreakerOpen}
+				return
+			}
 			nodes, err := b.listOneShard(ctx, addr)
+			if br != nil && br.result(err == nil) {
+				m.breakerOpens.Inc()
+				b.logger().Log(ctx, slog.LevelWarn, "shard circuit breaker opened",
+					"trace", TraceIDFrom(ctx), "shard", addr)
+			}
 			results[i] = shardResult{nodes: nodes, err: err}
 		}(i, addr)
 	}

@@ -79,7 +79,12 @@ func (c *Client) jitter() *jitterRand {
 // do performs one logical exchange. Idempotent requests are retried on
 // transport errors; application-level failures (resp.OK == false) are
 // returned to the caller immediately since the peer demonstrably saw the
-// request.
+// request — except load sheds: a response carrying RetryAfterMS is the
+// registry's admission control asking this caller to back off, so
+// idempotent requests honor the hint (the retry waits at least that
+// long) and retry within the normal attempt budget. When the budget runs
+// out the shed response itself is returned, so callers distinguish "the
+// registry is overloaded" from "the registry rejected this request".
 func (c *Client) do(ctx context.Context, addr string, req Request, timeout time.Duration, idempotent bool) (*Response, error) {
 	// Stamp the context's trace ID onto the wire so the serving side can
 	// log the exchange under the same ID.
@@ -98,23 +103,36 @@ func (c *Client) do(ctx context.Context, addr string, req Request, timeout time.
 		attempts = p.MaxAttempts
 	}
 	var lastErr error
+	var shedResp *Response
+	var shedFloor time.Duration
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			if m != nil {
 				m.retry(req.Op).Inc()
 			}
-			if err := sleepCtx(ctx, backoffDelay(p, a, c.jitter())); err != nil {
+			d := backoffDelay(p, a, c.jitter())
+			if d < shedFloor {
+				d = shedFloor // a shed's retry-after hint floors the backoff
+			}
+			shedFloor = 0
+			if err := sleepCtx(ctx, d); err != nil {
 				break
 			}
 		}
 		resp, err := roundTrip(ctx, c.Dialer, addr, req, timeout, c.Limits.withDefaults().MaxMessageBytes)
 		if err == nil {
+			if !resp.OK && resp.RetryAfterMS > 0 && idempotent && a+1 < attempts {
+				shedResp = resp
+				shedFloor = time.Duration(resp.RetryAfterMS) * time.Millisecond
+				continue
+			}
 			if m != nil {
 				m.latency(req.Op).Observe(time.Since(start).Seconds())
 			}
 			return resp, nil
 		}
 		lastErr = err
+		shedResp = nil
 		if ctx.Err() != nil {
 			break
 		}
@@ -122,6 +140,9 @@ func (c *Client) do(ctx context.Context, addr string, req Request, timeout time.
 	if m != nil {
 		m.failure(req.Op).Inc()
 		m.latency(req.Op).Observe(time.Since(start).Seconds())
+	}
+	if shedResp != nil {
+		return shedResp, nil
 	}
 	return nil, lastErr
 }

@@ -1,0 +1,99 @@
+package ishare
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzProtocolDecode drives arbitrary bytes through the wire decoders for
+// both directions of the protocol — every v1/v2 message (register_batch,
+// heartbeat_batch, discover, shardmap, gossip, submit) rides the same two
+// decode stacks. The invariants: no panic, no unbounded allocation past
+// the message limit, and anything that decodes cleanly re-encodes to a
+// value that decodes to the same thing (round-trip stability).
+func FuzzProtocolDecode(f *testing.F) {
+	seeds := []string{
+		`{"op":"register","name":"m001","addr":"10.0.0.1:70","state":"S1(full)","load":0.25,"gen":3}`,
+		`{"op":"register_batch","digests":[{"name":"m001","addr":"10.0.0.1:70","state":"S1(full)","load":0.1,"gen":1,"unix_ms":1700000000000},{"name":"m002","state":"S2(reduced)"}]}`,
+		`{"op":"heartbeat_batch","digests":[{"name":"m001","gen":2,"unix_ms":1700000000555}]}`,
+		`{"op":"heartbeat","name":"m001","state":"S3(none)","gen":7}`,
+		`{"op":"discover","limit":16}`,
+		`{"op":"shardmap"}`,
+		`{"op":"gossip","digests":[{"name":"p1","addr":"10.0.0.2:70","state":"S1(full)","unix_ms":1700000001000}]}`,
+		`{"op":"submit","job":{"id":"j-1","cpu_seconds":2.5}}`,
+		`{"op":"list"}`,
+		`{"ok":true,"nodes":[{"name":"m001","addr":"10.0.0.1:70","alive":true,"state":"S1(full)"}]}`,
+		`{"ok":true,"shard_map":{"gen":4,"shards":["a:1","b:2"]}}`,
+		`{"ok":false,"error":"registry overloaded, retry later","retry_after_ms":200}`,
+		`{"ok":true,"missing":["m003","m009"]}`,
+		`{"ok":true,"digests":[{"name":"p1","unix_ms":1}]}`,
+		`{`, `null`, `[]`, `""`, "\x00\x01\x02", `{"op":"register","load":1e309}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const lim = 1 << 16
+		if req, err := decodeRequest(data, lim); err == nil {
+			enc, err := json.Marshal(req)
+			if err != nil {
+				t.Fatalf("decoded request does not re-encode: %v", err)
+			}
+			again, err := decodeRequest(append(enc, '\n'), lim)
+			if err != nil {
+				t.Fatalf("re-encoded request does not decode: %v (%s)", err, enc)
+			}
+			if len(again.Digests) != len(req.Digests) || again.Op != req.Op || again.Name != req.Name {
+				t.Fatalf("request round trip drifted:\n was %+v\n now %+v", req, again)
+			}
+		}
+		if resp, err := decodeResponse(data, lim); err == nil {
+			enc, err := json.Marshal(resp)
+			if err != nil {
+				t.Fatalf("decoded response does not re-encode: %v", err)
+			}
+			again, err := decodeResponse(append(enc, '\n'), lim)
+			if err != nil {
+				t.Fatalf("re-encoded response does not decode: %v (%s)", err, enc)
+			}
+			if again.OK != resp.OK || again.RetryAfterMS != resp.RetryAfterMS ||
+				len(again.Nodes) != len(resp.Nodes) || len(again.Missing) != len(resp.Missing) {
+				t.Fatalf("response round trip drifted:\n was %+v\n now %+v", resp, again)
+			}
+		}
+	})
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the WAL replay path. Invariants:
+// no panic, no allocation driven by a corrupt length header, the reported
+// good-offset never exceeds the input, and truncating to that offset
+// replays the same record count cleanly (replay is a prefix function).
+func FuzzWALReplay(f *testing.F) {
+	var log []byte
+	for _, rec := range []walRecord{
+		{kind: walKindUpsert, entries: []walEntry{
+			{d: NodeDigest{Name: "m001", Addr: "127.0.0.1:9001", State: "S1(full)", Load: 0.5, Gen: 2, UnixMS: 1700000000000}, lastSeenMS: 1700000000000},
+		}},
+		{kind: walKindRemove, name: "m001"},
+		{kind: walKindShardMap, shardMap: ShardMap{Gen: 3, Shards: []string{"a:1", "b:2"}}},
+		{kind: walKindRefresh, stampMS: 1700000001000, names: []string{"m001", "m002"}},
+	} {
+		log = appendWALFrame(log, encodeWALRecord(rec))
+	}
+	f.Add(log)
+	f.Add(log[:len(log)-5])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0})
+	f.Add(appendWALFrame(nil, []byte{99}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, off, _ := replayWALBytes(data, nil)
+		if off < 0 || off > int64(len(data)) {
+			t.Fatalf("good offset %d outside input of %d bytes", off, len(data))
+		}
+		n2, off2, err2 := replayWALBytes(data[:off], nil)
+		if n2 != n || off2 != off || err2 != nil {
+			t.Fatalf("truncation to good offset not clean: n=%d->%d off=%d->%d err=%v", n, n2, off, off2, err2)
+		}
+	})
+}

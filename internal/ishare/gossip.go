@@ -48,6 +48,14 @@ type GossipConfig struct {
 	// keeping messages within the protocol's size limits. When the store
 	// is larger, the freshest digests win the slots.
 	MaxDigests int
+	// EvictAfter, when positive, bounds the store's memory: a digest whose
+	// observation stamp is older than this is evicted on the next merge or
+	// snapshot. Departed nodes stop refreshing their stamps — peers only
+	// ever re-gossip the final one — so a churned-through fleet ages out
+	// instead of growing the store forever. Digests that never carried a
+	// stamp age from their local receipt time. Zero keeps digests
+	// indefinitely (the pre-eviction behavior).
+	EvictAfter time.Duration
 	// Seed makes peer selection reproducible; 0 uses a fixed seed.
 	Seed int64
 	// Logger receives exchange failures at debug level. Nil discards.
@@ -76,9 +84,14 @@ type Gossiper struct {
 	log *slog.Logger
 	met *gossipMetrics // nil without an obs registry
 
+	now func() time.Time // injectable clock for eviction tests
+
 	mu    sync.Mutex
 	store map[string]NodeDigest
-	rng   *rand.Rand
+	// seen records when each entry was last accepted (first insert or a
+	// newer digest); the eviction fallback for stampless digests.
+	seen map[string]int64
+	rng  *rand.Rand
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -95,8 +108,10 @@ func NewGossiper(cfg GossipConfig) *Gossiper {
 	}
 	g := &Gossiper{
 		cfg:    cfg,
+		now:    time.Now,
 		log:    loggerOrDiscard(cfg.Logger),
 		store:  make(map[string]NodeDigest),
+		seen:   make(map[string]int64),
 		rng:    rand.New(rand.NewSource(seed)),
 		closed: make(chan struct{}),
 	}
@@ -126,7 +141,41 @@ func (g *Gossiper) mergeLocked(d NodeDigest) bool {
 		d.Addr = old.Addr // a digest without an address inherits the known one
 	}
 	g.store[d.Name] = d
+	g.seen[d.Name] = g.now().UnixMilli()
 	return true
+}
+
+// sweepLocked evicts digests older than the configured retention. A
+// digest ages from its observation stamp when it carries one — a
+// departed node's stamp freezes, so re-gossiped mentions cannot keep it
+// alive — and from its local receipt time otherwise. Returns evictions.
+func (g *Gossiper) sweepLocked() int {
+	if g.cfg.EvictAfter <= 0 || len(g.store) == 0 {
+		return 0
+	}
+	cutoff := g.now().UnixMilli() - g.cfg.EvictAfter.Milliseconds()
+	evicted := 0
+	for name, d := range g.store {
+		stamp := d.UnixMS
+		if stamp <= 0 {
+			stamp = g.seen[name]
+		}
+		if stamp < cutoff {
+			delete(g.store, name)
+			delete(g.seen, name)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// Sweep applies the retention bound now, returning how many digests were
+// evicted. Merges sweep automatically; callers with long idle gaps (a
+// broker holding a store overnight) can force one.
+func (g *Gossiper) Sweep() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sweepLocked()
 }
 
 // Merge folds a batch of digests into the store, returning how many were
@@ -143,6 +192,7 @@ func (g *Gossiper) Merge(ds []NodeDigest) int {
 			news++
 		}
 	}
+	g.sweepLocked()
 	if g.met != nil && news > 0 {
 		g.met.merged.Add(uint64(news))
 	}

@@ -1,0 +1,102 @@
+package ishare
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestGossipEvictionBoundsStore churns 10k nodes through a gossiper with
+// a retention bound: each joins, refreshes for a while, then departs
+// forever. Without eviction the store grows monotonically to the total
+// churn; with it, the live set plus the retention window is the ceiling.
+func TestGossipEvictionBoundsStore(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(10_000, 0)}
+	g := NewGossiper(GossipConfig{EvictAfter: 30 * time.Second})
+	g.now = clk.now
+
+	const (
+		total    = 10_000
+		liveSpan = 200 // nodes joined within the last liveSpan steps refresh
+		step     = time.Second
+	)
+	maxLen := 0
+	for i := 0; i < total; i++ {
+		clk.advance(step)
+		now := clk.now().UnixMilli()
+		// New node joins.
+		g.Merge([]NodeDigest{{
+			Name: fmt.Sprintf("churn-%05d", i), Addr: fmt.Sprintf("10.9.%d.%d:70", i/250%250, i%250),
+			State: "S1(full)", Gen: 1, UnixMS: now,
+		}})
+		// Recent joiners heartbeat with fresh stamps; older ones are gone
+		// and only ever re-gossiped with their frozen final stamp.
+		var beat []NodeDigest
+		for j := i - liveSpan; j < i; j += 37 {
+			if j < 0 {
+				continue
+			}
+			beat = append(beat, NodeDigest{
+				Name: fmt.Sprintf("churn-%05d", j), State: "S1(full)", Gen: 2, UnixMS: now,
+			})
+		}
+		// A peer re-gossips a long-departed node's last digest: the stale
+		// stamp must not refresh the entry's lifetime.
+		if old := i - 2*liveSpan; old >= 0 {
+			beat = append(beat, NodeDigest{
+				Name: fmt.Sprintf("churn-%05d", old), State: "S2(reduced)", Gen: 1,
+				UnixMS: now - 2*(30*time.Second).Milliseconds(),
+			})
+		}
+		g.Merge(beat)
+		if n := g.Len(); n > maxLen {
+			maxLen = n
+		}
+	}
+	// 30s retention at 1 step/s means ~30 un-refreshed joiners plus the
+	// refreshed live span can be resident; far below total churn.
+	bound := liveSpan + 40
+	if maxLen > bound {
+		t.Fatalf("store peaked at %d digests over %d churned nodes, want <= %d", maxLen, total, bound)
+	}
+	// Long idle: an explicit sweep drains everything.
+	clk.advance(5 * time.Minute)
+	g.Sweep()
+	if n := g.Len(); n != 0 {
+		t.Fatalf("store holds %d digests after full retention lapse", n)
+	}
+	if len(g.seen) != 0 {
+		t.Fatalf("seen map holds %d entries after full eviction", len(g.seen))
+	}
+}
+
+// TestGossipEvictionStamplessFallback: digests without an observation
+// stamp age from local receipt time instead of living forever.
+func TestGossipEvictionStamplessFallback(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(20_000, 0)}
+	g := NewGossiper(GossipConfig{EvictAfter: 10 * time.Second})
+	g.now = clk.now
+	g.Merge([]NodeDigest{{Name: "stampless", Addr: "10.0.0.1:70", State: "S1(full)"}})
+	clk.advance(5 * time.Second)
+	g.Sweep()
+	if g.Len() != 1 {
+		t.Fatal("digest evicted before retention elapsed")
+	}
+	clk.advance(6 * time.Second)
+	g.Sweep()
+	if g.Len() != 0 {
+		t.Fatal("stampless digest survived past retention")
+	}
+}
+
+// TestGossipZeroRetentionKeepsForever pins the pre-eviction default.
+func TestGossipZeroRetentionKeepsForever(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(30_000, 0)}
+	g := NewGossiper(GossipConfig{})
+	g.now = clk.now
+	g.Merge([]NodeDigest{{Name: "keeper", Addr: "10.0.0.2:70", State: "S1(full)", UnixMS: 1}})
+	clk.advance(24 * time.Hour)
+	if g.Sweep() != 0 || g.Len() != 1 {
+		t.Fatal("zero EvictAfter must keep digests indefinitely")
+	}
+}

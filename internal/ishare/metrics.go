@@ -61,6 +61,8 @@ type brokerMetrics struct {
 	sameNodeRetries *obs.Counter
 	resubmissions   *obs.Counter
 	dedupHits       *obs.Counter
+	breakerOpens    *obs.Counter
+	breakerShorts   *obs.Counter
 	submissions     *obs.Counter
 	completions     *obs.Counter
 	submitSeconds   *obs.Histogram
@@ -78,6 +80,8 @@ func newBrokerMetrics(r *obs.Registry) *brokerMetrics {
 		sameNodeRetries: r.Counter("fgcs_broker_same_node_retries_total", "dedup-safe immediate retries on the same node after a dropped response"),
 		resubmissions:   r.Counter("fgcs_broker_resubmissions_total", "jobs resubmitted from a checkpoint after being killed or timing out"),
 		dedupHits:       r.Counter("fgcs_broker_dedup_hits_total", "submissions answered from a node's completed-job cache"),
+		breakerOpens:    r.Counter("fgcs_broker_breaker_opens_total", "per-shard circuit breakers tripped open after consecutive failures"),
+		breakerShorts:   r.Counter("fgcs_broker_breaker_short_circuits_total", "shard list calls skipped because the shard's breaker was open"),
 		submissions:     r.Counter("fgcs_broker_submissions_total", "SubmitBest calls"),
 		completions:     r.Counter("fgcs_broker_completions_total", "SubmitBest calls that returned a completed job"),
 		submitSeconds:   r.Histogram("fgcs_broker_submit_seconds", "wall time of one SubmitBest call", requestSecondsBuckets),
@@ -166,20 +170,28 @@ func (m *nodeMetrics) job(name, outcome string) *obs.Counter {
 
 // registryMetrics count the discovery service's traffic and liveness view.
 type registryMetrics struct {
-	requests  map[string]*obs.Counter
-	unknownHB *obs.Counter
-	batched   *obs.Counter
-	nodes     *obs.Gauge
-	alive     *obs.Gauge
+	requests       map[string]*obs.Counter
+	unknownHB      *obs.Counter
+	batched        *obs.Counter
+	nodes          *obs.Gauge
+	alive          *obs.Gauge
+	sheds          *obs.Counter
+	walAppends     *obs.Counter
+	walCompactions *obs.Counter
+	recovered      *obs.Gauge
 }
 
 func newRegistryMetrics(r *obs.Registry) *registryMetrics {
 	m := &registryMetrics{
-		requests:  make(map[string]*obs.Counter),
-		unknownHB: r.Counter("fgcs_registry_unknown_heartbeats_total", "heartbeats from nodes the registry does not know"),
-		batched:   r.Counter("fgcs_registry_batched_entries_total", "node entries carried by register_batch and heartbeat_batch requests"),
-		nodes:     r.Gauge("fgcs_registry_nodes", "registered nodes"),
-		alive:     r.Gauge("fgcs_registry_alive_nodes", "nodes alive at the last list"),
+		requests:       make(map[string]*obs.Counter),
+		unknownHB:      r.Counter("fgcs_registry_unknown_heartbeats_total", "heartbeats from nodes the registry does not know"),
+		batched:        r.Counter("fgcs_registry_batched_entries_total", "node entries carried by register_batch and heartbeat_batch requests"),
+		nodes:          r.Gauge("fgcs_registry_nodes", "registered nodes"),
+		alive:          r.Gauge("fgcs_registry_alive_nodes", "nodes alive at the last list"),
+		sheds:          r.Counter("fgcs_registry_sheds_total", "connections shed by admission control with a retry-after hint"),
+		walAppends:     r.Counter("fgcs_registry_wal_appends_total", "mutation records appended to the write-ahead log"),
+		walCompactions: r.Counter("fgcs_registry_wal_compactions_total", "snapshot-and-truncate compactions of the write-ahead log"),
+		recovered:      r.Gauge("fgcs_registry_recovered_records", "WAL and snapshot records replayed at the last startup"),
 	}
 	for _, op := range []string{"register", "register_batch", "unregister", "heartbeat", "heartbeat_batch", "list", "shardmap", "unknown"} {
 		m.requests[op] = r.Counter("fgcs_registry_requests_total", "registry exchanges by operation", obs.L("op", op))

@@ -340,6 +340,7 @@ func (n *Node) heartbeatLoop() {
 	defer n.wg.Done()
 	interval := n.cfg.HeartbeatEvery
 	fails := 0
+	var shedFloor time.Duration // last shed's retry-after hint
 	timer := time.NewTimer(n.jitterHB(interval))
 	defer timer.Stop()
 	for {
@@ -352,6 +353,15 @@ func (n *Node) heartbeatLoop() {
 		switch {
 		case err != nil:
 			fails++
+			if n.met != nil {
+				n.met.heartbeatFailures.Inc()
+			}
+		case !resp.OK && resp.RetryAfterMS > 0:
+			// The registry shed us under overload. Re-registering now would
+			// add to the very herd the registry is trying to absorb; back
+			// off at least as long as the hint and heartbeat again.
+			fails++
+			shedFloor = time.Duration(resp.RetryAfterMS) * time.Millisecond
 			if n.met != nil {
 				n.met.heartbeatFailures.Inc()
 			}
@@ -379,6 +389,10 @@ func (n *Node) heartbeatLoop() {
 				next = n.cfg.HeartbeatMaxBackoff
 			}
 		}
+		if next < shedFloor {
+			next = shedFloor
+		}
+		shedFloor = 0
 		timer.Reset(n.jitterHB(next))
 	}
 }

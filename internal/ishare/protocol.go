@@ -16,6 +16,7 @@ package ishare
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -181,6 +182,46 @@ type Response struct {
 	Missing []string `json:"missing,omitempty"`
 	// ShardMap answers a shardmap request.
 	ShardMap *ShardMap `json:"shard_map,omitempty"`
+	// RetryAfterMS, on a load-shed failure (OK false), hints how long the
+	// caller should back off before retrying. Zero on every other path.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// decodeRequest parses one bounded wire request from raw bytes. It is the
+// exact decode path serveConn runs (same reader stack, same size limit),
+// factored out so the fuzz targets exercise what production executes:
+// malformed or truncated input must return an error, never panic, and
+// the LimitedReader bounds allocation by maxBytes regardless of input.
+func decodeRequest(data []byte, maxBytes int64) (Request, error) {
+	if maxBytes <= 0 {
+		maxBytes = Limits{}.withDefaults().MaxMessageBytes
+	}
+	lr := &io.LimitedReader{R: bytes.NewReader(data), N: maxBytes}
+	var req Request
+	if err := json.NewDecoder(bufio.NewReader(lr)).Decode(&req); err != nil {
+		if lr.N <= 0 {
+			return Request{}, fmt.Errorf("ishare: request exceeds %d bytes", maxBytes)
+		}
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// decodeResponse parses one bounded wire response, mirroring roundTrip's
+// read path for the fuzz targets.
+func decodeResponse(data []byte, maxBytes int64) (Response, error) {
+	if maxBytes <= 0 {
+		maxBytes = Limits{}.withDefaults().MaxMessageBytes
+	}
+	lr := &io.LimitedReader{R: bytes.NewReader(data), N: maxBytes}
+	var resp Response
+	if err := json.NewDecoder(bufio.NewReader(lr)).Decode(&resp); err != nil {
+		if lr.N <= 0 {
+			return Response{}, fmt.Errorf("ishare: response exceeds %d bytes", maxBytes)
+		}
+		return Response{}, err
+	}
+	return resp, nil
 }
 
 // roundTrip dials addr through d, sends one request and reads one bounded

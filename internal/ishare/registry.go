@@ -1,10 +1,12 @@
 package ishare
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -21,9 +23,19 @@ import (
 // Limit is served from per-score buckets — S1 nodes, then S2, then nodes
 // with no digest — so a ranked candidate list costs O(limit), not a scan
 // of every registered node.
+//
+// A registry configured with a WAL is crash-recoverable: every mutating
+// request is logged before it is acked, so a shard killed at any instant
+// restarts (NewRegistryWithOptions over the same directory) with every
+// acked registration intact. A registry configured with MaxInflight
+// sheds load instead of collapsing: connections beyond the inflight
+// bound wait in a bounded queue, and past that are answered with a
+// retry-after hint — the protection that lets a recovering shard survive
+// the re-register thundering herd.
 type Registry struct {
 	ttl time.Duration
 	lim Limits
+	opt RegistryOptions
 
 	mu    sync.RWMutex
 	nodes map[string]*registryEntry
@@ -35,15 +47,72 @@ type Registry struct {
 	met      *registryMetrics // nil until Instrument
 	log      *slog.Logger     // nil until Instrument
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed chan struct{}
+	wal       *wal // nil without durability
+	recovered int  // records replayed at startup
+	// Scratch for splitting a heartbeat batch into changed digests and
+	// pure refreshes before logging; guarded by mu, reused across batches
+	// so the durable hot path stays allocation-free.
+	walChanged   []NodeDigest
+	walRefreshed []string
+
+	inflight chan struct{} // nil = unbounded admission
+	queue    chan struct{}
+	sheds    atomic.Uint64
+
+	ln        net.Listener
+	wg        sync.WaitGroup
+	crashed   atomic.Bool
+	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 type registryEntry struct {
 	info     NodeInfo
 	lastSeen time.Time
 	bucket   int
+}
+
+// RegistryOptions is the full configuration of one registry shard.
+// The zero value of every field selects the pre-durability behavior:
+// no WAL, unbounded admission, wall-clock time.
+type RegistryOptions struct {
+	// TTL is the heartbeat freshness bound (required, positive).
+	TTL time.Duration
+	// Limits bounds each protocol exchange.
+	Limits Limits
+	// WAL, when set, makes the shard durable: acked mutations are logged
+	// to WAL.Dir before the ack and replayed on the next construction
+	// over the same directory.
+	WAL *WALOptions
+	// MaxInflight bounds concurrently served connections; zero is
+	// unbounded (no admission control).
+	MaxInflight int
+	// MaxQueue bounds connections waiting for an inflight slot (default
+	// 4x MaxInflight). Beyond it, connections are shed immediately.
+	MaxQueue int
+	// QueueWait bounds how long a queued connection waits for a slot
+	// before being shed (default 100 ms).
+	QueueWait time.Duration
+	// RetryAfter is the backoff hint stamped on shed responses
+	// (default 200 ms).
+	RetryAfter time.Duration
+	// Now overrides the clock (chaos injects skew here); nil = time.Now.
+	Now func() time.Time
+}
+
+func (o RegistryOptions) withDefaults() RegistryOptions {
+	if o.MaxInflight > 0 {
+		if o.MaxQueue <= 0 {
+			o.MaxQueue = 4 * o.MaxInflight
+		}
+		if o.QueueWait <= 0 {
+			o.QueueWait = 100 * time.Millisecond
+		}
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 200 * time.Millisecond
+	}
+	return o
 }
 
 // digestScore buckets a reported state for ranked discovery: S1 hosts
@@ -71,39 +140,196 @@ func NewRegistry(addr string, ttl time.Duration) (*Registry, error) {
 // NewRegistryWithLimits is NewRegistry with explicit per-exchange bounds
 // on message size and handler I/O deadlines.
 func NewRegistryWithLimits(addr string, ttl time.Duration, lim Limits) (*Registry, error) {
-	if ttl <= 0 {
-		return nil, fmt.Errorf("ishare: registry TTL must be positive, got %v", ttl)
+	return NewRegistryWithOptions(addr, RegistryOptions{TTL: ttl, Limits: lim})
+}
+
+// NewRegistryWithOptions starts a registry shard with the full option
+// set: durability, admission control and an injectable clock. When
+// opt.WAL names a directory with an existing log, the shard recovers its
+// state from it before serving the first request.
+func NewRegistryWithOptions(addr string, opt RegistryOptions) (*Registry, error) {
+	if opt.TTL <= 0 {
+		return nil, fmt.Errorf("ishare: registry TTL must be positive, got %v", opt.TTL)
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("ishare: registry listen: %w", err)
-	}
+	opt = opt.withDefaults()
 	r := &Registry{
-		ttl:    ttl,
-		lim:    lim,
+		ttl:    opt.TTL,
+		lim:    opt.Limits,
+		opt:    opt,
 		nodes:  make(map[string]*registryEntry),
-		ln:     ln,
 		closed: make(chan struct{}),
 	}
 	for i := range r.buckets {
 		r.buckets[i] = make(map[string]*registryEntry)
+	}
+	if opt.WAL != nil {
+		w, n, err := openWAL(*opt.WAL, r.applyWALRecord)
+		if err != nil {
+			return nil, err
+		}
+		r.wal = w
+		r.recovered = n
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if r.wal != nil {
+			r.wal.Close(true)
+		}
+		return nil, fmt.Errorf("ishare: registry listen: %w", err)
+	}
+	r.ln = ln
+	if opt.MaxInflight > 0 {
+		r.inflight = make(chan struct{}, opt.MaxInflight)
+		r.queue = make(chan struct{}, opt.MaxQueue)
 	}
 	r.wg.Add(1)
 	go r.acceptLoop()
 	return r, nil
 }
 
+func (r *Registry) now() time.Time {
+	if r.opt.Now != nil {
+		return r.opt.Now()
+	}
+	return time.Now()
+}
+
+// applyWALRecord replays one logged mutation during recovery (before the
+// listener exists, so no locking races with handlers).
+func (r *Registry) applyWALRecord(rec walRecord) {
+	switch rec.kind {
+	case walKindUpsert:
+		for _, e := range rec.entries {
+			r.upsertLocked(e.d, time.UnixMilli(e.lastSeenMS))
+		}
+	case walKindRemove:
+		r.removeLocked(rec.name)
+	case walKindShardMap:
+		if r.shardMap == nil || rec.shardMap.Gen > r.shardMap.Gen {
+			cp := rec.shardMap
+			cp.Shards = append([]string(nil), rec.shardMap.Shards...)
+			r.shardMap = &cp
+		}
+	case walKindRefresh:
+		t := time.UnixMilli(rec.stampMS)
+		for _, name := range rec.names {
+			if e, ok := r.nodes[name]; ok && t.After(e.lastSeen) {
+				e.lastSeen = t
+			}
+		}
+	}
+}
+
+// walAppendLocked logs one mutation before it is acked; the caller holds
+// r.mu. A nil error is the precondition for acking. When the append
+// brings the log to its compaction threshold, the full state is
+// snapshotted (consistently — we hold the state lock) and the log
+// truncated.
+func (r *Registry) walAppendLocked(rec walRecord) error {
+	if r.wal == nil {
+		return nil
+	}
+	due, err := r.wal.append(rec)
+	return r.walAppendedLocked(due, err)
+}
+
+// walUpsertLocked logs a digest batch observed at now — the serving hot
+// path, which skips the intermediate walRecord entirely.
+func (r *Registry) walUpsertLocked(ds []NodeDigest, now time.Time) error {
+	if r.wal == nil {
+		return nil
+	}
+	due, err := r.wal.appendUpsert(ds, now.UnixMilli())
+	return r.walAppendedLocked(due, err)
+}
+
+// walRefreshLocked logs a batch of pure liveness refreshes — one shared
+// stamp, many names — instead of full entries.
+func (r *Registry) walRefreshLocked(names []string, now time.Time) error {
+	if r.wal == nil {
+		return nil
+	}
+	due, err := r.wal.appendRefresh(names, now.UnixMilli())
+	return r.walAppendedLocked(due, err)
+}
+
+func (r *Registry) walAppendedLocked(due bool, err error) error {
+	if err != nil {
+		return err
+	}
+	if r.met != nil {
+		r.met.walAppends.Inc()
+	}
+	if due {
+		if err := r.wal.compact(r.snapshotRecordsLocked()); err != nil {
+			// Compaction failure is not fatal: the log simply keeps
+			// growing until a later attempt succeeds.
+			if r.log != nil {
+				r.log.Warn("WAL compaction failed", "err", err.Error())
+			}
+		} else if r.met != nil {
+			r.met.walCompactions.Inc()
+		}
+	}
+	return nil
+}
+
+// snapshotRecordsLocked serializes the full registry state as WAL
+// records; the caller holds r.mu.
+func (r *Registry) snapshotRecordsLocked() []walRecord {
+	var recs []walRecord
+	if r.shardMap != nil {
+		recs = append(recs, walRecord{kind: walKindShardMap, shardMap: *r.shardMap})
+	}
+	const batch = 512
+	entries := make([]walEntry, 0, batch)
+	flush := func() {
+		if len(entries) > 0 {
+			recs = append(recs, walRecord{kind: walKindUpsert, entries: entries})
+			entries = make([]walEntry, 0, batch)
+		}
+	}
+	for _, e := range r.nodes {
+		entries = append(entries, walEntry{
+			d: NodeDigest{Name: e.info.Name, Addr: e.info.Addr, State: e.info.State,
+				Load: e.info.Load, Gen: e.info.Gen, UnixMS: e.lastSeen.UnixMilli()},
+			lastSeenMS: e.lastSeen.UnixMilli(),
+		})
+		if len(entries) >= batch {
+			flush()
+		}
+	}
+	flush()
+	return recs
+}
+
 // Addr returns the registry's dial address.
 func (r *Registry) Addr() string { return r.ln.Addr().String() }
 
+// RecoveredRecords reports how many WAL/snapshot records were replayed
+// when this registry started.
+func (r *Registry) RecoveredRecords() int { return r.recovered }
+
+// Sheds reports how many connections admission control has shed.
+func (r *Registry) Sheds() uint64 { return r.sheds.Load() }
+
 // SetShardMap installs the versioned shard list this registry serves to
-// bootstrapping clients. Every shard of a deployment should carry the
-// same map; a single-registry deployment can leave it unset.
+// bootstrapping clients. Installs are monotonic in Gen: a map older than
+// (or as old as) the current one is ignored, so replays and out-of-order
+// installs can never roll the served map backward. Every shard of a
+// deployment should carry the same map; a single-registry deployment can
+// leave it unset.
 func (r *Registry) SetShardMap(m ShardMap) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.shardMap != nil && m.Gen <= r.shardMap.Gen {
+		return
+	}
 	cp := ShardMap{Gen: m.Gen, Shards: append([]string(nil), m.Shards...)}
 	r.shardMap = &cp
+	if err := r.walAppendLocked(walRecord{kind: walKindShardMap, shardMap: cp}); err != nil && r.log != nil {
+		r.log.Warn("WAL append for shard map failed", "err", err.Error())
+	}
 }
 
 // Instrument attaches an obs registry (per-op request counters, node and
@@ -116,22 +342,77 @@ func (r *Registry) Instrument(reg *obs.Registry, logger *slog.Logger) {
 	defer r.mu.Unlock()
 	if reg != nil {
 		r.met = newRegistryMetrics(reg)
+		r.met.recovered.Set(float64(r.recovered))
 	}
 	if logger != nil {
 		r.log = logger
 	}
 }
 
-// Close stops the registry.
+// Close stops the registry gracefully: the listener closes, in-flight
+// handlers finish, and a configured WAL is fsynced before closing.
 func (r *Registry) Close() error {
-	select {
-	case <-r.closed:
-		return nil
-	default:
-	}
-	close(r.closed)
-	err := r.ln.Close()
+	err := r.stop()
 	r.wg.Wait()
+	if r.wal != nil {
+		if werr := r.wal.Close(true); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// Crash kills the registry the way SIGKILL would: accepting stops,
+// in-flight exchanges are dropped without a response, and the WAL is
+// abandoned without a final fsync — recovery gets exactly what write()
+// already delivered. The listener port is released so a restart can
+// rebind the same address.
+func (r *Registry) Crash() error {
+	r.crashed.Store(true)
+	err := r.stop()
+	r.wg.Wait()
+	if r.wal != nil {
+		if werr := r.wal.Close(false); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// Shutdown drains the registry: stop accepting, wait for in-flight
+// requests up to the context deadline, then flush and close the WAL.
+// It returns an error when the drain deadline expired first.
+func (r *Registry) Shutdown(ctx context.Context) error {
+	err := r.stop()
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = fmt.Errorf("ishare: registry drain deadline expired")
+	}
+	if r.wal != nil {
+		if werr := r.wal.Close(true); err == nil {
+			err = werr
+		}
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	return err
+}
+
+// stop closes the listener and the closed channel exactly once.
+func (r *Registry) stop() error {
+	var err error
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		err = r.ln.Close()
+	})
 	return err
 }
 
@@ -150,21 +431,81 @@ func (r *Registry) acceptLoop() {
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
+			if !r.admit(conn) {
+				return
+			}
+			if r.inflight != nil {
+				defer func() { <-r.inflight }()
+			}
 			serveConn(conn, r.lim, r.handle)
 		}()
 	}
 }
 
+// admit applies admission control to one accepted connection: take an
+// inflight slot immediately, or wait for one in the bounded queue up to
+// QueueWait, or shed with a retry-after hint. Shedding still reads the
+// request (cheaply) so the peer receives a structured response instead
+// of a reset. Returns true when the caller holds an inflight slot.
+func (r *Registry) admit(conn net.Conn) bool {
+	if r.inflight == nil {
+		return true
+	}
+	select {
+	case r.inflight <- struct{}{}:
+		return true
+	default:
+	}
+	select {
+	case r.queue <- struct{}{}:
+	default: // queue full: shed immediately
+		r.shed(conn)
+		return false
+	}
+	defer func() { <-r.queue }()
+	t := time.NewTimer(r.opt.QueueWait)
+	defer t.Stop()
+	select {
+	case r.inflight <- struct{}{}:
+		return true
+	case <-t.C:
+		r.shed(conn)
+		return false
+	case <-r.closed:
+		conn.Close()
+		return false
+	}
+}
+
+// shed answers one connection with an overload response carrying the
+// retry-after hint, without executing its request.
+func (r *Registry) shed(conn net.Conn) {
+	r.sheds.Add(1)
+	r.mu.RLock()
+	met := r.met
+	r.mu.RUnlock()
+	if met != nil {
+		met.sheds.Inc()
+	}
+	retryMS := r.opt.RetryAfter.Milliseconds()
+	serveConn(conn, r.lim, func(req Request) *Response {
+		return &Response{OK: false, Error: "registry overloaded, retry later", RetryAfterMS: retryMS}
+	})
+}
+
 // upsertLocked creates or refreshes the entry for d, keeping the score
 // bucket index consistent. A digest only replaces the stored one when it
 // is newer (higher Gen, later stamp); a bare heartbeat (empty digest)
-// refreshes liveness without touching the stored state.
-func (r *Registry) upsertLocked(d NodeDigest, now time.Time) {
+// refreshes liveness without touching the stored state. It reports
+// whether anything beyond the liveness stamp changed — a false return is
+// a pure refresh, which the WAL logs in compact form.
+func (r *Registry) upsertLocked(d NodeDigest, now time.Time) bool {
 	e, ok := r.nodes[d.Name]
 	if !ok {
 		e = &registryEntry{info: NodeInfo{Name: d.Name}, bucket: -1}
 		r.nodes[d.Name] = e
 	}
+	before := e.info
 	if d.Addr != "" {
 		e.info.Addr = d.Addr
 	}
@@ -176,7 +517,9 @@ func (r *Registry) upsertLocked(d NodeDigest, now time.Time) {
 			e.info.Gen = d.Gen
 		}
 	}
-	e.lastSeen = now
+	if now.After(e.lastSeen) {
+		e.lastSeen = now
+	}
 	want := digestScore(e.info.State)
 	if want != e.bucket {
 		if e.bucket >= 0 {
@@ -185,6 +528,7 @@ func (r *Registry) upsertLocked(d NodeDigest, now time.Time) {
 		r.buckets[want][e.info.Name] = e
 		e.bucket = want
 	}
+	return !ok || e.info != before
 }
 
 func (r *Registry) removeLocked(name string) {
@@ -196,7 +540,12 @@ func (r *Registry) removeLocked(name string) {
 	}
 }
 
+var errWALAppend = &Response{OK: false, Error: "registry WAL append failed, mutation not durable"}
+
 func (r *Registry) handle(req Request) *Response {
+	if r.crashed.Load() {
+		return nil // a crashed process answers nothing
+	}
 	r.mu.RLock()
 	met, log := r.met, r.log
 	r.mu.RUnlock()
@@ -208,10 +557,16 @@ func (r *Registry) handle(req Request) *Response {
 		if req.Name == "" || req.Addr == "" {
 			return &Response{OK: false, Error: "register requires name and addr"}
 		}
+		now := r.now()
+		d := NodeDigest{Name: req.Name, Addr: req.Addr, State: req.State, Load: req.Load, Gen: req.Gen}
 		r.mu.Lock()
-		r.upsertLocked(NodeDigest{Name: req.Name, Addr: req.Addr, State: req.State, Load: req.Load, Gen: req.Gen}, time.Now())
+		r.upsertLocked(d, now)
+		err := r.walUpsertLocked([]NodeDigest{d}, now)
 		n := len(r.nodes)
 		r.mu.Unlock()
+		if err != nil {
+			return errWALAppend
+		}
 		if met != nil {
 			met.nodes.Set(float64(n))
 		}
@@ -225,13 +580,17 @@ func (r *Registry) handle(req Request) *Response {
 				return &Response{OK: false, Error: "register_batch requires name and addr on every digest"}
 			}
 		}
-		now := time.Now()
+		now := r.now()
 		r.mu.Lock()
 		for _, d := range req.Digests {
 			r.upsertLocked(d, now)
 		}
+		err := r.walUpsertLocked(req.Digests, now)
 		n := len(r.nodes)
 		r.mu.Unlock()
+		if err != nil {
+			return errWALAppend
+		}
 		if met != nil {
 			met.nodes.Set(float64(n))
 			met.batched.Add(uint64(len(req.Digests)))
@@ -240,8 +599,12 @@ func (r *Registry) handle(req Request) *Response {
 	case "unregister":
 		r.mu.Lock()
 		r.removeLocked(req.Name)
+		err := r.walAppendLocked(walRecord{kind: walKindRemove, name: req.Name})
 		n := len(r.nodes)
 		r.mu.Unlock()
+		if err != nil {
+			return errWALAppend
+		}
 		if met != nil {
 			met.nodes.Set(float64(n))
 		}
@@ -250,11 +613,17 @@ func (r *Registry) handle(req Request) *Response {
 		}
 		return &Response{OK: true}
 	case "heartbeat":
-		now := time.Now()
+		now := r.now()
+		d := NodeDigest{Name: req.Name, State: req.State, Load: req.Load, Gen: req.Gen}
 		r.mu.Lock()
 		_, ok := r.nodes[req.Name]
+		var err error
 		if ok {
-			r.upsertLocked(NodeDigest{Name: req.Name, State: req.State, Load: req.Load, Gen: req.Gen}, now)
+			if r.upsertLocked(d, now) {
+				err = r.walUpsertLocked([]NodeDigest{d}, now)
+			} else {
+				err = r.walRefreshLocked([]string{d.Name}, now)
+			}
 		}
 		r.mu.Unlock()
 		if !ok {
@@ -266,20 +635,45 @@ func (r *Registry) handle(req Request) *Response {
 			}
 			return &Response{OK: false, Error: "unknown node " + req.Name}
 		}
+		if err != nil {
+			return errWALAppend
+		}
 		return &Response{OK: true}
 	case "heartbeat_batch":
-		now := time.Now()
+		now := r.now()
 		var missing []string
 		r.mu.Lock()
+		durable := r.wal != nil
+		changed := r.walChanged[:0]     // digests that advanced stored state
+		refreshed := r.walRefreshed[:0] // pure liveness refreshes
 		for _, d := range req.Digests {
 			if _, ok := r.nodes[d.Name]; !ok {
 				missing = append(missing, d.Name)
 				continue
 			}
 			d.Addr = "" // liveness refresh, not re-registration
-			r.upsertLocked(d, now)
+			advanced := r.upsertLocked(d, now)
+			if !durable {
+				continue
+			}
+			if advanced {
+				changed = append(changed, d)
+			} else {
+				refreshed = append(refreshed, d.Name)
+			}
 		}
+		var err error
+		if len(changed) > 0 {
+			err = r.walUpsertLocked(changed, now)
+		}
+		if err == nil && len(refreshed) > 0 {
+			err = r.walRefreshLocked(refreshed, now)
+		}
+		r.walChanged, r.walRefreshed = changed[:0], refreshed[:0]
 		r.mu.Unlock()
+		if err != nil {
+			return errWALAppend
+		}
 		if met != nil {
 			met.batched.Add(uint64(len(req.Digests)))
 			if len(missing) > 0 {
@@ -291,7 +685,7 @@ func (r *Registry) handle(req Request) *Response {
 		if req.Limit > 0 {
 			return r.listRanked(req.Limit)
 		}
-		now := time.Now()
+		now := r.now()
 		r.mu.RLock()
 		nodes := make([]NodeInfo, 0, len(r.nodes))
 		alive := 0
@@ -334,7 +728,7 @@ func (r *Registry) handle(req Request) *Response {
 // by state class. The response itself is ordered (state, load, name) so
 // callers merge deterministically ranked lists.
 func (r *Registry) listRanked(limit int) *Response {
-	now := time.Now()
+	now := r.now()
 	nodes := make([]NodeInfo, 0, limit)
 	r.mu.RLock()
 	for score := 0; score <= 2 && len(nodes) < limit; score++ {

@@ -1,0 +1,387 @@
+package ishare
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// registryStateSnapshot captures the comparable durable state of a
+// registry: every entry's info and liveness stamp, plus the shard map.
+func registryStateSnapshot(r *Registry) map[string]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]string, len(r.nodes)+1)
+	for name, e := range r.nodes {
+		out[name] = fmt.Sprintf("%s|%s|%.6f|%d|%d|%d",
+			e.info.Addr, e.info.State, e.info.Load, e.info.Gen, e.lastSeen.UnixMilli(), e.bucket)
+	}
+	if r.shardMap != nil {
+		out["__shardmap__"] = fmt.Sprintf("%d|%s", r.shardMap.Gen, strings.Join(r.shardMap.Shards, ","))
+	}
+	return out
+}
+
+func testFleetDigests(n int, stamp int64) []NodeDigest {
+	out := make([]NodeDigest, n)
+	for i := range out {
+		state := "S1(full)"
+		if i%3 == 1 {
+			state = "S2(reduced)"
+		}
+		out[i] = NodeDigest{
+			Name: fmt.Sprintf("m%03d", i), Addr: fmt.Sprintf("10.0.0.%d:70", i),
+			State: state, Load: float64(i) / 100, Gen: int64(i%5 + 1), UnixMS: stamp,
+		}
+	}
+	return out
+}
+
+// TestRegistryCrashRecovery: a durable registry killed without any drain
+// or fsync recovers every acked mutation from its WAL.
+func TestRegistryCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opt := RegistryOptions{TTL: time.Minute, WAL: &WALOptions{Dir: dir}}
+	r, err := NewRegistryWithOptions("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetShardMap(ShardMap{Gen: 2, Shards: []string{"a:1", "b:2"}})
+	if resp := r.handle(Request{Op: "register_batch", Digests: testFleetDigests(40, 1000)}); !resp.OK {
+		t.Fatalf("register_batch: %s", resp.Error)
+	}
+	if resp := r.handle(Request{Op: "heartbeat", Name: "m000", State: "S2(reduced)", Gen: 9}); !resp.OK {
+		t.Fatalf("heartbeat: %s", resp.Error)
+	}
+	if resp := r.handle(Request{Op: "unregister", Name: "m017"}); !resp.OK {
+		t.Fatalf("unregister: %s", resp.Error)
+	}
+	want := registryStateSnapshot(r)
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := NewRegistryWithOptions("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.RecoveredRecords() == 0 {
+		t.Fatal("recovery replayed zero records")
+	}
+	got := registryStateSnapshot(r2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("entry %s differs after recovery:\n got %s\nwant %s", k, got[k], v)
+		}
+	}
+	if _, ok := got["m017"]; ok {
+		t.Fatal("unregistered node resurrected by recovery")
+	}
+}
+
+// TestShutdownRestartIdenticalState: the graceful path — drain, fsync,
+// close — followed by a restart over the same directory yields exactly
+// the same registry state, entry for entry.
+func TestShutdownRestartIdenticalState(t *testing.T) {
+	dir := t.TempDir()
+	opt := RegistryOptions{TTL: time.Minute, WAL: &WALOptions{Dir: dir}}
+	r, err := NewRegistryWithOptions("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetShardMap(ShardMap{Gen: 1, Shards: []string{"x:1"}})
+	r.handle(Request{Op: "register_batch", Digests: testFleetDigests(25, 2000)})
+	r.handle(Request{Op: "heartbeat_batch", Digests: []NodeDigest{
+		{Name: "m003", State: "S2(reduced)", Load: 0.5, Gen: 11, UnixMS: 2500},
+	}})
+	want := registryStateSnapshot(r)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	r2, err := NewRegistryWithOptions("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got := registryStateSnapshot(r2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("entry %s differs after drained restart:\n got %s\nwant %s", k, got[k], v)
+		}
+	}
+}
+
+// TestHeartbeatRefreshRecordsRecover: heartbeats that advance nothing
+// but liveness are logged as compact refresh records — far smaller than
+// full entries — and the refreshed stamps still survive a crash.
+func TestHeartbeatRefreshRecordsRecover(t *testing.T) {
+	dir := t.TempDir()
+	opt := RegistryOptions{TTL: time.Minute, WAL: &WALOptions{Dir: dir}}
+	r, err := NewRegistryWithOptions("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := testFleetDigests(30, 3000)
+	if resp := r.handle(Request{Op: "register_batch", Digests: ds}); !resp.OK {
+		t.Fatalf("register_batch: %s", resp.Error)
+	}
+	walPath := filepath.Join(dir, walFileName)
+	st, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regBytes := st.Size()
+
+	// Re-send the same digests: every one is a pure liveness refresh.
+	time.Sleep(2 * time.Millisecond)
+	if resp := r.handle(Request{Op: "heartbeat_batch", Digests: ds}); !resp.OK || len(resp.Missing) > 0 {
+		t.Fatalf("heartbeat_batch: %s (missing %d)", resp.Error, len(resp.Missing))
+	}
+	st, err = os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbBytes := st.Size() - regBytes
+	if hbBytes <= 0 || hbBytes*2 >= regBytes {
+		t.Fatalf("refresh sweep wrote %d WAL bytes vs %d for registration; want the compact form well under half", hbBytes, regBytes)
+	}
+
+	want := registryStateSnapshot(r)
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRegistryWithOptions("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got := registryStateSnapshot(r2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("entry %s differs after recovery:\n got %s\nwant %s", k, got[k], v)
+		}
+	}
+}
+
+// TestRegistryCompactionSurvivesRestart drives enough mutations through a
+// tiny CompactEvery to force snapshot+truncate cycles, then recovers.
+func TestRegistryCompactionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	opt := RegistryOptions{TTL: time.Minute, WAL: &WALOptions{Dir: dir, CompactEvery: 5}}
+	r, err := NewRegistryWithOptions("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 7; round++ {
+		for _, d := range testFleetDigests(8, int64(3000+round)) {
+			d.Gen = int64(round + 1)
+			if resp := r.handle(Request{Op: "register", Name: d.Name, Addr: d.Addr, State: d.State, Load: d.Load, Gen: d.Gen}); !resp.OK {
+				t.Fatalf("register: %s", resp.Error)
+			}
+		}
+	}
+	want := registryStateSnapshot(r)
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRegistryWithOptions("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got := registryStateSnapshot(r2)
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("entry %s differs after compacted recovery:\n got %s\nwant %s", k, got[k], v)
+		}
+	}
+}
+
+// TestRegistryShedsWhenSaturated pins the admission path: with the single
+// inflight slot occupied and no queue headroom, a new connection receives
+// a structured overload response carrying the retry-after hint.
+func TestRegistryShedsWhenSaturated(t *testing.T) {
+	r, err := NewRegistryWithOptions("127.0.0.1:0", RegistryOptions{
+		TTL: time.Minute, MaxInflight: 1, MaxQueue: 1,
+		QueueWait: 5 * time.Millisecond, RetryAfter: 123 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Occupy the inflight slot and the queue slot directly: deterministic
+	// saturation without racing real handlers.
+	r.inflight <- struct{}{}
+	r.queue <- struct{}{}
+	defer func() { <-r.inflight; <-r.queue }()
+
+	c := &Client{RegistryAddr: r.Addr(), Timeout: 2 * time.Second, Retry: RetryPolicy{MaxAttempts: 1}}
+	_, err = c.ListShard(context.Background(), r.Addr(), 4)
+	if err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("saturated registry did not shed: err=%v", err)
+	}
+	if r.Sheds() == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+
+	// A queued connection that wins a freed slot is served normally.
+	<-r.inflight
+	if _, err := c.ListShard(context.Background(), r.Addr(), 4); err != nil {
+		t.Fatalf("list after slot freed: %v", err)
+	}
+	r.inflight <- struct{}{}
+}
+
+// TestClientHonorsRetryAfter: an idempotent request shed on the first
+// attempt succeeds on a retry after the registry frees capacity, and the
+// retry waits at least the hinted backoff.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	r, err := NewRegistryWithOptions("127.0.0.1:0", RegistryOptions{
+		TTL: time.Minute, MaxInflight: 1, MaxQueue: 1,
+		QueueWait: time.Millisecond, RetryAfter: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.inflight <- struct{}{}
+	r.queue <- struct{}{}
+	release := time.AfterFunc(15*time.Millisecond, func() { <-r.inflight; <-r.queue })
+	defer release.Stop()
+
+	c := &Client{RegistryAddr: r.Addr(), Timeout: 2 * time.Second,
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}}
+	start := time.Now()
+	if _, err := c.ListShard(context.Background(), r.Addr(), 4); err != nil {
+		t.Fatalf("list did not recover after shed: %v", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("retry ignored the 40ms retry-after hint: total %v", d)
+	}
+}
+
+// TestSetShardMapMonotonic: an older (or equal) generation can never
+// replace the served shard map.
+func TestSetShardMapMonotonic(t *testing.T) {
+	r, err := NewRegistry("127.0.0.1:0", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.SetShardMap(ShardMap{Gen: 2, Shards: []string{"a:1", "b:2"}})
+	r.SetShardMap(ShardMap{Gen: 1, Shards: []string{"stale:1"}})
+	r.SetShardMap(ShardMap{Gen: 2, Shards: []string{"replay:1"}})
+	resp := r.handle(Request{Op: "shardmap"})
+	if !resp.OK || resp.ShardMap.Gen != 2 || resp.ShardMap.Shards[0] != "a:1" {
+		t.Fatalf("shard map rolled back: %+v", resp.ShardMap)
+	}
+	r.SetShardMap(ShardMap{Gen: 3, Shards: []string{"c:3"}})
+	resp = r.handle(Request{Op: "shardmap"})
+	if resp.ShardMap.Gen != 3 || resp.ShardMap.Shards[0] != "c:3" {
+		t.Fatalf("newer shard map not adopted: %+v", resp.ShardMap)
+	}
+}
+
+// TestShardedCrashRestartDurable: the deployment-level loop — kill a
+// shard mid-fleet, restart it on the same address, and every acked
+// registration on that shard is served again.
+func TestShardedCrashRestartDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewShardedRegistryWithOptions(2, RegistryOptions{
+		TTL: time.Minute, WAL: &WALOptions{Dir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := &Client{Shards: s.Addrs(), Timeout: 2 * time.Second, Retry: RetryPolicy{MaxAttempts: 1}}
+	ctx := context.Background()
+
+	byShard := make(map[int][]NodeDigest)
+	for _, d := range testFleetDigests(60, 4000) {
+		i := s.Owner(d.Name)
+		byShard[i] = append(byShard[i], d)
+	}
+	for i, batch := range byShard {
+		if err := c.RegisterBatch(ctx, s.Addrs()[i], batch); err != nil {
+			t.Fatalf("register shard %d: %v", i, err)
+		}
+	}
+
+	if err := s.CrashShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ListShard(ctx, s.Addrs()[0], 4); err == nil {
+		t.Fatal("crashed shard still answering")
+	}
+	if err := s.RestartShard(0); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, batch := range byShard {
+		nodes, err := c.ListShard(ctx, s.Addrs()[i], 0)
+		if err != nil {
+			t.Fatalf("list shard %d after restart: %v", i, err)
+		}
+		if len(nodes) != len(batch) {
+			t.Fatalf("shard %d: %d nodes after restart, want %d", i, len(nodes), len(batch))
+		}
+	}
+	m, err := c.FetchShardMap(ctx, s.Addrs()[0])
+	if err != nil || m.Gen != 1 {
+		t.Fatalf("restarted shard serves wrong shard map: %+v err=%v", m, err)
+	}
+}
+
+// TestShardedRestartVolatile: without a WAL a restarted shard comes back
+// empty, and the heartbeat Missing path reports exactly its nodes for
+// re-registration — the pre-durability contract still holds.
+func TestShardedRestartVolatile(t *testing.T) {
+	s, err := NewShardedRegistry(2, time.Minute, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := &Client{Shards: s.Addrs(), Timeout: 2 * time.Second, Retry: RetryPolicy{MaxAttempts: 1}}
+	ctx := context.Background()
+	var shard0 []NodeDigest
+	for _, d := range testFleetDigests(30, 5000) {
+		if s.Owner(d.Name) == 0 {
+			shard0 = append(shard0, d)
+		}
+	}
+	if err := c.RegisterBatch(ctx, s.Addrs()[0], shard0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CrashShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RestartShard(0); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := c.HeartbeatBatch(ctx, s.Addrs()[0], shard0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != len(shard0) {
+		t.Fatalf("volatile restart: %d missing, want all %d", len(missing), len(shard0))
+	}
+}

@@ -55,9 +55,11 @@ func TestRegisterBatchAndRankedList(t *testing.T) {
 		t.Fatalf("ranked list = %s, want idle,warm,busy", got)
 	}
 
-	// The limit truncates from the best end.
+	// The limit truncates from the best bucket. Within a bucket the pick
+	// is arbitrary (ranked discovery is O(limit), not a bucket scan), so
+	// either S1 node is a correct answer — but never S2 or S5.
 	top, err := c.ListShard(ctx, reg.Addr(), 1)
-	if err != nil || len(top) != 1 || top[0].Name != "idle" {
+	if err != nil || len(top) != 1 || (top[0].Name != "idle" && top[0].Name != "warm") {
 		t.Fatalf("limit=1 list = %+v, %v", top, err)
 	}
 

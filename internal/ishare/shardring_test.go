@@ -98,6 +98,93 @@ func TestShardRingRemapFractionOnGrowth(t *testing.T) {
 	}
 }
 
+// Removing a shard is the crash-recovery resize direction: only the keys
+// the removed shard owned may move, and they must scatter across the
+// survivors — every key owned by a surviving shard stays put, so a
+// permanent shard decommission never disturbs the rest of the fleet's
+// registrations.
+func TestShardRingRemapFractionOnRemoval(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{3, 5, 9} {
+		shards := make([]string, n)
+		for i := range shards {
+			shards[i] = fmt.Sprintf("shard-%d:9", i)
+		}
+		before, err := NewShardRing(shards, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Remove the middle shard; survivors keep their addresses.
+		removed := n / 2
+		var survivors []string
+		for i, s := range shards {
+			if i != removed {
+				survivors = append(survivors, s)
+			}
+		}
+		after, err := NewShardRing(survivors, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < keys; i++ {
+			id := fmt.Sprintf("node-%06d", i)
+			oldAddr, newAddr := before.Addr(id), after.Addr(id)
+			if oldAddr == newAddr {
+				continue
+			}
+			if oldAddr != shards[removed] {
+				t.Fatalf("n=%d: %q moved off surviving shard %s -> %s", n, id, oldAddr, newAddr)
+			}
+			moved++
+		}
+		frac := float64(moved) / keys
+		ideal := 1.0 / float64(n)
+		if frac > 2*ideal {
+			t.Errorf("n=%d: remapped %.3f of keys on removal, want <= %.3f", n, frac, 2*ideal)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: removed shard owned no keys", n)
+		}
+	}
+}
+
+// Orphaned keys from a removed shard must spread over the survivors, not
+// pile onto the ring-adjacent one — that's what vnodes buy.
+func TestShardRingRemovalSpreadsOrphans(t *testing.T) {
+	shards := []string{"s0:1", "s1:1", "s2:1", "s3:1", "s4:1"}
+	before, err := NewShardRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewShardRing(shards[:4], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20000
+	inherited := make(map[string]int)
+	orphans := 0
+	for i := 0; i < keys; i++ {
+		id := fmt.Sprintf("node-%06d", i)
+		if before.Addr(id) != "s4:1" {
+			continue
+		}
+		orphans++
+		inherited[after.Addr(id)]++
+	}
+	if orphans == 0 {
+		t.Fatal("removed shard owned no keys")
+	}
+	for addr, c := range inherited {
+		if frac := float64(c) / float64(orphans); frac > 0.75 {
+			t.Errorf("survivor %s inherited %.2f of orphans — removal not spreading load (%v)", addr, frac, inherited)
+		}
+	}
+	if len(inherited) < 2 {
+		t.Errorf("orphans all landed on one survivor: %v", inherited)
+	}
+}
+
 // Owner must be safe for concurrent readers (brokers, nodes and load
 // drivers share one ring); run with -race.
 func TestShardRingConcurrentReaders(t *testing.T) {

@@ -1,0 +1,22 @@
+package ishare
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkWALAppendUpsert(b *testing.B) {
+	w, _, err := openWAL(WALOptions{Dir: b.TempDir(), SyncInterval: -1, SyncEveryBytes: 1 << 40, CompactEvery: 1 << 30}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close(false)
+	ds := benchDigests(1000)
+	ms := time.Now().UnixMilli()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.appendUpsert(ds, ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package ishare
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func benchDigests(n int) []NodeDigest {
+	ds := make([]NodeDigest, n)
+	for i := range ds {
+		ds[i] = NodeDigest{Name: fmt.Sprintf("node-%06d", i), Addr: fmt.Sprintf("10.0.%d.%d:7070", i/256%256, i%256),
+			State: "S1(full)", Load: 0.25, Gen: 3, UnixMS: 1700000000000}
+	}
+	return ds
+}
+
+func benchRegistry(b *testing.B, wal bool) *Registry {
+	opt := RegistryOptions{TTL: time.Minute}
+	if wal {
+		opt.WAL = &WALOptions{Dir: b.TempDir()}
+	}
+	r, err := NewRegistryWithOptions("127.0.0.1:0", opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { r.Close() })
+	return r
+}
+
+func BenchmarkHandleRegisterBatch(b *testing.B) {
+	for _, wal := range []bool{false, true} {
+		b.Run(fmt.Sprintf("wal=%v", wal), func(b *testing.B) {
+			r := benchRegistry(b, wal)
+			req := Request{Op: "register_batch", Digests: benchDigests(1000)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if resp := r.handle(req); !resp.OK {
+					b.Fatal(resp.Error)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHandleHeartbeatBatch(b *testing.B) {
+	for _, wal := range []bool{false, true} {
+		b.Run(fmt.Sprintf("wal=%v", wal), func(b *testing.B) {
+			r := benchRegistry(b, wal)
+			reg := Request{Op: "register_batch", Digests: benchDigests(1000)}
+			if resp := r.handle(reg); !resp.OK {
+				b.Fatal(resp.Error)
+			}
+			hb := Request{Op: "heartbeat_batch", Digests: benchDigests(1000)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if resp := r.handle(hb); !resp.OK {
+					b.Fatal(resp.Error)
+				}
+			}
+		})
+	}
+}

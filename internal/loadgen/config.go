@@ -50,6 +50,23 @@ type Config struct {
 	// TTL is the registry heartbeat TTL (default 30 s — large, so the
 	// fleet stays alive across slow CI phases).
 	TTL time.Duration
+	// WALDir, when set, makes the registry durable: each shard WAL-logs
+	// acked registrations under this root and recovers them on restart.
+	// Required by CrashRestart.
+	WALDir string
+	// MaxInflight, when positive, arms each shard's admission control:
+	// at most this many concurrently served exchanges, a bounded queue
+	// behind them, load-shed with a retry-after hint past that.
+	MaxInflight int
+	// CrashRestart enables a crash-recovery phase: CrashShard is killed
+	// (no drain, no fsync), discovery is measured through the outage with
+	// a breaker-armed broker, the shard is restarted from its WAL, and
+	// the time back to serving plus a zero-loss heartbeat sweep are
+	// checked. Needs WALDir and at least 2 shards.
+	CrashRestart bool
+	// CrashShard is the shard index killed during the crash phase
+	// (default 0; only meaningful with CrashRestart set).
+	CrashShard int
 	// Seed makes fleet states and churn reproducible (default 1).
 	Seed int64
 	// SLO holds the latency objectives checked after the run; zero fields
@@ -68,6 +85,14 @@ type SLO struct {
 	HeartbeatP99 time.Duration
 	DiscoverP50  time.Duration
 	DiscoverP99  time.Duration
+	// Recovery bounds how long a crashed shard may take from restart to
+	// serving its recovered state again (crash phase only).
+	Recovery time.Duration
+	// CrashDiscoverFactor bounds the during-crash discovery p99 to this
+	// multiple of the healthy-phase p99 (crash phase only; 0 = ungated).
+	// The breaker is what keeps this small: after it opens, the dead
+	// shard costs the fan-out nothing.
+	CrashDiscoverFactor float64
 }
 
 // Validate checks the configuration without applying defaults: zero
@@ -96,6 +121,27 @@ func (c Config) Validate() error {
 	}
 	if c.PartitionShard < 0 {
 		return fmt.Errorf("loadgen: partition shard must not be negative, got %d", c.PartitionShard)
+	}
+	if c.MaxInflight < 0 {
+		return fmt.Errorf("loadgen: max inflight must not be negative, got %d", c.MaxInflight)
+	}
+	if c.CrashShard < 0 {
+		return fmt.Errorf("loadgen: crash shard must not be negative, got %d", c.CrashShard)
+	}
+	if c.CrashRestart {
+		if c.WALDir == "" {
+			return fmt.Errorf("loadgen: crash-restart phase needs a WAL dir (a volatile shard cannot recover)")
+		}
+		shards := c.Shards
+		if shards == 0 {
+			shards = 1
+		}
+		if shards < 2 {
+			return fmt.Errorf("loadgen: crash-restart needs at least 2 shards so discovery can degrade, got %d", shards)
+		}
+		if c.CrashShard >= shards {
+			return fmt.Errorf("loadgen: crash shard %d out of range for %d shard(s)", c.CrashShard, shards)
+		}
 	}
 	if c.Partition {
 		shards := c.Shards

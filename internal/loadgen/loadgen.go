@@ -94,6 +94,22 @@ type Result struct {
 	StaleServes  int `json:"stale_serves"`
 	ShardErrors  int `json:"shard_errors"`
 	GossipServes int `json:"gossip_serves"`
+	// CrashDiscover is the discovery phase repeated with one shard
+	// SIGKILL-crashed and a breaker-armed broker (nil when disabled).
+	CrashDiscover *LatencyStats `json:"crash_discover,omitempty"`
+	// CrashCandidates is the candidate count during the outage — the
+	// dead shard's slice comes from the stale cache.
+	CrashCandidates int `json:"crash_candidates,omitempty"`
+	// RecoverySeconds is how long the crashed shard took from restart to
+	// serving its WAL-recovered state again.
+	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
+	// RecoveredNodes is how many fleet members the restarted shard served
+	// immediately after recovery, before any re-registration.
+	RecoveredNodes int `json:"recovered_nodes,omitempty"`
+	// BreakerOpens/BreakerShortCircuits snapshot the crash broker's
+	// circuit-breaker counters after the crash phase.
+	BreakerOpens         int `json:"breaker_opens,omitempty"`
+	BreakerShortCircuits int `json:"breaker_short_circuits,omitempty"`
 	// Violations lists every SLO the run missed (empty = pass).
 	Violations []string `json:"violations,omitempty"`
 }
@@ -171,7 +187,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	met := newRunMetrics(reg)
 
-	sharded, err := ishare.NewShardedRegistry(cfg.Shards, cfg.TTL, ishare.Limits{})
+	regOpt := ishare.RegistryOptions{TTL: cfg.TTL, MaxInflight: cfg.MaxInflight}
+	if cfg.WALDir != "" {
+		regOpt.WAL = &ishare.WALOptions{Dir: cfg.WALDir}
+	}
+	sharded, err := ishare.NewShardedRegistryWithOptions(cfg.Shards, regOpt)
 	if err != nil {
 		return nil, err
 	}
@@ -375,6 +395,104 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Phase 5 (optional): crash recovery. Kill one shard outright — no
+	// drain, no final fsync — and measure three things: discovery latency
+	// through the outage behind a circuit breaker, the time from restart
+	// back to serving the WAL-recovered state, and whether a full
+	// heartbeat sweep after recovery finds a single acked registration
+	// missing (it must not: durability is the phase's whole claim).
+	if cfg.CrashRestart {
+		crashClient := &ishare.Client{Shards: addrs, Dialer: inj, Timeout: 2 * time.Second,
+			Retry: ishare.RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Seed: cfg.Seed}}
+		crashBroker := &ishare.Broker{
+			Client:           crashClient,
+			DiscoverLimit:    cfg.DiscoverLimit,
+			CacheTTL:         time.Minute,
+			BreakerThreshold: 3,
+			BreakerCooldown:  30 * time.Second, // stays open for the whole outage
+			Obs:              reg,
+		}
+		if _, err := crashBroker.Candidates(ctx); err != nil {
+			return nil, fmt.Errorf("loadgen: warming crash broker: %w", err)
+		}
+		if err := sharded.CrashShard(cfg.CrashShard); err != nil {
+			return nil, fmt.Errorf("loadgen: crashing shard %d: %w", cfg.CrashShard, err)
+		}
+		crashSamples := make([]time.Duration, cfg.DiscoverOps)
+		crashStart := time.Now()
+		var crashCands int
+		forEach(cfg.Concurrency, cfg.DiscoverOps, func(i int) {
+			t0 := time.Now()
+			cands, err := crashBroker.Candidates(ctx)
+			if err != nil {
+				fail(fmt.Errorf("loadgen: during-crash discovery %d: %w", i, err))
+				return
+			}
+			crashSamples[i] = time.Since(t0)
+			met.discover.Observe(crashSamples[i].Seconds())
+			candMu.Lock()
+			crashCands = len(cands)
+			candMu.Unlock()
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		cs := summarize(crashSamples, time.Since(crashStart))
+		result.CrashDiscover = &cs
+		result.CrashCandidates = crashCands
+		if crashCands == 0 {
+			return nil, fmt.Errorf("loadgen: during-crash discovery returned no candidates (stale cache failed)")
+		}
+		bm := crashBroker.Metrics()
+		result.BreakerOpens = bm.BreakerOpens
+		result.BreakerShortCircuits = bm.BreakerShortCircuits
+
+		// Restart and poll until the shard serves again.
+		recoverStart := time.Now()
+		if err := sharded.RestartShard(cfg.CrashShard); err != nil {
+			return nil, fmt.Errorf("loadgen: restarting shard %d: %w", cfg.CrashShard, err)
+		}
+		recovered := -1
+		for time.Since(recoverStart) < 30*time.Second {
+			nodes, err := crashClient.ListShard(ctx, addrs[cfg.CrashShard], 0)
+			if err == nil {
+				recovered = len(nodes)
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if recovered < 0 {
+			return nil, fmt.Errorf("loadgen: shard %d not serving 30s after restart", cfg.CrashShard)
+		}
+		result.RecoverySeconds = time.Since(recoverStart).Seconds()
+		result.RecoveredNodes = recovered
+		if recovered == 0 {
+			return nil, fmt.Errorf("loadgen: restarted shard %d recovered no state from its WAL", cfg.CrashShard)
+		}
+
+		// The re-register herd that isn't: a full heartbeat sweep right
+		// after recovery must find zero acked registrations missing.
+		forEach(cfg.Concurrency, len(batches), func(i int) {
+			batch := batches[i]
+			ds := make([]ishare.NodeDigest, len(batch))
+			now := time.Now().UnixMilli()
+			for j, n := range batch {
+				ds[j] = ishare.NodeDigest{Name: n.name, State: n.state, Load: n.load, Gen: n.gen, UnixMS: now}
+			}
+			missing, err := client.HeartbeatBatch(ctx, addrs[batch[0].shard], ds)
+			if err != nil {
+				fail(fmt.Errorf("loadgen: post-recovery heartbeat batch %d: %w", i, err))
+				return
+			}
+			if len(missing) > 0 {
+				fail(fmt.Errorf("loadgen: post-recovery heartbeat batch %d: shard lost %d acked registrations", i, len(missing)))
+			}
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
 	result.Violations = cfg.SLO.check(result)
 	return result, nil
 }
@@ -396,6 +514,18 @@ func (s SLO) check(r *Result) []string {
 		// The degraded path answers from cache; holding it to the same p99
 		// keeps "resilient" from meaning "slow".
 		add("partitioned discover p99", r.PartitionDiscover.P99, s.DiscoverP99)
+	}
+	if r.CrashDiscover != nil {
+		if s.Recovery > 0 && r.RecoverySeconds > s.Recovery.Seconds() {
+			v = append(v, fmt.Sprintf("crash recovery %.3fs exceeds SLO %v", r.RecoverySeconds, s.Recovery))
+		}
+		if s.CrashDiscoverFactor > 0 && r.Discover.P99 > 0 {
+			bound := time.Duration(float64(r.Discover.P99) * s.CrashDiscoverFactor)
+			if r.CrashDiscover.P99 > bound {
+				v = append(v, fmt.Sprintf("during-crash discover p99 %v exceeds %.1fx healthy p99 (%v)",
+					r.CrashDiscover.P99, s.CrashDiscoverFactor, bound))
+			}
+		}
 	}
 	return v
 }
@@ -421,6 +551,7 @@ func RunScaling(ctx context.Context, cfg Config, shardCounts []int) ([]ScalingRe
 		c := cfg
 		c.Shards = n
 		c.Partition = false
+		c.CrashRestart = false
 		c.Obs = nil // fresh private registry per row: histograms must not mix
 		res, err := Run(ctx, c)
 		if err != nil {

@@ -16,11 +16,19 @@ go test -run '^$' -fuzz 'FuzzDetectorObserve' -fuzztime 5s ./internal/check/
 go test -run '^$' -fuzz 'FuzzCodecRoundTrip' -fuzztime 5s ./internal/check/
 go test -run '^$' -fuzz 'FuzzIndexQueries' -fuzztime 5s ./internal/check/
 go test -run '^$' -fuzz 'FuzzColBlockRoundTrip' -fuzztime 5s ./internal/check/
+go test -run '^$' -fuzz 'FuzzProtocolDecode' -fuzztime 5s ./internal/ishare/
+go test -run '^$' -fuzz 'FuzzWALReplay' -fuzztime 5s ./internal/ishare/
 # Deterministic-seed chaos smoke: scripted partition + refusal burst over a
 # live registry and nodes, asserting exactly-once completion.
 go test -race -run 'TestChaosSmoke' -count 1 ./internal/chaos/
+# Crash-recovery soak: 50 fixed-seed schedules of shard/broker kills at
+# virtual times under -race — no acked registration lost, monotonic
+# ShardMap, exactly-once submission, gossip reconvergence after heal.
+go test -race -run 'TestCrashSoak' -count 1 ./internal/chaos/
 # Control-plane smoke: 10k synthetic nodes over 2 shards with a chaos
-# partition of shard 0, gated on the smoke SLOs.
+# partition of shard 0 and a crash-restart phase (shard killed and
+# WAL-recovered under load), gated on the smoke SLOs including
+# recovery < 2 s and crash-window discovery p99 <= 2x healthy.
 go run ./cmd/fgcs-loadtest -smoke
 go test -run '^$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|BenchmarkDetectorObserve' \
     -benchtime 10x ./internal/testbed/ ./internal/simos/ ./internal/availability/
