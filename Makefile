@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check fuzz-smoke chaos-smoke chaos-crash-soak loadtest-smoke bench-smoke bench-parallel metrics-smoke bench bench-gates ci
+.PHONY: all vet build test race check fuzz-smoke chaos-smoke chaos-crash-soak loadtest-smoke forecast-smoke bench-smoke bench-parallel metrics-smoke bench bench-gates ci
 
 all: ci
 
@@ -19,7 +19,7 @@ test:
 # trace codec, the chaos fault injector, and the availability detector and
 # differential harness (which exercise the parallel runner under -race).
 race:
-	$(GO) test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/ ./internal/trace/ ./internal/chaos/ ./internal/availability/ ./internal/check/
+	$(GO) test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/ ./internal/trace/ ./internal/chaos/ ./internal/availability/ ./internal/check/ ./internal/forecast/ ./internal/loadgen/
 
 # Differential correctness harness: 200 randomized seeds replayed through
 # the naive reference model and the optimized detector/controller/testbed
@@ -59,6 +59,16 @@ chaos-crash-soak:
 loadtest-smoke:
 	$(GO) run ./cmd/fgcs-loadtest -smoke
 
+# Forecast-driven scheduling smoke: the fixed-seed replay evaluation
+# (proactive checkpoint/migrate must waste >= 10% less guest CPU than the
+# reactive baseline at equal-or-better throughput; exits nonzero on a
+# gate miss) plus the online-vs-offline forecast differential, which
+# pins the incremental forecaster bit-equal (1e-9) to the batch-trained
+# predictors on every seed.
+forecast-smoke:
+	$(GO) run ./cmd/fgcs-loadtest -forecast
+	$(GO) test -run 'TestRunSmoke' -count 1 ./internal/check/
+
 # A short benchmark pass that exercises the performance-critical paths
 # without producing stable numbers; full runs go through cmd/fgcs-bench.
 bench-smoke:
@@ -78,7 +88,7 @@ bench-parallel:
 # expectations (and the v2-size, speedup, point-query, shard-scaling and
 # discovery-p99 gates) without rewriting BENCH_core.json.
 bench-gates:
-	$(GO) run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/|ishare/' -out ''
+	$(GO) run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/|ishare/|forecast/' -out ''
 
 # Metrics-endpoint smoke: start ishared with an ephemeral metrics port,
 # scrape /healthz and /metrics, assert the expected families are served.
@@ -90,4 +100,4 @@ metrics-smoke:
 bench:
 	$(GO) run ./cmd/fgcs-bench -out BENCH_core.json
 
-ci: vet build test race check fuzz-smoke chaos-smoke chaos-crash-soak loadtest-smoke bench-smoke bench-parallel bench-gates metrics-smoke
+ci: vet build test race check fuzz-smoke chaos-smoke chaos-crash-soak loadtest-smoke forecast-smoke bench-smoke bench-parallel bench-gates metrics-smoke

@@ -70,6 +70,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/contention"
+	"repro/internal/forecast"
 	"repro/internal/ishare"
 	"repro/internal/loadgen"
 	"repro/internal/obs"
@@ -121,6 +122,11 @@ var expectedNs = map[string]float64{
 	"analyze/parallel":     0.45e9,
 	"predict/eval":         11e6,
 	"predict/eval-blocks":  13e6,
+	// Online forecasting: one full paper-trace replay into a fresh
+	// incremental forecaster (ingest) and one survival forecast on the
+	// accumulated history (query).
+	"forecast/ingest": 2.0e6,
+	"forecast/query":  0.2e6,
 	// Control-plane entries: aggregate per-op wall cost (1e9 / ops-per-sec
 	// across the driver's workers) from the loadgen harness at the fixed
 	// 50k-node configuration below. The 4-shard entry is its single-core
@@ -405,7 +411,8 @@ func main() {
 	var codecTr *trace.Trace
 	needPaperTrace := sel("trace/codec") || sel("trace/codec-v2") || sel("trace/colscan") ||
 		sel("trace/pointq") || sel("trace/pointq-blocks") ||
-		sel("predict/eval") || sel("predict/eval-blocks")
+		sel("predict/eval") || sel("predict/eval-blocks") ||
+		sel("forecast/ingest") || sel("forecast/query")
 	if needPaperTrace {
 		var err error
 		if codecTr, err = testbed.Run(tbCfg); err != nil {
@@ -667,6 +674,65 @@ func main() {
 		eval.WindowsPerS = evalWindows / eres.T.Seconds()
 		evalBlocksNs = eval.NsPerOp
 		rep.Benchmarks = append(rep.Benchmarks, eval)
+	}
+
+	// Online forecasting on the paper-scale trace: ingest replays every
+	// recorded event into a fresh incremental forecaster (per-event cost is
+	// the O(1) tentpole claim; OpsPerS is events ingested per second), and
+	// query prices one horizon forecast against the accumulated history —
+	// the latency a proactive scheduling review pays per machine.
+	if sel("forecast/ingest") || sel("forecast/query") {
+		newOnline := func() *forecast.Online {
+			on, err := forecast.New(forecast.Config{
+				Calendar: codecTr.Calendar,
+				Machines: codecTr.Machines,
+				Start:    codecTr.Span.Start,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return on
+		}
+		if sel("forecast/ingest") {
+			var events float64
+			ing, ires := run("forecast/ingest", 0, func(b *testing.B) {
+				b.ReportAllocs()
+				events = 0
+				for i := 0; i < b.N; i++ {
+					on := newOnline()
+					for _, ev := range codecTr.Events {
+						on.ObserveEvent(ev)
+					}
+					on.AdvanceTo(codecTr.Span.End)
+					events += float64(on.Events())
+				}
+			})
+			ing.OpsPerS = events / ires.T.Seconds()
+			rep.Benchmarks = append(rep.Benchmarks, ing)
+		}
+		if sel("forecast/query") {
+			on := newOnline()
+			for _, ev := range codecTr.Events {
+				on.ObserveEvent(ev)
+			}
+			on.AdvanceTo(codecTr.Span.End)
+			// Forecast windows sweep machines and clock hours so queries hit
+			// varied history slices rather than one cached shape.
+			q, _ := run("forecast/query", 0, func(b *testing.B) {
+				b.ReportAllocs()
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					m := trace.MachineID(i % codecTr.Machines)
+					start := codecTr.Span.End + sim.Time(i%24)*time.Hour
+					f := on.ForecastWindow(m, sim.Window{Start: start, End: start + time.Hour})
+					sink += f.Survival
+				}
+				if sink < 0 {
+					b.Fatal("impossible")
+				}
+			})
+			rep.Benchmarks = append(rep.Benchmarks, q)
+		}
 	}
 
 	// Control-plane load: the sharded registry, batch protocol and ranked
@@ -1247,8 +1313,8 @@ func runCheck(seeds int) {
 	if err != nil {
 		log.Fatalf("DIVERGENCE: %v", err)
 	}
-	log.Printf("check passed: %d seeds, %d observations, %d transitions, %d testbed differentials (%d events), zero divergence in %s",
-		res.Seeds, res.Observations, res.Transitions, res.TestbedRuns, res.TestbedEvents, time.Since(start).Round(time.Millisecond))
+	log.Printf("check passed: %d seeds, %d observations, %d transitions, %d testbed differentials (%d events, %d forecast comparisons), zero divergence in %s",
+		res.Seeds, res.Observations, res.Transitions, res.TestbedRuns, res.TestbedEvents, res.ForecastChecks, time.Since(start).Round(time.Millisecond))
 }
 
 // medianFloat returns the median of vs, sorting it in place.

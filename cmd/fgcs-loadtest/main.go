@@ -5,11 +5,18 @@
 // full result as JSON, and exits nonzero when an SLO is missed — the CI
 // smoke gate runs it via `make loadtest-smoke`.
 //
+// With -forecast it instead replays a fixed-seed fleet trace through the
+// online forecaster and gates forecast-driven proactive checkpoint/migrate
+// scheduling against the reactive baseline (the CI gate behind
+// `make forecast-smoke`); -forecast-service adds a batched forecast-query
+// phase to the load run itself.
+//
 // Usage:
 //
 //	fgcs-loadtest -nodes 100000 -shards 4
 //	fgcs-loadtest -smoke
 //	fgcs-loadtest -nodes 20000 -scaling 1,4
+//	fgcs-loadtest -forecast
 package main
 
 import (
@@ -41,6 +48,11 @@ func main() {
 		maxInflight   = flag.Int("max-inflight", 0, "per-shard admission bound on concurrently served exchanges (0 = unbounded)")
 		seed          = flag.Int64("seed", 1, "fleet/churn seed")
 		scaling       = flag.String("scaling", "", "comma-separated shard counts: run the scaling sweep instead of one load run")
+		forecastEval  = flag.Bool("forecast", false, "run the proactive-vs-reactive forecast evaluation instead of a load run")
+		forecastSvc   = flag.Bool("forecast-service", false, "add the batched forecast-query phase to the load run")
+		forecastOps   = flag.Int("forecast-ops", 100, "batched forecast queries to measure (with -forecast-service)")
+		minWasteRed   = flag.Float64("min-waste-reduction", 0.10, "forecast evaluation gate: minimum fractional waste reduction vs the reactive baseline")
+		sloForecast   = flag.Duration("slo-forecast-p99", 0, "forecast query p99 objective (0 = ungated)")
 		out           = flag.String("out", "", "write the full result JSON here")
 		smoke         = flag.Bool("smoke", false, "CI preset: 10k nodes, 2 shards, partitioned phase, SLO gates on")
 		sloRegP99     = flag.Duration("slo-register-p99", 0, "register batch p99 objective (0 = ungated)")
@@ -59,7 +71,12 @@ func main() {
 		Concurrency: *concurrency, Seed: *seed, WALDir: *walDir, MaxInflight: *maxInflight,
 		SLO: loadgen.SLO{RegisterP99: *sloRegP99, HeartbeatP99: *sloHBP99,
 			DiscoverP50: *sloDiscP50, DiscoverP99: *sloDiscP99,
-			Recovery: *sloRecovery, CrashDiscoverFactor: *sloCrashFac},
+			Recovery: *sloRecovery, CrashDiscoverFactor: *sloCrashFac,
+			ForecastP99: *sloForecast},
+	}
+	if *forecastSvc {
+		cfg.Forecast = true
+		cfg.ForecastOps = *forecastOps
 	}
 	if *partition >= 0 {
 		cfg.Partition = true
@@ -80,6 +97,14 @@ func main() {
 		}
 		defer os.RemoveAll(dir)
 		cfg.WALDir = dir
+	}
+
+	if *forecastEval {
+		if err := runForecastEval(*seed, *minWasteRed, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "fgcs-loadtest:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	ctx := context.Background()
@@ -123,6 +148,7 @@ func smokeConfig() loadgen.Config {
 		Concurrency: 4, Seed: 1,
 		Partition: true, PartitionShard: 0,
 		CrashRestart: true, CrashShard: 0,
+		Forecast: true, ForecastOps: 50,
 		SLO: loadgen.SLO{
 			RegisterP99:  2 * time.Second,
 			HeartbeatP99: 2 * time.Second,
@@ -134,8 +160,46 @@ func smokeConfig() loadgen.Config {
 			// p99.
 			Recovery:            2 * time.Second,
 			CrashDiscoverFactor: 2,
+			// Forecast queries answer from in-memory per-machine rings;
+			// even on a loaded runner a batched query stays sub-second.
+			ForecastP99: 1500 * time.Millisecond,
 		},
 	}
+}
+
+// runForecastEval runs the proactive-vs-reactive replay evaluation and
+// exits nonzero (via its error) when a gate is missed.
+func runForecastEval(seed int64, minReduction float64, out string) error {
+	start := time.Now()
+	res, err := loadgen.RunForecast(loadgen.ForecastConfig{
+		Seed:              seed,
+		MinWasteReduction: minReduction,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("forecast evaluation: %d machines x %d days (train %d), %d jobs, %d online events (wall %v)\n",
+		res.Machines, res.Days, res.TrainDays, res.Jobs, res.OnlineEvents, time.Since(start).Round(time.Millisecond))
+	row := func(o loadgen.PolicyOutcome) {
+		fmt.Printf("  %-40s completed %-4d failures %-4d wasted %8.0fs  mean-resp %8.0fs\n",
+			o.Policy, o.Completed, o.Failures, o.WastedCPUSeconds, o.MeanResponseSec)
+	}
+	row(res.Reactive)
+	row(res.Proactive)
+	fmt.Printf("  waste reduction %.1f%% (gate %.1f%%), %d proactive checkpoints, %d migrations, %.0fs saved\n",
+		100*res.WasteReduction, 100*minReduction, res.Checkpoints, res.Migrations, res.SavedCPUSeconds)
+	if out != "" {
+		if err := writeJSON(out, res); err != nil {
+			return err
+		}
+	}
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "GATE VIOLATION:", v)
+		}
+		return fmt.Errorf("forecast evaluation missed %d gate(s)", len(res.Violations))
+	}
+	return nil
 }
 
 func runScaling(ctx context.Context, cfg loadgen.Config, spec, out string) error {
@@ -173,6 +237,10 @@ func printResult(res *loadgen.Result, wall time.Duration) {
 	row("register (per batch)", res.Register)
 	row("heartbeat (per batch)", res.Heartbeat)
 	row("discover (fan-out)", res.Discover)
+	if res.Forecast.Ops > 0 {
+		row("forecast (batched)", res.Forecast)
+		fmt.Printf("  forecast phase: %d known nodes in the last query\n", res.ForecastKnown)
+	}
 	if res.PartitionDiscover != nil {
 		row("discover (partitioned)", *res.PartitionDiscover)
 		fmt.Printf("  degraded phase: %d candidates, %d stale serves, %d shard errors, %d gossip serves\n",

@@ -55,6 +55,9 @@ type Result struct {
 	Transitions   int64
 	TestbedRuns   int
 	TestbedEvents int64
+	// ForecastChecks counts online-vs-offline forecast comparisons that
+	// agreed within tolerance across all testbed differentials.
+	ForecastChecks int64
 }
 
 // Run executes the differential harness: per seed it generates a randomized
@@ -66,7 +69,9 @@ type Result struct {
 // from the transitions survives both codecs and agrees between indexed and
 // linear queries. Every TestbedEvery-th seed additionally runs a small
 // testbed four ways — fast, sharded, naive, and a Reference replay over the
-// exported observation stream — and requires identical traces and occupancy.
+// exported observation stream — and requires identical traces and occupancy,
+// plus an online-vs-offline forecasting differential (see
+// checkOnlineForecastSeed).
 //
 // The first divergence aborts the run with an error naming the seed.
 func Run(opts Options) (Result, error) {
@@ -577,6 +582,12 @@ func checkTestbedSeed(seed int64, res *Result) error {
 	}
 
 	if err := roundTripTrace(fast); err != nil {
+		return err
+	}
+	// Online forecasting leg: the incremental forecaster fed the same raw
+	// observation streams must agree with offline predictors batch-trained
+	// on the recorded trace.
+	if err := checkOnlineForecastSeed(cfg, fast, res); err != nil {
 		return err
 	}
 	res.TestbedRuns++

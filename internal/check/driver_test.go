@@ -24,6 +24,9 @@ func TestRunSmoke(t *testing.T) {
 	if res.TestbedRuns == 0 {
 		t.Errorf("no testbed differential ran: %+v", res)
 	}
+	if res.ForecastChecks == 0 {
+		t.Errorf("no online-vs-offline forecast comparisons ran: %+v", res)
+	}
 }
 
 // TestRunDefaults pins the CI configuration the zero Options resolve to.

@@ -1,0 +1,113 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/forecast"
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+// forecastTolerance bounds the online-vs-offline forecast differential.
+// The implementations share predict.ForEachHistoryWindow and accumulate in
+// the same order, so in practice they agree bit-for-bit; the tolerance
+// exists so the check states its contract (1e-9) rather than an accident
+// of today's code layout.
+const forecastTolerance = 1e-9
+
+// checkOnlineForecastSeed is the online-vs-offline forecasting leg of the
+// testbed differential: it replays the seed's raw observation streams
+// through the incremental forecaster and requires its forecasts to match
+// offline predictors batch-trained on the recorded trace of the same
+// streams — plain and trimmed history windows plus the EWMA daily model,
+// over aligned and misaligned windows, for every machine in the fleet and
+// for absent machine IDs.
+func checkOnlineForecastSeed(cfg testbed.Config, tr *trace.Trace, res *Result) error {
+	on, err := forecast.New(forecast.Config{
+		Calendar: tr.Calendar,
+		Machines: cfg.Machines,
+		Detector: cfg.Detector,
+		Start:    tr.Span.Start,
+	})
+	if err != nil {
+		return fmt.Errorf("online forecaster: %w", err)
+	}
+	onTrim, err := forecast.New(forecast.Config{
+		Calendar: tr.Calendar,
+		Machines: cfg.Machines,
+		Detector: cfg.Detector,
+		Trim:     0.1,
+		Start:    tr.Span.Start,
+	})
+	if err != nil {
+		return fmt.Errorf("online trimmed forecaster: %w", err)
+	}
+	for id := 0; id < cfg.Machines; id++ {
+		m := trace.MachineID(id)
+		err := testbed.ObservationStream(cfg, m, func(obs availability.Observation) error {
+			if err := on.Observe(m, obs); err != nil {
+				return err
+			}
+			return onTrim.Observe(m, obs)
+		})
+		if err != nil {
+			return fmt.Errorf("forecast observation stream machine %d: %w", id, err)
+		}
+	}
+	on.AdvanceTo(tr.Span.End)
+	onTrim.AdvanceTo(tr.Span.End)
+
+	hw := &predict.HistoryWindow{}
+	hw.Train(tr)
+	hwTrim := &predict.HistoryWindow{Trim: 0.1}
+	hwTrim.Train(tr)
+	ewma := &predict.EWMADaily{}
+	ewma.Train(tr)
+
+	// Aligned, misaligned and tail windows on every day of the span plus
+	// one day past its end.
+	var windows []sim.Window
+	for day := 1; day <= cfg.Days; day++ {
+		base := sim.Time(day) * sim.Day
+		windows = append(windows,
+			sim.Window{Start: base + 9*time.Hour, End: base + 10*time.Hour},
+			sim.Window{Start: base + 13*time.Hour, End: base + 16*time.Hour},
+			sim.Window{Start: base + 90*time.Minute, End: base + 3*time.Hour},
+			sim.Window{Start: base + 23*time.Hour + 30*time.Minute, End: base + sim.Day},
+		)
+	}
+	machines := make([]trace.MachineID, 0, cfg.Machines+2)
+	for id := 0; id < cfg.Machines; id++ {
+		machines = append(machines, trace.MachineID(id))
+	}
+	machines = append(machines, trace.MachineID(cfg.Machines), -1) // absent IDs
+
+	for _, m := range machines {
+		for _, w := range windows {
+			pairs := []struct {
+				what      string
+				got, want float64
+			}{
+				{"PredictCount", on.PredictCount(m, w), hw.PredictCount(m, w)},
+				{"PredictSurvival", on.PredictSurvival(m, w), hw.PredictSurvival(m, w)},
+				{"trimmed PredictCount", onTrim.PredictCount(m, w), hwTrim.PredictCount(m, w)},
+				{"trimmed PredictSurvival", onTrim.PredictSurvival(m, w), hwTrim.PredictSurvival(m, w)},
+				{"EWMACount", on.EWMACount(m, w), ewma.PredictCount(m, w)},
+				{"EWMASurvival", on.EWMASurvival(m, w), ewma.PredictSurvival(m, w)},
+			}
+			for _, p := range pairs {
+				if math.Abs(p.got-p.want) > forecastTolerance {
+					return fmt.Errorf("forecast %s(m=%d, %v): online %v, offline %v",
+						p.what, m, w, p.got, p.want)
+				}
+				res.ForecastChecks++
+			}
+		}
+	}
+	return nil
+}

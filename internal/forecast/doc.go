@@ -1,0 +1,24 @@
+// Package forecast is the online availability predictor: the streaming
+// counterpart of internal/predict that closes the loop the paper leaves as
+// future work. Instead of batch-training on a recorded trace, an Online
+// forecaster ingests per-machine observation (or event) streams as they
+// happen — each update is O(1) into a bounded per-machine ring of event
+// starts plus incremental hour-of-week statistics — and serves the same
+// forecasts the offline predictors would produce had they been retrained
+// on the full prefix at that instant.
+//
+// Equality with the offline predictors is not approximate: the online
+// history-window and EWMA forecasts iterate the identical contributing
+// windows in the identical order (predict.ForEachHistoryWindow is the one
+// definition both sides call), so on identical history the results are
+// bit-equal. The differential harness (internal/check) replays every
+// testbed seed's observation stream through an Online forecaster and
+// asserts exactly that against batch-trained predict.HistoryWindow and
+// predict.EWMADaily.
+//
+// Service wraps an Online forecaster for the control plane: it keys
+// machines by node name, maps wall-clock digest stamps onto virtual time,
+// and derives the event stream from availability-state transitions carried
+// by heartbeat digests — which is how a registry shard serves `forecast`
+// requests without ever seeing a recorded trace.
+package forecast

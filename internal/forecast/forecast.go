@@ -1,0 +1,540 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config parameterizes an Online forecaster. The zero value (plus a
+// machine count) mirrors the offline predictor defaults: untrimmed
+// history-window means, EWMA alpha 0.3, no minimum history.
+type Config struct {
+	// Calendar anchors virtual time to weekdays/weekends, exactly as the
+	// trace the offline predictors train on would.
+	Calendar sim.Calendar
+	// Machines is the initial fleet size (ids 0..Machines-1). AddMachine
+	// grows the fleet at runtime (the control-plane service does this as
+	// nodes register).
+	Machines int
+	// EventCapacity bounds the per-machine ring of event starts; when it
+	// overflows, the oldest starts are dropped and forecasts see only the
+	// retained horizon. Default 4096 — with the paper's ~4 events per
+	// machine-day that is roughly three years of history per machine.
+	EventCapacity int
+	// Trim is the trimmed-mean fraction of the history-window forecast
+	// (predict.HistoryWindow.Trim).
+	Trim float64
+	// Alpha is the EWMA smoothing factor (predict.EWMADaily.Alpha;
+	// default 0.3).
+	Alpha float64
+	// MinHistoryDays guards the history-window forecast against
+	// predicting from almost no data (predict.HistoryWindow.MinHistoryDays).
+	MinHistoryDays int
+	// Detector configures the per-machine availability detector used by
+	// the observation-ingest path (Observe). Event ingest (ObserveEvent /
+	// ObserveStart) does not use it.
+	Detector availability.Config
+	// Start is the virtual instant observation began (the span start of
+	// the equivalent offline training trace). Default 0.
+	Start sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.EventCapacity == 0 {
+		c.EventCapacity = 4096
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Machines < 0 {
+		return fmt.Errorf("forecast: negative machine count %d", c.Machines)
+	}
+	if c.EventCapacity < 0 {
+		return fmt.Errorf("forecast: negative event capacity %d", c.EventCapacity)
+	}
+	if c.Trim < 0 || c.Trim >= 0.5 {
+		if c.Trim != 0 {
+			return fmt.Errorf("forecast: trim fraction %v outside [0, 0.5)", c.Trim)
+		}
+	}
+	if c.MinHistoryDays < 0 {
+		return fmt.Errorf("forecast: negative min history days %d", c.MinHistoryDays)
+	}
+	return nil
+}
+
+// weekHours is the number of hour-of-week slots.
+const weekHours = 7 * 24
+
+// machineState is one machine's incrementally maintained history.
+type machineState struct {
+	// det and down implement the observation-ingest path: det classifies
+	// observations and down mirrors trace.Builder's open-event flag, so
+	// the derived event starts are exactly the ones a recorded trace of
+	// the same stream would contain.
+	det  *availability.Detector
+	down bool
+
+	// starts is a bounded chronological ring of event start times; head
+	// indexes the oldest retained entry, n is the live count. The backing
+	// array grows on demand up to cap, so idle machines in a large fleet
+	// cost nothing.
+	starts []sim.Time
+	cap    int
+	head   int
+	n      int
+	// dropped counts starts evicted by the capacity bound; the retention
+	// horizon is the oldest retained start when dropped > 0.
+	dropped int64
+
+	// lastEnd is the end of the last closed event (0 if none): the renewal
+	// age anchor.
+	lastEnd sim.Time
+	haveEnd bool
+	// how counts event starts per hour-of-week slot — the O(1) aggregate
+	// behind the rate forecasts. Eviction does not decrement it: it is a
+	// lifetime aggregate, normalized by lifetime slot exposure.
+	how [weekHours]int64
+}
+
+// at returns the i-th oldest retained start.
+func (ms *machineState) at(i int) sim.Time {
+	return ms.starts[(ms.head+i)%len(ms.starts)]
+}
+
+// countStarts returns how many retained event starts fall in [w.Start,
+// w.End) — the online equivalent of Index.CountInWindow.
+func (ms *machineState) countStarts(w sim.Window) int {
+	lo := sort.Search(ms.n, func(i int) bool { return ms.at(i) >= w.Start })
+	hi := sort.Search(ms.n, func(i int) bool { return ms.at(i) >= w.End })
+	return hi - lo
+}
+
+// push appends a start, keeping the ring sorted (backdated S3 transitions
+// can arrive up to a transient window out of order) and evicting the
+// oldest entry when full.
+func (ms *machineState) push(at sim.Time) {
+	if ms.cap <= 0 {
+		return
+	}
+	if ms.n == len(ms.starts) && len(ms.starts) < ms.cap {
+		// Grow lazily. head stays 0 until the ring first fills to cap, so
+		// appending extends the chronological order in place.
+		ms.starts = append(ms.starts, 0)
+	}
+	if ms.n == len(ms.starts) {
+		ms.head = (ms.head + 1) % len(ms.starts)
+		ms.n--
+		ms.dropped++
+	}
+	i := ms.n
+	ms.starts[(ms.head+i)%len(ms.starts)] = at
+	ms.n++
+	// Bubble the new start back over any later ones (rare: only backdated
+	// transitions land out of order, and at most by the transient window).
+	for i > 0 && ms.at(i-1) > ms.at(i) {
+		a, b := (ms.head+i-1)%len(ms.starts), (ms.head+i)%len(ms.starts)
+		ms.starts[a], ms.starts[b] = ms.starts[b], ms.starts[a]
+		i--
+	}
+}
+
+// Online is the incremental forecaster. Ingest is O(1) per event (and per
+// observation); forecasts are computed on demand from the retained history
+// and are bit-equal to offline predictors batch-trained on the same
+// prefix. Not safe for concurrent use — Service adds the locking the
+// control plane needs.
+type Online struct {
+	cfg Config
+	ms  []*machineState
+	end sim.Time // observation high-water: the span end at query time
+
+	events int64 // total ingested event starts
+	oor    int64 // events dropped for out-of-range machine ids
+
+	scratch []float64 // reused history-count buffer
+}
+
+// New creates an Online forecaster.
+func New(cfg Config) (*Online, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	o := &Online{cfg: cfg, end: cfg.Start}
+	for i := 0; i < cfg.Machines; i++ {
+		if _, err := o.addMachine(); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+func (o *Online) addMachine() (trace.MachineID, error) {
+	det, err := availability.NewDetector(o.cfg.Detector)
+	if err != nil {
+		return 0, err
+	}
+	o.ms = append(o.ms, &machineState{
+		det: det,
+		cap: o.cfg.EventCapacity,
+	})
+	return trace.MachineID(len(o.ms) - 1), nil
+}
+
+// AddMachine grows the fleet by one and returns the new machine id.
+func (o *Online) AddMachine() (trace.MachineID, error) { return o.addMachine() }
+
+// Machines returns the current fleet size.
+func (o *Online) Machines() int { return len(o.ms) }
+
+// Events returns the total number of ingested event starts.
+func (o *Online) Events() int64 { return o.events }
+
+// Dropped returns how many event starts the capacity bound has evicted,
+// summed over machines.
+func (o *Online) Dropped() int64 {
+	var n int64
+	for _, ms := range o.ms {
+		n += ms.dropped
+	}
+	return n + o.oor
+}
+
+// Span returns the observed span [Start, high-water) — the span of the
+// offline training trace an equal batch predictor would have been trained
+// on.
+func (o *Online) Span() sim.Window { return sim.Window{Start: o.cfg.Start, End: o.end} }
+
+// AdvanceTo moves the observation high-water to t (monotone; earlier
+// times are ignored). Forecast history only includes fully observed
+// windows, so advancing the span is what admits the most recent history
+// into forecasts.
+func (o *Online) AdvanceTo(t sim.Time) {
+	if t > o.end {
+		o.end = t
+	}
+}
+
+func (o *Online) state(m trace.MachineID) *machineState {
+	if m < 0 || int(m) >= len(o.ms) {
+		return nil
+	}
+	return o.ms[m]
+}
+
+// ObserveStart ingests one event start (the machine left the available
+// states at that instant). O(1) amortized.
+func (o *Online) ObserveStart(m trace.MachineID, at sim.Time) {
+	ms := o.state(m)
+	if ms == nil {
+		o.oor++
+		return
+	}
+	ms.push(at)
+	ms.how[weekHour(o.cfg.Calendar, at)]++
+	o.events++
+	o.AdvanceTo(at)
+}
+
+// ObserveEnd ingests one event end (availability returned). O(1).
+func (o *Online) ObserveEnd(m trace.MachineID, at sim.Time) {
+	ms := o.state(m)
+	if ms == nil {
+		return
+	}
+	if at > ms.lastEnd {
+		ms.lastEnd = at
+	}
+	ms.haveEnd = true
+	o.AdvanceTo(at)
+}
+
+// ObserveEvent ingests one closed unavailability event from a recorded
+// stream (e.g. a replayed fleet trace). Events must arrive in a causally
+// plausible order — sorted by end time is the natural feed, since an event
+// is only known once it closes.
+func (o *Online) ObserveEvent(e trace.Event) {
+	o.ObserveStart(e.Machine, e.Start)
+	o.ObserveEnd(e.Machine, e.End)
+}
+
+// Observe ingests one raw monitor observation for machine m, running the
+// same detector pipeline the testbed trace recorder runs: transitions into
+// an unavailable state open an event (counting its — possibly backdated —
+// start), transitions back close it. Feeding a machine's full observation
+// stream therefore yields exactly the event starts of the recorded trace
+// of that stream, which is what the online-offline differential pins.
+func (o *Online) Observe(m trace.MachineID, obs availability.Observation) error {
+	ms := o.state(m)
+	if ms == nil {
+		return fmt.Errorf("forecast: machine %d outside fleet of %d", m, len(o.ms))
+	}
+	_, tr := ms.det.Observe(obs)
+	if tr != nil {
+		// Mirror trace.Builder: a transition out of an unavailable state
+		// (to available or directly to another failure state) closes the
+		// open event; a transition into an unavailable state opens one.
+		if ms.down && tr.From.Unavailable() && (tr.To.Available() || tr.To.Unavailable()) {
+			ms.down = false
+			if tr.At > ms.lastEnd {
+				ms.lastEnd = tr.At
+			}
+			ms.haveEnd = true
+		}
+		if tr.To.Unavailable() {
+			ms.down = true
+			ms.push(tr.At)
+			ms.how[weekHour(o.cfg.Calendar, tr.At)]++
+			o.events++
+		}
+	}
+	o.AdvanceTo(obs.At)
+	return nil
+}
+
+// Down reports whether machine m is currently inside an unavailability
+// event according to the observation-ingest path.
+func (o *Online) Down(m trace.MachineID) bool {
+	ms := o.state(m)
+	return ms != nil && ms.down
+}
+
+// historyCounts mirrors predict.HistoryWindow.historyCounts over the
+// retained ring: one count per fully observed same-day-type prior clock
+// window, in day order.
+func (o *Online) historyCounts(ms *machineState, w sim.Window) []float64 {
+	counts := o.scratch[:0]
+	predict.ForEachHistoryWindow(o.cfg.Calendar, o.Span(), w, true, func(hw sim.Window) {
+		counts = append(counts, float64(ms.countStarts(hw)))
+	})
+	o.scratch = counts
+	return counts
+}
+
+// PredictCount forecasts the expected number of unavailability events in w
+// on machine m — bit-equal to predict.HistoryWindow{Trim: cfg.Trim,
+// MinHistoryDays: cfg.MinHistoryDays} trained on the observed prefix.
+// Machines outside the fleet forecast 0 (no history), as offline.
+func (o *Online) PredictCount(m trace.MachineID, w sim.Window) float64 {
+	ms := o.state(m)
+	if ms == nil {
+		return 0
+	}
+	counts := o.historyCounts(ms, w)
+	if len(counts) < o.cfg.MinHistoryDays || len(counts) == 0 {
+		return 0
+	}
+	if o.cfg.Trim > 0 {
+		return stats.TrimmedMean(counts, o.cfg.Trim)
+	}
+	return stats.Mean(counts)
+}
+
+// PredictSurvival forecasts P(no event overlaps w starts in w's clock
+// window) as the Laplace-smoothed fraction of failure-free history
+// windows — bit-equal to the offline HistoryWindow. The no-information
+// answer (unknown machine, no history) is 0.5.
+func (o *Online) PredictSurvival(m trace.MachineID, w sim.Window) float64 {
+	ms := o.state(m)
+	if ms == nil {
+		return 0.5
+	}
+	counts := o.historyCounts(ms, w)
+	if len(counts) < o.cfg.MinHistoryDays || len(counts) == 0 {
+		return 0.5
+	}
+	free := 0
+	for _, c := range counts {
+		if c == 0 {
+			free++
+		}
+	}
+	return stats.Clamp01((float64(free) + 1) / (float64(len(counts)) + 2))
+}
+
+// ewmaCount mirrors predict.EWMADaily.predictCount.
+func (o *Online) ewmaCount(ms *machineState, w sim.Window) (float64, bool) {
+	alpha := o.cfg.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	acc := stats.NewEWMA(alpha)
+	predict.ForEachHistoryWindow(o.cfg.Calendar, o.Span(), w, false, func(hw sim.Window) {
+		acc.Add(float64(ms.countStarts(hw)))
+	})
+	if !acc.Initialized() {
+		return 0, false
+	}
+	return acc.Value(), true
+}
+
+// EWMACount forecasts the exponentially weighted same-window daily count —
+// bit-equal to predict.EWMADaily{Alpha: cfg.Alpha} trained on the observed
+// prefix.
+func (o *Online) EWMACount(m trace.MachineID, w sim.Window) float64 {
+	ms := o.state(m)
+	if ms == nil {
+		return 0
+	}
+	v, _ := o.ewmaCount(ms, w)
+	return v
+}
+
+// EWMASurvival is the EWMA survival forecast, with the same cold-start
+// prior (0.5 before the first full day of history) as the offline
+// EWMADaily.
+func (o *Online) EWMASurvival(m trace.MachineID, w sim.Window) float64 {
+	ms := o.state(m)
+	if ms == nil {
+		return 0.5
+	}
+	v, ok := o.ewmaCount(ms, w)
+	if !ok {
+		return 0.5
+	}
+	return stats.Clamp01(math.Exp(-v))
+}
+
+// RateAt returns the machine's lifetime event rate (events per hour) for
+// the hour-of-week slot containing t, from the incremental hour-of-week
+// aggregates. O(1).
+func (o *Online) RateAt(m trace.MachineID, t sim.Time) float64 {
+	ms := o.state(m)
+	if ms == nil {
+		return 0
+	}
+	exp := slotExposureHours(o.cfg.Calendar, o.Span(), weekHour(o.cfg.Calendar, t))
+	if exp <= 0 {
+		return 0
+	}
+	return float64(ms.how[weekHour(o.cfg.Calendar, t)]) / exp
+}
+
+// RateSurvival forecasts survival of w from the hour-of-week rate model:
+// exp(-Σ slot-rate × overlap-hours). O(hours in w) with O(1) per hour —
+// the cheap always-available forecast the control-plane service serves
+// when a horizon is too short or history too thin for the history-window
+// forecast to bite.
+func (o *Online) RateSurvival(m trace.MachineID, w sim.Window) float64 {
+	ms := o.state(m)
+	if ms == nil || w.End <= w.Start {
+		return 0.5
+	}
+	expected := 0.0
+	informative := false
+	for t := w.Start; t < w.End; {
+		hourEnd := t - (t % time.Hour) + time.Hour
+		if t < 0 && t%time.Hour != 0 {
+			hourEnd = t - (t%time.Hour + time.Hour) + time.Hour
+		}
+		if hourEnd > w.End {
+			hourEnd = w.End
+		}
+		slot := weekHour(o.cfg.Calendar, t)
+		exp := slotExposureHours(o.cfg.Calendar, o.Span(), slot)
+		if exp > 0 {
+			informative = true
+			expected += float64(ms.how[slot]) / exp * (hourEnd - t).Hours()
+		}
+		t = hourEnd
+	}
+	if !informative {
+		return 0.5
+	}
+	return stats.Clamp01(math.Exp(-expected))
+}
+
+// Forecast is one machine's composite forecast for a window.
+type Forecast struct {
+	// Survival is the history-window survival forecast (the paper's
+	// predictor), 0.5 when uninformed.
+	Survival float64
+	// ExpectedEvents is the history-window expected event count.
+	ExpectedEvents float64
+	// EWMASurvival is the exponentially weighted daily survival forecast.
+	EWMASurvival float64
+	// RateSurvival is the hour-of-week rate-model survival forecast.
+	RateSurvival float64
+	// Samples is the number of history windows that informed Survival; 0
+	// means the forecast is the cold-start prior.
+	Samples int
+	// Events is the machine's total retained+evicted event-start count.
+	Events int64
+}
+
+// ForecastWindow computes the composite forecast for machine m over w.
+func (o *Online) ForecastWindow(m trace.MachineID, w sim.Window) Forecast {
+	f := Forecast{
+		Survival:       o.PredictSurvival(m, w),
+		ExpectedEvents: o.PredictCount(m, w),
+		EWMASurvival:   o.EWMASurvival(m, w),
+		RateSurvival:   o.RateSurvival(m, w),
+	}
+	if ms := o.state(m); ms != nil {
+		f.Samples = len(o.historyCounts(ms, w))
+		f.Events = int64(ms.n) + ms.dropped
+	}
+	return f
+}
+
+// weekHour returns t's hour-of-week slot (0 = Monday 00:00 under the zero
+// calendar).
+func weekHour(cal sim.Calendar, t sim.Time) int {
+	return cal.Weekday(t)*24 + cal.HourOfDay(t)
+}
+
+// slotExposureHours returns how many hours of span fall inside the weekly
+// hour slot — the normalizer that turns hour-of-week counts into rates.
+// O(1): whole weeks contribute one hour each; the partial week at each end
+// contributes its overlap.
+func slotExposureHours(cal sim.Calendar, span sim.Window, slot int) float64 {
+	if span.End <= span.Start {
+		return 0
+	}
+	slotStart := sim.Time(slot) * time.Hour
+	// Shift the span into week-phase coordinates relative to the calendar
+	// epoch (the calendar's StartWeekday already rotated slot numbering in
+	// weekHour; here we need the phase of virtual time itself, which for
+	// slot s of this calendar begins at (s - startOffset) hours mod week).
+	offset := sim.Time(cal.StartWeekday) * sim.Day
+	phase := func(t sim.Time) sim.Time {
+		p := (t + offset) % sim.Week
+		if p < 0 {
+			p += sim.Week
+		}
+		return p
+	}
+	total := 0.0
+	// Full weeks between the first and last week boundaries inside span.
+	dur := span.End - span.Start
+	fullWeeks := dur / sim.Week
+	total += float64(fullWeeks) // one hour per full week, in hours
+	rem := dur % sim.Week
+	if rem == 0 {
+		return total
+	}
+	// The remaining partial week is [phase(start), phase(start)+rem) in
+	// week-phase; intersect it (possibly wrapping) with the slot hour.
+	p0 := phase(span.Start)
+	slotWin := sim.Window{Start: slotStart, End: slotStart + time.Hour}
+	for _, w := range []sim.Window{
+		{Start: p0, End: p0 + rem},
+		{Start: p0 - sim.Week, End: p0 - sim.Week + rem},
+	} {
+		if iv, ok := w.Intersect(slotWin); ok {
+			total += iv.Duration().Hours()
+		}
+	}
+	return total
+}

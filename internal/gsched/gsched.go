@@ -14,6 +14,7 @@ package gsched
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -124,18 +125,46 @@ type Predictive struct {
 // Name implements Policy.
 func (p *Predictive) Name() string { return "predictive(" + p.P.Name() + ")" }
 
-// Pick implements Policy.
+// Pick implements Policy. The choice is deterministic: ties go to the
+// lowest machine id, and an undefined (NaN) prediction never wins — see
+// pickBest.
 func (p *Predictive) Pick(now sim.Time, work time.Duration, n int) trace.MachineID {
-	best := trace.MachineID(0)
-	bestS := -1.0
 	w := sim.Window{Start: now, End: now + work}
+	best, _ := pickBest(n, func(m trace.MachineID) float64 {
+		return p.P.PredictSurvival(m, w)
+	})
+	return best
+}
+
+// pickBest returns the machine with the highest score and that score.
+// It is the one comparison loop every score-ranked placement shares, and
+// it pins down the two edges a naive `s > best` loop gets wrong:
+//
+//   - NaN never wins. Every comparison against NaN is false, so depending
+//     on argument order a NaN score could either freeze the running best
+//     or (as the seed of the loop) poison it forever. Here NaN scores are
+//     skipped outright — a machine whose predictor answers "undefined"
+//     cannot be chosen over one with a defined score, however bad.
+//   - Ties are deterministic: the lowest machine id wins, so a fleet of
+//     identically scored machines yields a stable, reproducible choice
+//     rather than one that depends on iteration accidents.
+//
+// When every score is NaN there is nothing to rank; the fallback is
+// machine 0 with a NaN score so the caller can detect the case.
+func pickBest(n int, score func(trace.MachineID) float64) (trace.MachineID, float64) {
+	best := trace.MachineID(0)
+	bestS := math.NaN()
+	found := false
 	for m := 0; m < n; m++ {
-		s := p.P.PredictSurvival(trace.MachineID(m), w)
-		if s > bestS {
-			best, bestS = trace.MachineID(m), s
+		s := score(trace.MachineID(m))
+		if math.IsNaN(s) {
+			continue
+		}
+		if !found || s > bestS {
+			best, bestS, found = trace.MachineID(m), s, true
 		}
 	}
-	return best
+	return best, bestS
 }
 
 // ObserveFailure implements Policy.
@@ -236,8 +265,16 @@ type Result struct {
 	MeanSlowdown   float64
 	// WastedWork is CPU time lost to failures (work redone).
 	WastedWork time.Duration
-	// Migrations counts proactive mid-job moves (SimulateMigrating only).
+	// Migrations counts proactive mid-job moves (SimulateMigrating and
+	// SimulateProactive).
 	Migrations int
+	// Checkpoints counts forecast-triggered checkpoints
+	// (SimulateProactive only).
+	Checkpoints int
+	// SavedWork is CPU time that forecast-triggered checkpoints preserved
+	// across failures beyond what the periodic checkpoint cadence would
+	// have kept (SimulateProactive only).
+	SavedWork time.Duration
 }
 
 // Simulate replays the job stream against the trace under one policy.

@@ -2,6 +2,7 @@ package gsched
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/sim"
@@ -150,20 +151,17 @@ func runJobMigrating(ix *trace.Index, policy Policy, est SurvivalEstimator, cfg 
 				return stat, migrations
 			}
 			// Placement review: is another machine clearly safer for the
-			// rest of the job?
+			// rest of the job? An undefined (NaN) survival for the current
+			// machine must not pin the job here forever — NaN poisons
+			// every comparison, so it is handled explicitly: any machine
+			// with a defined estimate beats an undefined current one.
 			remaining = work - done
 			cur := est.Survival(now, remaining, m)
-			best, bestS := m, cur
-			for cand := 0; cand < machines; cand++ {
-				id := trace.MachineID(cand)
-				if id == m {
-					continue
-				}
-				if s := est.Survival(now, remaining, id); s > bestS {
-					best, bestS = id, s
-				}
-			}
-			if best != m && bestS-cur >= mig.Margin {
+			best, bestS := pickBest(machines, func(id trace.MachineID) float64 {
+				return est.Survival(now, remaining, id)
+			})
+			if best != m && !math.IsNaN(bestS) &&
+				(math.IsNaN(cur) || (bestS > cur && bestS-cur >= mig.Margin)) {
 				m = best
 				migrations++
 				now += mig.Delay

@@ -1,0 +1,296 @@
+package gsched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ProactiveConfig controls forecast-driven checkpoint-or-migrate reviews:
+// a running job periodically forecasts its machine's survival over the
+// next Horizon and, when the forecast drops below SurvivalFloor, acts
+// *before* the predicted unavailability window — migrating when a clearly
+// safer machine exists, checkpointing in place otherwise. This is the
+// proactive loop the paper's predictability findings motivate: S3/S4/S5
+// windows recur at the same clock hours, so an online forecaster sees
+// them coming.
+type ProactiveConfig struct {
+	// CheckEvery is the review cadence.
+	CheckEvery time.Duration
+	// Horizon is how far ahead each review forecasts (capped at the job's
+	// remaining work).
+	Horizon time.Duration
+	// SurvivalFloor triggers action when the current machine's horizon
+	// survival forecast falls below it. An undefined (NaN) forecast also
+	// triggers — no forecast is no reassurance.
+	SurvivalFloor float64
+	// CheckpointCost is the pause to write one checkpoint.
+	CheckpointCost time.Duration
+	// MigrateDelay is the cost of one migration (state transfer and
+	// resubmission), as in MigrationConfig.
+	MigrateDelay time.Duration
+	// MigrateMargin is how much better the best alternative's forecast
+	// must be before migrating beats checkpointing in place.
+	MigrateMargin float64
+	// Metrics, when set, receives live counters (checkpoints, migrations,
+	// saved/wasted CPU seconds) and a per-review forecast latency
+	// histogram. Instrumentation never touches the simulation's random
+	// streams, so results are identical with or without it.
+	Metrics *obs.Registry
+}
+
+// DefaultProactiveConfig reviews every 30 minutes with a 2-hour horizon,
+// acts below 60% survival, pays 30 seconds per checkpoint and 2 minutes
+// per migration, and migrates on a 15-point advantage.
+func DefaultProactiveConfig() ProactiveConfig {
+	return ProactiveConfig{
+		CheckEvery:     30 * time.Minute,
+		Horizon:        2 * time.Hour,
+		SurvivalFloor:  0.6,
+		CheckpointCost: 30 * time.Second,
+		MigrateDelay:   2 * time.Minute,
+		MigrateMargin:  0.15,
+	}
+}
+
+// Validate reports configuration errors.
+func (p ProactiveConfig) Validate() error {
+	if p.CheckEvery <= 0 {
+		return fmt.Errorf("gsched: proactive check interval must be positive, got %v", p.CheckEvery)
+	}
+	if p.Horizon <= 0 {
+		return fmt.Errorf("gsched: proactive horizon must be positive, got %v", p.Horizon)
+	}
+	if p.SurvivalFloor < 0 || p.SurvivalFloor > 1 {
+		return fmt.Errorf("gsched: survival floor %v outside [0,1]", p.SurvivalFloor)
+	}
+	if p.CheckpointCost < 0 || p.MigrateDelay < 0 {
+		return fmt.Errorf("gsched: negative proactive costs")
+	}
+	if p.MigrateMargin < 0 || p.MigrateMargin > 1 {
+		return fmt.Errorf("gsched: migrate margin %v outside [0,1]", p.MigrateMargin)
+	}
+	return nil
+}
+
+// ForecastSource is the minimal surface the proactive loop needs from a
+// forecaster: a survival forecast for one machine over one window. Both
+// the online forecaster (*forecast.Online) and every offline
+// predict.Predictor satisfy it.
+type ForecastSource interface {
+	PredictSurvival(m trace.MachineID, w sim.Window) float64
+}
+
+// ForecastEstimator adapts a ForecastSource to the SurvivalEstimator the
+// migrating and proactive runners consume — this is how an online
+// forecaster plugs into SimulateProactive.
+type ForecastEstimator struct{ F ForecastSource }
+
+// Survival implements SurvivalEstimator.
+func (e ForecastEstimator) Survival(now sim.Time, work time.Duration, m trace.MachineID) float64 {
+	return e.F.PredictSurvival(m, sim.Window{Start: now, End: now + work})
+}
+
+// proactiveMetrics is the resolved instrument set, nil-safe when unused.
+type proactiveMetrics struct {
+	checkpoints *obs.Counter
+	migrations  *obs.Counter
+	saved       *obs.Gauge
+	wasted      *obs.Gauge
+	latency     *obs.Histogram
+}
+
+func newProactiveMetrics(r *obs.Registry) *proactiveMetrics {
+	if r == nil {
+		return nil
+	}
+	return &proactiveMetrics{
+		checkpoints: r.Counter("gsched_proactive_checkpoints_total",
+			"Forecast-triggered checkpoints written before predicted unavailability."),
+		migrations: r.Counter("gsched_proactive_migrations_total",
+			"Forecast-triggered mid-job migrations."),
+		saved: r.Gauge("gsched_proactive_saved_cpu_seconds",
+			"Guest CPU seconds preserved by proactive checkpoints beyond the periodic cadence."),
+		wasted: r.Gauge("gsched_wasted_cpu_seconds",
+			"Guest CPU seconds lost to failures (work redone)."),
+		latency: r.Histogram("gsched_forecast_latency_seconds",
+			"Wall-clock latency of one placement review's survival forecasts.",
+			obs.ExpBuckets(1e-7, 4, 12)),
+	}
+}
+
+// SimulateProactive replays the job stream with forecast-driven
+// checkpoint/migrate reviews on top of the given policy. Placement and
+// failure rules match Simulate exactly (same pre-drawn job stream, same
+// ground-truth index), so its Result is directly comparable against the
+// reactive baseline's: the difference is only what the reviews save.
+func SimulateProactive(tr *trace.Trace, policy Policy, est SurvivalEstimator, cfg Config, pro ProactiveConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := pro.Validate(); err != nil {
+		return Result{}, err
+	}
+	testStart := tr.Span.Start + sim.Time(cfg.TrainDays)*sim.Day
+	if testStart >= tr.Span.End {
+		return Result{}, fmt.Errorf("gsched: training period consumes the trace span")
+	}
+	ix := tr.BuildIndex()
+	jobRNG := sim.NewSource(cfg.Seed).Stream("gsched/jobs")
+
+	type job struct {
+		arrival sim.Time
+		work    time.Duration
+	}
+	jobs := make([]job, cfg.Jobs)
+	for i := range jobs {
+		jobs[i] = job{
+			arrival: testStart + sim.Uniform(jobRNG, 0, tr.Span.End-testStart),
+			work:    sim.Uniform(jobRNG, cfg.JobWork[0], cfg.JobWork[1]),
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].arrival < jobs[j].arrival })
+
+	met := newProactiveMetrics(pro.Metrics)
+	res := Result{Policy: policy.Name() + "+proactive"}
+	var responses, slowdowns []float64
+	for _, jb := range jobs {
+		stat := runJobProactive(ix, policy, est, cfg, pro, met, tr.Machines, tr.Span.End, jb.arrival, jb.work, &res)
+		if !stat.Done {
+			res.Unfinished++
+			continue
+		}
+		res.Completed++
+		res.TotalFailures += stat.Failures
+		responses = append(responses, float64(stat.ResponseTime()))
+		slowdowns = append(slowdowns, stat.Slowdown())
+	}
+	if len(responses) > 0 {
+		res.MeanResponse = time.Duration(stats.Mean(responses))
+		res.MedianResponse = time.Duration(stats.Median(responses))
+		res.MeanSlowdown = stats.Mean(slowdowns)
+	}
+	if met != nil {
+		met.saved.Set(res.SavedWork.Seconds())
+		met.wasted.Set(res.WastedWork.Seconds())
+	}
+	return res, nil
+}
+
+// runJobProactive executes one job with forecast reviews. Progress
+// bookkeeping extends the migrating runner's: a forecast-triggered
+// checkpoint pins the job's progress at that instant, so a later failure
+// rolls back only to max(proactive checkpoint, periodic checkpoint)
+// instead of the periodic cadence alone.
+func runJobProactive(ix *trace.Index, policy Policy, est SurvivalEstimator, cfg Config, pro ProactiveConfig, met *proactiveMetrics, machines int, spanEnd sim.Time, arrival sim.Time, work time.Duration, res *Result) JobStat {
+	stat := JobStat{Arrival: arrival, Work: work}
+	var done time.Duration // work completed since the job's last restart
+	var ckpt time.Duration // progress pinned by the last proactive checkpoint
+	now := arrival
+	m := policy.Pick(now, work, machines)
+	for {
+		if now >= spanEnd {
+			return stat
+		}
+		remaining := work - done
+		chunk := pro.CheckEvery
+		if remaining < chunk {
+			chunk = remaining
+		}
+		ev, overlaps := ix.FirstOverlap(m, sim.Window{Start: now, End: now + chunk})
+		if !overlaps {
+			now += chunk
+			done += chunk
+			if done >= work {
+				if now > spanEnd {
+					return stat
+				}
+				stat.Completion = now
+				stat.Done = true
+				return stat
+			}
+			// Review: forecast the next horizon on the current machine.
+			remaining = work - done
+			horizon := pro.Horizon
+			if remaining < horizon {
+				horizon = remaining
+			}
+			var t0 time.Time
+			if met != nil {
+				t0 = time.Now()
+			}
+			cur := est.Survival(now, horizon, m)
+			danger := math.IsNaN(cur) || cur < pro.SurvivalFloor
+			var best trace.MachineID
+			bestS := math.NaN()
+			if danger {
+				best, bestS = pickBest(machines, func(id trace.MachineID) float64 {
+					return est.Survival(now, horizon, id)
+				})
+			}
+			if met != nil {
+				met.latency.Observe(time.Since(t0).Seconds())
+			}
+			if !danger {
+				continue
+			}
+			// Unavailability is forecast within the horizon. First pin the
+			// job's progress with a checkpoint — it is cheap, and it bounds
+			// the loss no matter where the job runs next or how wrong the
+			// forecast turns out to be. Then additionally move the job when
+			// a clearly safer machine exists; forecasts are imperfect, and
+			// the checkpoint is what keeps a mistaken migration from
+			// costing more than MigrateDelay.
+			if done > ckpt {
+				ckpt = done
+				res.Checkpoints++
+				now += pro.CheckpointCost
+				if met != nil {
+					met.checkpoints.Inc()
+				}
+			}
+			if best != m && !math.IsNaN(bestS) &&
+				(math.IsNaN(cur) || bestS-cur >= pro.MigrateMargin) {
+				m = best
+				res.Migrations++
+				now += pro.MigrateDelay
+				if met != nil {
+					met.migrations.Inc()
+				}
+			}
+			continue
+		}
+		// Failure inside the chunk: roll back to the furthest checkpoint —
+		// proactive or periodic, whichever preserved more.
+		failAt := ev.Start
+		if failAt < now {
+			failAt = now
+		}
+		done += failAt - now
+		var periodic time.Duration
+		if cfg.Checkpoint > 0 {
+			periodic = (done / cfg.Checkpoint) * cfg.Checkpoint
+		}
+		kept := periodic
+		if ckpt > kept {
+			kept = ckpt
+		}
+		res.WastedWork += done - kept
+		res.SavedWork += kept - periodic
+		done = kept
+		stat.Failures++
+		policy.ObserveFailure(m, failAt)
+		now = failAt + cfg.RetryDelay
+		if ev.End > now {
+			now = ev.End + cfg.RetryDelay
+		}
+		m = policy.Pick(now, work-done, machines)
+	}
+}

@@ -187,6 +187,25 @@ func (c *Client) ListShard(ctx context.Context, addr string, limit int) ([]NodeI
 	return resp.Nodes, nil
 }
 
+// Forecast asks one registry shard (RegistryAddr when addr is empty) for
+// availability forecasts over the given horizon, one ForecastInfo per
+// name in request order. The registry must have been started with
+// RegistryOptions.Forecast; otherwise the call fails.
+func (c *Client) Forecast(ctx context.Context, addr string, names []string, horizon time.Duration) ([]ForecastInfo, error) {
+	if addr == "" {
+		addr = c.RegistryAddr
+	}
+	req := Request{Op: "forecast", Names: names, HorizonMS: horizon.Milliseconds()}
+	resp, err := c.do(ctx, addr, req, c.timeout(), true)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("ishare: forecast failed: %s", resp.Error)
+	}
+	return resp.Forecasts, nil
+}
+
 // FetchShardMap bootstraps the shard list from any one registry address:
 // it asks addr (RegistryAddr when empty) for the deployment's versioned
 // shard map. The caller decides whether to adopt it into c.Shards.

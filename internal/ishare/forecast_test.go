@@ -1,0 +1,173 @@
+package ishare
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// forecastFixture drives a forecast-enabled registry with an injected
+// clock: Scale 60000 maps one wall millisecond to one virtual minute, so
+// a "day" of fleet time is 1440 clock ticks.
+type forecastFixture struct {
+	r     *Registry
+	clock *atomic.Int64
+	gen   int64
+}
+
+const (
+	forecastEpochMS = int64(1_000)
+	msPerDay        = int64(1440) // at Scale 60000: 1 ms = 1 virtual minute
+)
+
+func newForecastFixture(t *testing.T, opt RegistryOptions) *forecastFixture {
+	t.Helper()
+	var clock atomic.Int64
+	clock.Store(forecastEpochMS)
+	opt.TTL = time.Hour
+	opt.Now = func() time.Time { return time.UnixMilli(clock.Load()) }
+	if opt.Forecast == nil {
+		opt.Forecast = &ForecastOptions{Scale: 60_000, EpochMS: forecastEpochMS}
+	}
+	r, err := NewRegistryWithOptions("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return &forecastFixture{r: r, clock: &clock}
+}
+
+// report advances the clock to the given stamp and heartbeats the node's
+// state with a fresh Gen so the digest supersedes the stored one.
+func (f *forecastFixture) report(t *testing.T, name, state string, stampMS int64) {
+	t.Helper()
+	f.clock.Store(stampMS)
+	f.gen++
+	resp := f.r.handle(Request{Op: "heartbeat", Name: name, State: state, Gen: f.gen})
+	if !resp.OK {
+		t.Fatalf("heartbeat(%s, %s): %s", name, state, resp.Error)
+	}
+}
+
+// seedDailyOutages registers n1 and reports ten days of S3 from 09:00 to
+// 11:00, with S1 the rest of the time.
+func (f *forecastFixture) seedDailyOutages(t *testing.T) {
+	t.Helper()
+	if resp := f.r.handle(Request{Op: "register", Name: "n1", Addr: "10.0.0.1:70",
+		State: "S1(full)", Gen: 1}); !resp.OK {
+		t.Fatalf("register: %s", resp.Error)
+	}
+	f.gen = 1
+	for d := int64(0); d < 10; d++ {
+		f.report(t, "n1", "S3(UEC-CPU)", forecastEpochMS+d*msPerDay+540) // 09:00
+		f.report(t, "n1", "S1(full)", forecastEpochMS+d*msPerDay+660)    // 11:00
+	}
+}
+
+// TestRegistryForecastOp exercises the forecast op end to end: the
+// registry derives events from digest transitions and serves horizon
+// survival forecasts that distinguish the risky clock window from a safe
+// one.
+func TestRegistryForecastOp(t *testing.T) {
+	f := newForecastFixture(t, RegistryOptions{})
+	f.seedDailyOutages(t)
+
+	// Day 10, 08:30: a one-hour horizon crosses the daily 09:00 outage.
+	f.clock.Store(forecastEpochMS + 10*msPerDay + 510)
+	resp := f.r.handle(Request{Op: "forecast", Names: []string{"n1", "ghost"}, HorizonMS: 60})
+	if !resp.OK {
+		t.Fatalf("forecast: %s", resp.Error)
+	}
+	if len(resp.Forecasts) != 2 {
+		t.Fatalf("got %d forecasts, want 2", len(resp.Forecasts))
+	}
+	risky, ghost := resp.Forecasts[0], resp.Forecasts[1]
+	if !risky.Known || ghost.Known {
+		t.Fatalf("known flags wrong: n1=%v ghost=%v", risky.Known, ghost.Known)
+	}
+	if risky.Samples == 0 {
+		t.Fatal("n1 forecast has no history samples")
+	}
+	if risky.Survival >= 0.5 {
+		t.Errorf("survival across the daily outage window = %v, want < 0.5", risky.Survival)
+	}
+	if risky.Gen != f.gen || risky.State == "" {
+		t.Errorf("forecast not digest-stamped: gen %d (want %d), state %q", risky.Gen, f.gen, risky.State)
+	}
+	if ghost.Survival != 0.5 {
+		t.Errorf("unknown node survival = %v, want the 0.5 prior", ghost.Survival)
+	}
+
+	// 13:00 the same day: the horizon is event-free every prior day.
+	f.clock.Store(forecastEpochMS + 10*msPerDay + 780)
+	resp = f.r.handle(Request{Op: "forecast", Names: []string{"n1"}, HorizonMS: 60})
+	if !resp.OK {
+		t.Fatalf("forecast: %s", resp.Error)
+	}
+	if safe := resp.Forecasts[0]; safe.Survival <= 0.5 {
+		t.Errorf("survival in the safe window = %v, want > 0.5", safe.Survival)
+	}
+
+	// Wire path: the client helper round-trips the same exchange.
+	c := &Client{RegistryAddr: f.r.Addr()}
+	infos, err := c.Forecast(context.Background(), "", []string{"n1"}, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || !infos[0].Known {
+		t.Fatalf("client forecast: %+v", infos)
+	}
+}
+
+// TestForecastOpValidation pins the failure modes: not enabled, and a
+// missing horizon.
+func TestForecastOpValidation(t *testing.T) {
+	plain, err := NewRegistry("127.0.0.1:0", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if resp := plain.handle(Request{Op: "forecast", Names: []string{"x"}, HorizonMS: 60}); resp.OK {
+		t.Error("forecast on a non-forecasting registry succeeded")
+	}
+
+	f := newForecastFixture(t, RegistryOptions{})
+	if resp := f.r.handle(Request{Op: "forecast", Names: []string{"x"}}); resp.OK {
+		t.Error("forecast without a horizon succeeded")
+	}
+}
+
+// TestForecastSurvivesRecovery replays the WAL into a fresh registry and
+// checks the recovered forecaster re-derives the event history: the
+// post-recovery forecast matches the pre-crash one.
+func TestForecastSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opt := RegistryOptions{WAL: &WALOptions{Dir: dir}}
+	f := newForecastFixture(t, opt)
+	f.seedDailyOutages(t)
+
+	queryMS := forecastEpochMS + 10*msPerDay + 510
+	f.clock.Store(queryMS)
+	before := f.r.handle(Request{Op: "forecast", Names: []string{"n1"}, HorizonMS: 60})
+	if !before.OK {
+		t.Fatalf("forecast before crash: %s", before.Error)
+	}
+	if err := f.r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := newForecastFixture(t, RegistryOptions{WAL: &WALOptions{Dir: dir}})
+	f2.clock.Store(queryMS)
+	after := f2.r.handle(Request{Op: "forecast", Names: []string{"n1"}, HorizonMS: 60})
+	if !after.OK {
+		t.Fatalf("forecast after recovery: %s", after.Error)
+	}
+	b, a := before.Forecasts[0], after.Forecasts[0]
+	if !a.Known {
+		t.Fatal("recovered registry forgot the node")
+	}
+	if a.Survival != b.Survival || a.Samples != b.Samples {
+		t.Errorf("forecast changed across recovery:\n before %+v\n after  %+v", b, a)
+	}
+}

@@ -170,15 +170,17 @@ func (m *nodeMetrics) job(name, outcome string) *obs.Counter {
 
 // registryMetrics count the discovery service's traffic and liveness view.
 type registryMetrics struct {
-	requests       map[string]*obs.Counter
-	unknownHB      *obs.Counter
-	batched        *obs.Counter
-	nodes          *obs.Gauge
-	alive          *obs.Gauge
-	sheds          *obs.Counter
-	walAppends     *obs.Counter
-	walCompactions *obs.Counter
-	recovered      *obs.Gauge
+	requests        map[string]*obs.Counter
+	unknownHB       *obs.Counter
+	batched         *obs.Counter
+	nodes           *obs.Gauge
+	alive           *obs.Gauge
+	sheds           *obs.Counter
+	walAppends      *obs.Counter
+	walCompactions  *obs.Counter
+	recovered       *obs.Gauge
+	forecasts       *obs.Counter
+	forecastLatency *obs.Histogram
 }
 
 func newRegistryMetrics(r *obs.Registry) *registryMetrics {
@@ -192,8 +194,11 @@ func newRegistryMetrics(r *obs.Registry) *registryMetrics {
 		walAppends:     r.Counter("fgcs_registry_wal_appends_total", "mutation records appended to the write-ahead log"),
 		walCompactions: r.Counter("fgcs_registry_wal_compactions_total", "snapshot-and-truncate compactions of the write-ahead log"),
 		recovered:      r.Gauge("fgcs_registry_recovered_records", "WAL and snapshot records replayed at the last startup"),
+		forecasts:      r.Counter("fgcs_registry_forecasts_total", "per-node forecasts served by the forecast op"),
+		forecastLatency: r.Histogram("fgcs_registry_forecast_latency_seconds",
+			"wall-clock latency of one forecast exchange's computation", obs.ExpBuckets(1e-6, 4, 12)),
 	}
-	for _, op := range []string{"register", "register_batch", "unregister", "heartbeat", "heartbeat_batch", "list", "shardmap", "unknown"} {
+	for _, op := range []string{"register", "register_batch", "unregister", "heartbeat", "heartbeat_batch", "list", "shardmap", "forecast", "unknown"} {
 		m.requests[op] = r.Counter("fgcs_registry_requests_total", "registry exchanges by operation", obs.L("op", op))
 	}
 	return m

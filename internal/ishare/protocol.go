@@ -28,8 +28,8 @@ import (
 // Request is the single message type clients and nodes send.
 type Request struct {
 	// Op selects the action: "register", "unregister", "heartbeat",
-	// "register_batch", "heartbeat_batch", "list", "shardmap" (registry);
-	// "info", "submit", "sethost", "gossip" (node).
+	// "register_batch", "heartbeat_batch", "list", "shardmap", "forecast"
+	// (registry); "info", "submit", "sethost", "gossip" (node).
 	Op string `json:"op"`
 	// Name identifies a node (register/unregister/heartbeat).
 	Name string `json:"name,omitempty"`
@@ -52,6 +52,11 @@ type Request struct {
 	// Digests carries a batch of node states: the whole batch for
 	// register_batch and heartbeat_batch, the sender's view for gossip.
 	Digests []NodeDigest `json:"digests,omitempty"`
+	// Names lists the nodes a forecast request asks about (forecast).
+	Names []string `json:"names,omitempty"`
+	// HorizonMS is how far ahead, in wall milliseconds, a forecast
+	// request looks (forecast).
+	HorizonMS int64 `json:"horizon_ms,omitempty"`
 	// Limit bounds a list response to the best Limit available nodes,
 	// ranked by digest state (S1 before S2 before unknown). Zero keeps the
 	// legacy behavior: every registered node, dead ones included.
@@ -168,6 +173,35 @@ type JobResult struct {
 	Deduped bool `json:"deduped,omitempty"`
 }
 
+// ForecastInfo is one node's availability forecast, digest-stamped
+// (State/Gen/UnixMS echo the node's last heartbeat digest) so consumers
+// can bound the staleness of the history behind it, exactly as they do
+// for discovery results.
+type ForecastInfo struct {
+	Name string `json:"name"`
+	// Known is false when the registry has never observed this node;
+	// every forecast field then carries the documented cold-start prior.
+	Known bool `json:"known"`
+	// Survival is the history-window survival forecast over the horizon:
+	// P(no unavailability event starts in the matching clock window),
+	// from the same-clock-window history the paper's predictor uses.
+	Survival float64 `json:"survival"`
+	// EWMASurvival is the exponentially weighted daily-count forecast.
+	EWMASurvival float64 `json:"ewma_survival,omitempty"`
+	// RateSurvival is the hour-of-week rate-model forecast — the cheap
+	// fallback that stays informative when the horizon is misaligned or
+	// history is thin.
+	RateSurvival float64 `json:"rate_survival,omitempty"`
+	// ExpectedEvents is the forecast unavailability-event count.
+	ExpectedEvents float64 `json:"expected_events,omitempty"`
+	// Samples counts the history windows behind Survival (0 = prior).
+	Samples int `json:"samples,omitempty"`
+	// State, Gen and UnixMS echo the node's stored digest.
+	State  string `json:"state,omitempty"`
+	Gen    int64  `json:"gen,omitempty"`
+	UnixMS int64  `json:"unix_ms,omitempty"`
+}
+
 // Response is the uniform reply envelope.
 type Response struct {
 	OK    bool        `json:"ok"`
@@ -182,6 +216,9 @@ type Response struct {
 	Missing []string `json:"missing,omitempty"`
 	// ShardMap answers a shardmap request.
 	ShardMap *ShardMap `json:"shard_map,omitempty"`
+	// Forecasts answers a forecast request, one entry per requested name
+	// in request order.
+	Forecasts []ForecastInfo `json:"forecasts,omitempty"`
 	// RetryAfterMS, on a load-shed failure (OK false), hints how long the
 	// caller should back off before retrying. Zero on every other path.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/forecast"
 	"repro/internal/obs"
 )
 
@@ -46,6 +47,12 @@ type Registry struct {
 	shardMap *ShardMap
 	met      *registryMetrics // nil until Instrument
 	log      *slog.Logger     // nil until Instrument
+
+	// fc, when non-nil, is the embedded online forecaster: every digest
+	// state transition (live or WAL-replayed) feeds it, and the
+	// `forecast` op answers from it. Set once at construction, so reads
+	// need no lock; it carries its own mutex, always acquired after r.mu.
+	fc *forecast.Service
 
 	wal       *wal // nil without durability
 	recovered int  // records replayed at startup
@@ -98,6 +105,24 @@ type RegistryOptions struct {
 	RetryAfter time.Duration
 	// Now overrides the clock (chaos injects skew here); nil = time.Now.
 	Now func() time.Time
+	// Forecast, when set, embeds an online availability forecaster: the
+	// shard derives each node's unavailability-event stream from its
+	// digest state transitions (heartbeats, batches, gossip merges and
+	// WAL replay all flow through the same upsert) and serves per-node
+	// survival forecasts to the `forecast` op.
+	Forecast *ForecastOptions
+}
+
+// ForecastOptions configures a registry shard's embedded forecaster.
+type ForecastOptions struct {
+	// Scale is virtual seconds of fleet time per wall second (default 1).
+	// Loadtests that replay days of virtual fleet time in wall seconds
+	// run their registries with a large Scale so the forecaster's
+	// calendar arithmetic sees the fleet's clock, not the wall's.
+	Scale float64
+	// EpochMS anchors wall unix-milliseconds to the virtual span start;
+	// zero anchors at the first observed digest stamp.
+	EpochMS int64
 }
 
 func (o RegistryOptions) withDefaults() RegistryOptions {
@@ -161,6 +186,17 @@ func NewRegistryWithOptions(addr string, opt RegistryOptions) (*Registry, error)
 	}
 	for i := range r.buckets {
 		r.buckets[i] = make(map[string]*registryEntry)
+	}
+	if opt.Forecast != nil {
+		// Created before WAL recovery so replayed digests feed it too.
+		svc, err := forecast.NewService(forecast.ServiceConfig{
+			Scale:   opt.Forecast.Scale,
+			EpochMS: opt.Forecast.EpochMS,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ishare: forecast service: %w", err)
+		}
+		r.fc = svc
 	}
 	if opt.WAL != nil {
 		w, n, err := openWAL(*opt.WAL, r.applyWALRecord)
@@ -515,6 +551,16 @@ func (r *Registry) upsertLocked(d NodeDigest, now time.Time) bool {
 			e.info.State = d.State
 			e.info.Load = d.Load
 			e.info.Gen = d.Gen
+			if r.fc != nil {
+				stamp := d.UnixMS
+				if stamp == 0 {
+					stamp = now.UnixMilli()
+				}
+				// The service ignores unparseable states and cannot fail
+				// on ones it accepts (the detector config is its zero
+				// value, which always constructs).
+				_ = r.fc.ObserveState(d.Name, d.State, stamp)
+			}
 		}
 	}
 	if now.After(e.lastSeen) {
@@ -703,6 +749,45 @@ func (r *Registry) handle(req Request) *Response {
 			met.alive.Set(float64(alive))
 		}
 		return &Response{OK: true, Nodes: nodes}
+	case "forecast":
+		if r.fc == nil {
+			return &Response{OK: false, Error: "forecasting not enabled on this registry"}
+		}
+		if req.HorizonMS <= 0 {
+			return &Response{OK: false, Error: "forecast requires a positive horizon_ms"}
+		}
+		var t0 time.Time
+		if met != nil {
+			t0 = time.Now()
+		}
+		nowMS := r.now().UnixMilli()
+		horizon := time.Duration(req.HorizonMS) * time.Millisecond
+		out := make([]ForecastInfo, 0, len(req.Names))
+		r.mu.RLock()
+		for _, name := range req.Names {
+			f, known := r.fc.Forecast(name, horizon, nowMS)
+			fi := ForecastInfo{
+				Name:           name,
+				Known:          known,
+				Survival:       f.Survival,
+				EWMASurvival:   f.EWMASurvival,
+				RateSurvival:   f.RateSurvival,
+				ExpectedEvents: f.ExpectedEvents,
+				Samples:        f.Samples,
+			}
+			if e, ok := r.nodes[name]; ok {
+				fi.State = e.info.State
+				fi.Gen = e.info.Gen
+				fi.UnixMS = e.lastSeen.UnixMilli()
+			}
+			out = append(out, fi)
+		}
+		r.mu.RUnlock()
+		if met != nil {
+			met.forecasts.Add(uint64(len(out)))
+			met.forecastLatency.Observe(time.Since(t0).Seconds())
+		}
+		return &Response{OK: true, Forecasts: out}
 	case "shardmap":
 		r.mu.RLock()
 		m := r.shardMap

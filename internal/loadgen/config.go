@@ -67,6 +67,25 @@ type Config struct {
 	// CrashShard is the shard index killed during the crash phase
 	// (default 0; only meaningful with CrashRestart set).
 	CrashShard int
+	// Forecast enables the forecast service phase: every registry shard
+	// runs an online forecaster fed by the fleet's digest transitions, and
+	// after the heartbeat sweeps the driver measures batched forecast
+	// queries against it (see ForecastOps). Virtual time is wall time
+	// scaled by ForecastScale.
+	Forecast bool
+	// ForecastOps is how many batched forecast queries to measure
+	// (default 100; only meaningful with Forecast set).
+	ForecastOps int
+	// ForecastNames is how many node names ride one forecast query
+	// (default 64).
+	ForecastNames int
+	// ForecastScale maps wall milliseconds to virtual time (default
+	// 60000: one wall millisecond is one virtual minute, so a multi-second
+	// run spans virtual days of fleet history).
+	ForecastScale float64
+	// ForecastHorizon is the wall-clock horizon of each query (default
+	// 60 ms — one virtual hour at the default scale).
+	ForecastHorizon time.Duration
 	// Seed makes fleet states and churn reproducible (default 1).
 	Seed int64
 	// SLO holds the latency objectives checked after the run; zero fields
@@ -93,6 +112,8 @@ type SLO struct {
 	// The breaker is what keeps this small: after it opens, the dead
 	// shard costs the fan-out nothing.
 	CrashDiscoverFactor float64
+	// ForecastP99 bounds one batched forecast query (forecast phase only).
+	ForecastP99 time.Duration
 }
 
 // Validate checks the configuration without applying defaults: zero
@@ -124,6 +145,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxInflight < 0 {
 		return fmt.Errorf("loadgen: max inflight must not be negative, got %d", c.MaxInflight)
+	}
+	if c.ForecastOps < 0 || c.ForecastNames < 0 || c.ForecastScale < 0 || c.ForecastHorizon < 0 {
+		return fmt.Errorf("loadgen: negative forecast phase parameters")
 	}
 	if c.CrashShard < 0 {
 		return fmt.Errorf("loadgen: crash shard must not be negative, got %d", c.CrashShard)
@@ -185,6 +209,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.ForecastOps == 0 {
+		c.ForecastOps = 100
+	}
+	if c.ForecastNames == 0 {
+		c.ForecastNames = 64
+	}
+	if c.ForecastScale == 0 {
+		c.ForecastScale = 60_000
+	}
+	if c.ForecastHorizon == 0 {
+		c.ForecastHorizon = 60 * time.Millisecond
 	}
 	return c
 }

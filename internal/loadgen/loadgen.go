@@ -89,6 +89,11 @@ type Result struct {
 	// PartitionCandidates is the candidate count with the shard cut off —
 	// nonzero proves the stale-cache path kept the lost shard's slice.
 	PartitionCandidates int `json:"partition_candidates,omitempty"`
+	// Forecast is the per-query latency of the forecast phase (zero when
+	// the phase is disabled); ForecastKnown counts nodes the last query
+	// returned known forecasts for.
+	Forecast      LatencyStats `json:"forecast,omitempty"`
+	ForecastKnown int          `json:"forecast_known,omitempty"`
 	// StaleServes/ShardErrors/GossipServes snapshot the broker's recovery
 	// counters after the partition phase.
 	StaleServes  int `json:"stale_serves"`
@@ -119,6 +124,7 @@ type runMetrics struct {
 	register  *obs.Histogram
 	heartbeat *obs.Histogram
 	discover  *obs.Histogram
+	forecast  *obs.Histogram
 	fleet     *obs.Gauge
 }
 
@@ -128,6 +134,7 @@ func newRunMetrics(r *obs.Registry) *runMetrics {
 		register:  r.Histogram("fgcs_loadgen_register_seconds", "latency of one register_batch request", buckets),
 		heartbeat: r.Histogram("fgcs_loadgen_heartbeat_seconds", "latency of one heartbeat_batch request", buckets),
 		discover:  r.Histogram("fgcs_loadgen_discover_seconds", "latency of one fan-out discovery", buckets),
+		forecast:  r.Histogram("fgcs_loadgen_forecast_seconds", "latency of one batched forecast query", buckets),
 		fleet:     r.Gauge("fgcs_loadgen_fleet_nodes", "simulated nodes registered by the driver"),
 	}
 }
@@ -190,6 +197,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	regOpt := ishare.RegistryOptions{TTL: cfg.TTL, MaxInflight: cfg.MaxInflight}
 	if cfg.WALDir != "" {
 		regOpt.WAL = &ishare.WALOptions{Dir: cfg.WALDir}
+	}
+	if cfg.Forecast {
+		regOpt.Forecast = &ishare.ForecastOptions{Scale: cfg.ForecastScale}
 	}
 	sharded, err := ishare.NewShardedRegistryWithOptions(cfg.Shards, regOpt)
 	if err != nil {
@@ -340,6 +350,58 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	result.Candidates = lastCands
 	if lastCands == 0 {
 		return nil, fmt.Errorf("loadgen: healthy discovery returned no candidates from a %d-node fleet", cfg.Nodes)
+	}
+
+	// Phase 3b (optional): batched forecast queries. Every shard's online
+	// forecaster has been fed the fleet's digest transitions by the
+	// register and heartbeat phases; each query asks one shard for horizon
+	// survival forecasts of a slice of its own nodes.
+	if cfg.Forecast {
+		fcSamples := make([]time.Duration, cfg.ForecastOps)
+		fcStart := time.Now()
+		var fcKnown int
+		var fcMu sync.Mutex
+		forEach(cfg.Concurrency, cfg.ForecastOps, func(i int) {
+			shard := i % cfg.Shards
+			nodes := perShard[shard]
+			if len(nodes) == 0 {
+				return
+			}
+			off := (i * cfg.ForecastNames) % len(nodes)
+			end := off + cfg.ForecastNames
+			if end > len(nodes) {
+				end = len(nodes)
+			}
+			names := make([]string, 0, end-off)
+			for _, n := range nodes[off:end] {
+				names = append(names, n.name)
+			}
+			t0 := time.Now()
+			infos, err := client.Forecast(ctx, addrs[shard], names, cfg.ForecastHorizon)
+			if err != nil {
+				fail(fmt.Errorf("loadgen: forecast query %d: %w", i, err))
+				return
+			}
+			fcSamples[i] = time.Since(t0)
+			met.forecast.Observe(fcSamples[i].Seconds())
+			known := 0
+			for _, fi := range infos {
+				if fi.Known {
+					known++
+				}
+			}
+			fcMu.Lock()
+			fcKnown = known
+			fcMu.Unlock()
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		result.Forecast = summarize(fcSamples, time.Since(fcStart))
+		result.ForecastKnown = fcKnown
+		if fcKnown == 0 {
+			return nil, fmt.Errorf("loadgen: forecast phase saw no known nodes — digest transitions never reached the forecaster")
+		}
 	}
 
 	// Phase 4 (optional): the same discovery load with one shard cut off.
@@ -510,6 +572,7 @@ func (s SLO) check(r *Result) []string {
 	add("heartbeat p99", r.Heartbeat.P99, s.HeartbeatP99)
 	add("discover p50", r.Discover.P50, s.DiscoverP50)
 	add("discover p99", r.Discover.P99, s.DiscoverP99)
+	add("forecast p99", r.Forecast.P99, s.ForecastP99)
 	if r.PartitionDiscover != nil {
 		// The degraded path answers from cache; holding it to the same p99
 		// keeps "resilient" from meaning "slow".

@@ -1,0 +1,204 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// coldStartTrace builds a small two-machine trace with a few events on
+// machine 0 and none on machine 1, spanning two weeks from a Monday.
+func coldStartTrace() *trace.Trace {
+	tr := trace.New(sim.Window{Start: 0, End: 14 * sim.Day}, sim.Calendar{}, 2)
+	for d := 0; d < 10; d++ {
+		start := sim.Time(d)*sim.Day + 9*time.Hour
+		tr.Add(trace.Event{Machine: 0, Start: start, End: start + 30*time.Minute, State: availability.S3})
+	}
+	tr.Sort()
+	return tr
+}
+
+// TestPredictorColdStartEdges pins the documented defined values every
+// predictor must return on empty or absent history: no NaN, no panic, and
+// the specific no-information fallbacks.
+func TestPredictorColdStartEdges(t *testing.T) {
+	tr := coldStartTrace()
+
+	newTrained := func(p Predictor) Predictor { p.Train(tr); return p }
+
+	tests := []struct {
+		name string
+		p    Predictor
+		m    trace.MachineID
+		w    sim.Window
+		// wantCount/wantSurvival of math.NaN() means "any finite value in
+		// range" (checked generically below); concrete values are pinned
+		// exactly.
+		wantCount    float64
+		wantSurvival float64
+	}{
+		{
+			name: "history-window untrained",
+			p:    &HistoryWindow{},
+			m:    0,
+			w:    sim.Window{Start: 15 * sim.Day, End: 15*sim.Day + time.Hour},
+			wantCount: 0, wantSurvival: 0.5,
+		},
+		{
+			name: "history-window machine absent from training",
+			p:    newTrained(&HistoryWindow{}),
+			m:    trace.MachineID(tr.Machines), // one past the fleet
+			w:    sim.Window{Start: 14*sim.Day + 9*time.Hour, End: 14*sim.Day + 12*time.Hour},
+			wantCount: 0, wantSurvival: 0.5,
+		},
+		{
+			name: "history-window negative machine id",
+			p:    newTrained(&HistoryWindow{}),
+			m:    -1,
+			w:    sim.Window{Start: 14*sim.Day + 9*time.Hour, End: 14*sim.Day + 12*time.Hour},
+			wantCount: 0, wantSurvival: 0.5,
+		},
+		{
+			name: "history-window window before any history",
+			p:    newTrained(&HistoryWindow{}),
+			m:    0,
+			w:    sim.Window{Start: 0, End: time.Hour}, // first day: no prior same-type day
+			wantCount: 0, wantSurvival: 0.5,
+		},
+		{
+			name: "history-window min-history-days unmet",
+			p:    newTrained(&HistoryWindow{MinHistoryDays: 1000}),
+			m:    0,
+			w:    sim.Window{Start: 14*sim.Day + 9*time.Hour, End: 14*sim.Day + 10*time.Hour},
+			wantCount: 0, wantSurvival: 0.5,
+		},
+		{
+			name: "ewma-daily untrained",
+			p:    &EWMADaily{},
+			m:    0,
+			w:    sim.Window{Start: 15 * sim.Day, End: 15*sim.Day + time.Hour},
+			wantCount: 0, wantSurvival: 0.5,
+		},
+		{
+			name: "ewma-daily before the first full day",
+			p:    newTrained(&EWMADaily{}),
+			m:    0,
+			w:    sim.Window{Start: 6 * time.Hour, End: 9 * time.Hour}, // day 0: no prior day exists
+			wantCount: 0, wantSurvival: 0.5,
+		},
+		{
+			name: "ewma-daily machine absent from training",
+			p:    newTrained(&EWMADaily{}),
+			m:    trace.MachineID(tr.Machines),
+			w:    sim.Window{Start: 10*sim.Day + 9*time.Hour, End: 10*sim.Day + 10*time.Hour},
+			wantCount: 0, wantSurvival: 0.5,
+		},
+		{
+			name: "ewma-daily negative machine id",
+			p:    newTrained(&EWMADaily{}),
+			m:    -1,
+			w:    sim.Window{Start: 10*sim.Day + 9*time.Hour, End: 10*sim.Day + 10*time.Hour},
+			wantCount: 0, wantSurvival: 0.5,
+		},
+		{
+			name: "ewma-daily machine with no events",
+			p:    newTrained(&EWMADaily{}),
+			m:    1,
+			w:    sim.Window{Start: 10*sim.Day + 9*time.Hour, End: 10*sim.Day + 10*time.Hour},
+			wantCount: 0, wantSurvival: 1, // ten failure-free history days: certain survival
+		},
+		{
+			name: "semi-markov untrained",
+			p:    &SemiMarkov{},
+			m:    0,
+			w:    sim.Window{Start: 15 * sim.Day, End: 15*sim.Day + time.Hour},
+			wantCount: 0, wantSurvival: 0.5,
+		},
+		{
+			name: "semi-markov no prior event and query before span start",
+			p:    newTrained(&SemiMarkov{}),
+			m:    1,
+			w:    sim.Window{Start: -2 * sim.Day, End: -2*sim.Day + time.Hour},
+			wantCount: math.NaN(), wantSurvival: math.NaN(), // any defined in-range value
+		},
+		{
+			name: "last-day untrained",
+			p:    &LastDay{},
+			m:    0,
+			w:    sim.Window{Start: 15 * sim.Day, End: 15*sim.Day + time.Hour},
+			wantCount: 0, wantSurvival: 0.75,
+		},
+		{
+			name: "global-rate empty span",
+			p: func() Predictor {
+				g := &GlobalRate{}
+				g.Train(trace.New(sim.Window{}, sim.Calendar{}, 1))
+				return g
+			}(),
+			m: 0,
+			w: sim.Window{Start: 0, End: time.Hour},
+			wantCount: 0, wantSurvival: 1,
+		},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			count := tc.p.PredictCount(tc.m, tc.w)
+			surv := tc.p.PredictSurvival(tc.m, tc.w)
+			if math.IsNaN(count) || math.IsInf(count, 0) || count < 0 {
+				t.Fatalf("PredictCount = %v, want a finite non-negative value", count)
+			}
+			if math.IsNaN(surv) || surv < 0 || surv > 1 {
+				t.Fatalf("PredictSurvival = %v, want a value in [0, 1]", surv)
+			}
+			if !math.IsNaN(tc.wantCount) && count != tc.wantCount {
+				t.Errorf("PredictCount = %v, want %v", count, tc.wantCount)
+			}
+			if !math.IsNaN(tc.wantSurvival) && surv != tc.wantSurvival {
+				t.Errorf("PredictSurvival = %v, want %v", surv, tc.wantSurvival)
+			}
+		})
+	}
+}
+
+// TestSemiMarkovAgeClamp pins the age fallbacks directly: no prior event
+// measures from the span start, and a pre-span query clamps at zero.
+func TestSemiMarkovAgeClamp(t *testing.T) {
+	tr := coldStartTrace()
+	s := &SemiMarkov{}
+	s.Train(tr)
+
+	if got := s.age(1, 3*sim.Day); got != 3*sim.Day {
+		t.Errorf("age with no prior event = %v, want %v (measured from span start)", got, 3*sim.Day)
+	}
+	if got := s.age(1, -5*sim.Day); got != 0 {
+		t.Errorf("age before the span start = %v, want 0", got)
+	}
+	// After an event the age restarts at the event end.
+	end := 9*sim.Day + 9*time.Hour + 30*time.Minute
+	if got := s.age(0, end+2*time.Hour); got != 2*time.Hour {
+		t.Errorf("age after last event = %v, want %v", got, 2*time.Hour)
+	}
+}
+
+// TestEWMAColdStartTransitionsToInformed verifies the cold-start prior
+// yields to real history as soon as one full prior day exists.
+func TestEWMAColdStartTransitionsToInformed(t *testing.T) {
+	tr := coldStartTrace()
+	e := &EWMADaily{}
+	e.Train(tr)
+	// Day 1, same clock window as the daily event: one prior day of
+	// history with one event -> survival strictly informed (< 1, != 0.5 prior).
+	w := sim.Window{Start: sim.Day + 9*time.Hour, End: sim.Day + 10*time.Hour}
+	surv := e.PredictSurvival(0, w)
+	if surv >= 1 || math.IsNaN(surv) {
+		t.Fatalf("informed survival = %v, want < 1", surv)
+	}
+	if count := e.PredictCount(0, w); count != 1 {
+		t.Fatalf("one event on the one prior day: PredictCount = %v, want 1", count)
+	}
+}

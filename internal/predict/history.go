@@ -1,0 +1,55 @@
+package predict
+
+import (
+	"repro/internal/sim"
+)
+
+// ForEachHistoryWindow walks, in calendar-day order, the clock windows
+// matching w on prior days within span, calling fn for each fully observed
+// history window. It is the single definition of "same-window history" —
+// the offline HistoryWindow and EWMADaily predictors and the online
+// incremental forecaster (internal/forecast) all iterate through it, which
+// is what makes their forecasts bit-equal on identical history: the
+// contributing windows, their order, and therefore the floating-point
+// accumulation order are the same by construction.
+//
+// sameDayType selects the HistoryWindow rule (only days of w's day type
+// contribute, scanning every day of the span); without it the EWMADaily
+// rule applies (every day strictly before w's own day contributes). In
+// both modes a history window must lie inside span and end at or before
+// w.Start to count as history.
+func ForEachHistoryWindow(cal sim.Calendar, span sim.Window, w sim.Window, sameDayType bool, fn func(hw sim.Window)) {
+	offStart := cal.TimeOfDay(w.Start)
+	dur := w.Duration()
+	firstDay := cal.DayIndex(span.Start)
+	if sameDayType {
+		dayType := cal.DayType(w.Start)
+		lastFull := cal.DayIndex(span.End - 1)
+		for d := firstDay; d <= lastFull; d++ {
+			dayStart := sim.Time(d) * sim.Day
+			if cal.DayType(dayStart) != dayType {
+				continue
+			}
+			hw := sim.Window{Start: dayStart + offStart, End: dayStart + offStart + dur}
+			// Only fully observed history windows that end before the
+			// window being predicted count as history.
+			if hw.End > span.End || hw.End > w.Start {
+				continue
+			}
+			if hw.Start < span.Start {
+				continue
+			}
+			fn(hw)
+		}
+		return
+	}
+	lastDay := cal.DayIndex(w.Start) - 1
+	for d := firstDay; d <= lastDay; d++ {
+		dayStart := sim.Time(d) * sim.Day
+		hw := sim.Window{Start: dayStart + offStart, End: dayStart + offStart + dur}
+		if hw.Start < span.Start || hw.End > span.End || hw.End > w.Start {
+			continue
+		}
+		fn(hw)
+	}
+}

@@ -95,28 +95,8 @@ func (h *HistoryWindow) historyCounts(m trace.MachineID, w sim.Window) []float64
 	if h.memoValid && h.memoM == m && h.memoW == w {
 		return h.memoCounts
 	}
-	cal := h.tr.Calendar
-	dayType := cal.DayType(w.Start)
-	offStart := cal.TimeOfDay(w.Start)
-	dur := w.Duration()
-
 	counts := h.memoCounts[:0]
-	firstDay := cal.DayIndex(h.tr.Span.Start)
-	lastFull := cal.DayIndex(h.tr.Span.End - 1)
-	for d := firstDay; d <= lastFull; d++ {
-		dayStart := sim.Time(d) * sim.Day
-		if cal.DayType(dayStart) != dayType {
-			continue
-		}
-		hw := sim.Window{Start: dayStart + offStart, End: dayStart + offStart + dur}
-		// Only fully observed history windows that end before the window
-		// being predicted count as history.
-		if hw.End > h.tr.Span.End || hw.End > w.Start {
-			continue
-		}
-		if hw.Start < h.tr.Span.Start {
-			continue
-		}
+	ForEachHistoryWindow(h.tr.Calendar, h.tr.Span, w, true, func(hw sim.Window) {
 		if h.PoolMachines {
 			for mm := 0; mm < h.tr.Machines; mm++ {
 				counts = append(counts, float64(h.count(trace.MachineID(mm), hw)))
@@ -124,13 +104,29 @@ func (h *HistoryWindow) historyCounts(m trace.MachineID, w sim.Window) []float64
 		} else {
 			counts = append(counts, float64(h.count(m, hw)))
 		}
-	}
+	})
 	h.memoM, h.memoW, h.memoCounts, h.memoValid = m, w, counts, true
 	return counts
 }
 
-// PredictCount implements Predictor.
+// known reports whether machine m is part of the trained fleet. A machine
+// the predictor never observed has no history at all — distinct from a
+// machine observed to be failure-free — so predictions for it fall back to
+// the no-information values (count 0, survival 0.5) unless PoolMachines
+// aggregates fleet-wide history that applies to any machine.
+func (h *HistoryWindow) known(m trace.MachineID) bool {
+	if h.PoolMachines {
+		return true
+	}
+	return m >= 0 && int(m) < h.tr.Machines
+}
+
+// PredictCount implements Predictor. An untrained predictor or a machine
+// outside the trained fleet predicts 0 occurrences (no history to count).
 func (h *HistoryWindow) PredictCount(m trace.MachineID, w sim.Window) float64 {
+	if h.tr == nil || !h.known(m) {
+		return 0
+	}
 	counts := h.historyCounts(m, w)
 	if len(counts) < h.MinHistoryDays || len(counts) == 0 {
 		return 0
@@ -141,8 +137,13 @@ func (h *HistoryWindow) PredictCount(m trace.MachineID, w sim.Window) float64 {
 	return stats.Mean(counts)
 }
 
-// PredictSurvival implements Predictor.
+// PredictSurvival implements Predictor. An untrained predictor, a machine
+// outside the trained fleet, or a history shorter than MinHistoryDays all
+// answer 0.5 — the documented no-information prior, never NaN.
 func (h *HistoryWindow) PredictSurvival(m trace.MachineID, w sim.Window) float64 {
+	if h.tr == nil || !h.known(m) {
+		return 0.5 // no information
+	}
 	counts := h.historyCounts(m, w)
 	if len(counts) < h.MinHistoryDays || len(counts) == 0 {
 		return 0.5 // no information
@@ -250,42 +251,56 @@ func (e *EWMADaily) Train(tr *trace.Trace) {
 	e.hc = tr.BuildHourlyCounts()
 }
 
-// PredictCount implements Predictor.
-func (e *EWMADaily) PredictCount(m trace.MachineID, w sim.Window) float64 {
-	if e.tr == nil {
-		return 0
+// known reports whether machine m is part of the trained fleet; an
+// unobserved machine has no history, which is distinct from a machine
+// observed to be failure-free (see HistoryWindow.known).
+func (e *EWMADaily) known(m trace.MachineID) bool {
+	return m >= 0 && int(m) < e.tr.Machines
+}
+
+// predictCount is PredictCount plus an information flag: ok is false when
+// no fully observed prior day contributed (an untrained predictor, a
+// machine outside the trained fleet, or a window on the first day of the
+// span — the cold-start cases).
+func (e *EWMADaily) predictCount(m trace.MachineID, w sim.Window) (float64, bool) {
+	if e.tr == nil || !e.known(m) {
+		return 0, false
 	}
 	alpha := e.Alpha
 	if alpha <= 0 || alpha > 1 {
 		alpha = 0.3
 	}
 	acc := stats.NewEWMA(alpha)
-	cal := e.tr.Calendar
-	offStart := cal.TimeOfDay(w.Start)
-	dur := w.Duration()
-	firstDay := cal.DayIndex(e.tr.Span.Start)
-	lastDay := cal.DayIndex(w.Start) - 1
-	for d := firstDay; d <= lastDay; d++ {
-		dayStart := sim.Time(d) * sim.Day
-		hw := sim.Window{Start: dayStart + offStart, End: dayStart + offStart + dur}
-		if hw.Start < e.tr.Span.Start || hw.End > e.tr.Span.End || hw.End > w.Start {
-			continue
-		}
+	ForEachHistoryWindow(e.tr.Calendar, e.tr.Span, w, false, func(hw sim.Window) {
 		if n, ok := e.hc.CountInWindow(m, hw); ok {
 			acc.Add(float64(n))
 		} else {
 			acc.Add(float64(e.ix.CountInWindow(m, hw)))
 		}
-	}
+	})
 	if !acc.Initialized() {
-		return 0
+		return 0, false
 	}
-	return acc.Value()
+	return acc.Value(), true
 }
 
-// PredictSurvival implements Predictor.
+// PredictCount implements Predictor. Before the first full day of history
+// there is nothing to smooth and the prediction is a defined 0.
+func (e *EWMADaily) PredictCount(m trace.MachineID, w sim.Window) float64 {
+	v, _ := e.predictCount(m, w)
+	return v
+}
+
+// PredictSurvival implements Predictor. With at least one full day of
+// history it is exp(-expected count); before that — the cold-start case —
+// it answers the 0.5 no-information prior rather than a spurious certainty
+// of survival (exp(-0) = 1).
 func (e *EWMADaily) PredictSurvival(m trace.MachineID, w sim.Window) float64 {
-	return stats.Clamp01(math.Exp(-e.PredictCount(m, w)))
+	v, ok := e.predictCount(m, w)
+	if !ok {
+		return 0.5 // no information
+	}
+	return stats.Clamp01(math.Exp(-v))
 }
 
 // SemiMarkov models availability as a renewal process: it fits the
@@ -313,12 +328,20 @@ func (s *SemiMarkov) Train(tr *trace.Trace) {
 	}
 }
 
-// age returns how long machine m has been failure-free before t.
+// age returns how long machine m has been failure-free before t. With no
+// prior event the interval is measured from the span start (the machine
+// was first observed available); a query before the span start — where no
+// observation exists at all — ages the interval 0, never negative, so the
+// ECDF lookups downstream stay within the fitted support.
 func (s *SemiMarkov) age(m trace.MachineID, t sim.Time) time.Duration {
+	age := t - s.tr.Span.Start
 	if end, ok := s.ix.LastEndBefore(m, t); ok && end > s.tr.Span.Start {
-		return t - end
+		age = t - end
 	}
-	return t - s.tr.Span.Start
+	if age < 0 {
+		age = 0
+	}
+	return age
 }
 
 // PredictSurvival implements Predictor.

@@ -7,7 +7,8 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/ \
-    ./internal/trace/ ./internal/chaos/ ./internal/availability/ ./internal/check/
+    ./internal/trace/ ./internal/chaos/ ./internal/availability/ ./internal/check/ \
+    ./internal/forecast/ ./internal/loadgen/
 # Differential correctness harness: 200 randomized seeds through the naive
 # reference model vs the optimized detector/controller/testbed paths.
 go run ./cmd/fgcs-bench -check -check-seeds 200
@@ -30,6 +31,12 @@ go test -race -run 'TestCrashSoak' -count 1 ./internal/chaos/
 # WAL-recovered under load), gated on the smoke SLOs including
 # recovery < 2 s and crash-window discovery p99 <= 2x healthy.
 go run ./cmd/fgcs-loadtest -smoke
+# Forecast-driven scheduling smoke: fixed-seed replay evaluation gated on
+# proactive checkpoint/migrate wasting >= 10% less guest CPU than the
+# reactive baseline at equal-or-better throughput, plus the
+# online-vs-offline forecast differential (bit-equal to 1e-9).
+go run ./cmd/fgcs-loadtest -forecast
+go test -run 'TestRunSmoke' -count 1 ./internal/check/
 go test -run '^$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|BenchmarkDetectorObserve' \
     -benchtime 10x ./internal/testbed/ ./internal/simos/ ./internal/availability/
 # Fleet-pipeline smoke: sharded runner + streaming analyzer, binary codec,
@@ -44,7 +51,7 @@ go test -race -count 1 -run 'TestEncoderSinkV2RoundTrip' ./internal/testbed/
 # serial/parallel analyze, predictor evaluation, sharded control plane —
 # against their recorded expectations plus the v2-size, parallel-speedup,
 # point-query, shard-scaling and discovery-p99 gates.
-go run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/|ishare/' -out ''
+go run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/|ishare/|forecast/' -out ''
 # Metrics-endpoint smoke: start ishared with an ephemeral metrics port,
 # scrape /healthz and /metrics, assert the expected families.
 sh "$(dirname "$0")/metrics_smoke.sh"
