@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check fuzz-smoke chaos-smoke chaos-crash-soak loadtest-smoke forecast-smoke bench-smoke bench-parallel metrics-smoke bench bench-gates ci
+.PHONY: all vet build test race check fuzz-smoke chaos-smoke chaos-crash-soak loadtest-smoke forecast-smoke markov-smoke bench-smoke bench-parallel metrics-smoke bench bench-gates ci
 
 all: ci
 
@@ -19,7 +19,7 @@ test:
 # trace codec, the chaos fault injector, and the availability detector and
 # differential harness (which exercise the parallel runner under -race).
 race:
-	$(GO) test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/ ./internal/trace/ ./internal/chaos/ ./internal/availability/ ./internal/check/ ./internal/forecast/ ./internal/loadgen/
+	$(GO) test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/ ./internal/trace/ ./internal/chaos/ ./internal/availability/ ./internal/check/ ./internal/forecast/ ./internal/loadgen/ ./internal/markov/
 
 # Differential correctness harness: 200 randomized seeds replayed through
 # the naive reference model and the optimized detector/controller/testbed
@@ -69,6 +69,13 @@ forecast-smoke:
 	$(GO) run ./cmd/fgcs-loadtest -forecast
 	$(GO) test -run 'TestRunSmoke' -count 1 ./internal/check/
 
+# Generative-model smoke: the fit -> generate -> refit round trip on its
+# three fixed seeds (transition rates and interval ECDFs must be recovered
+# within the E24 tolerances) plus the scenario legality and stream
+# differential on two fixed seeds.
+markov-smoke:
+	$(GO) test -count 1 -run 'TestFitGenerateRefitRoundTrip|TestScenarioTracesAreLegal|TestScenarioStreamDifferential' ./internal/markov/
+
 # A short benchmark pass that exercises the performance-critical paths
 # without producing stable numbers; full runs go through cmd/fgcs-bench.
 bench-smoke:
@@ -88,7 +95,7 @@ bench-parallel:
 # expectations (and the v2-size, speedup, point-query, shard-scaling and
 # discovery-p99 gates) without rewriting BENCH_core.json.
 bench-gates:
-	$(GO) run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/|ishare/|forecast/' -out ''
+	$(GO) run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/|ishare/|forecast/|markov/' -out ''
 
 # Metrics-endpoint smoke: start ishared with an ephemeral metrics port,
 # scrape /healthz and /metrics, assert the expected families are served.
@@ -100,4 +107,4 @@ metrics-smoke:
 bench:
 	$(GO) run ./cmd/fgcs-bench -out BENCH_core.json
 
-ci: vet build test race check fuzz-smoke chaos-smoke chaos-crash-soak loadtest-smoke forecast-smoke bench-smoke bench-parallel bench-gates metrics-smoke
+ci: vet build test race check fuzz-smoke chaos-smoke chaos-crash-soak loadtest-smoke forecast-smoke markov-smoke bench-smoke bench-parallel bench-gates metrics-smoke

@@ -2,7 +2,8 @@
 // the full 20x92 testbed simulation, one machine-week, the sharded fleet
 // pipeline at 500 machines x 365 days, the v1 and v2 trace codecs, the
 // columnar block scanner, the serial and parallel analyze engines,
-// predictor evaluation (row-indexed and block-pruned), the sharded
+// predictor evaluation (row-indexed and block-pruned), semi-Markov
+// fleet-model fitting and generation (internal/markov), the sharded
 // control plane under a 50k-node loadgen fleet (batched registration and
 // ranked fan-out discovery at 1 and 4 shards), and the contention
 // figures behind the Th1/Th2 calibration — and writes the results as JSON
@@ -73,6 +74,7 @@ import (
 	"repro/internal/forecast"
 	"repro/internal/ishare"
 	"repro/internal/loadgen"
+	"repro/internal/markov"
 	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/sim"
@@ -127,6 +129,11 @@ var expectedNs = map[string]float64{
 	// accumulated history (query).
 	"forecast/ingest": 2.0e6,
 	"forecast/query":  0.2e6,
+	// Generative fleet models at the 100-machine x 35-day shape: one
+	// semi-Markov fit from a scenario fleet, one fleet generation from
+	// the fitted model.
+	"markov/fit":      9e6,
+	"markov/generate": 5.5e6,
 	// Control-plane entries: aggregate per-op wall cost (1e9 / ops-per-sec
 	// across the driver's workers) from the loadgen harness at the fixed
 	// 50k-node configuration below. The 4-shard entry is its single-core
@@ -149,6 +156,12 @@ var expectedP99Ns = map[string]float64{
 const (
 	ishareNodes       = 50000
 	ishareDiscoverOps = 400
+)
+
+// Fleet shape behind the markov fit/generate benchmarks.
+const (
+	markovMachines = 100
+	markovDays     = 35
 )
 
 type benchResult struct {
@@ -735,6 +748,47 @@ func main() {
 		}
 	}
 
+	// Generative fleet models: fit a semi-Markov availability model from an
+	// enterprise-scenario fleet, and generate a fleet from the fitted
+	// model. MachineDaysPerS is fitting/generation throughput at the fixed
+	// fleet shape below.
+	if sel("markov/fit") || sel("markov/generate") {
+		mcfg := markov.GenConfig{Machines: markovMachines, Days: markovDays, Seed: 7}
+		src, err := markov.GenerateScenario("enterprise", mcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err := markov.Fit(src, markov.FitOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		machineDays := float64(markovMachines * markovDays)
+		if sel("markov/fit") {
+			fit, fres := run("markov/fit", 0, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := markov.Fit(src, markov.FitOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			fit.MachineDaysPerS = float64(fres.N) * machineDays / fres.T.Seconds()
+			rep.Benchmarks = append(rep.Benchmarks, fit)
+		}
+		if sel("markov/generate") {
+			gen, gres := run("markov/generate", 0, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := markov.Generate(model, mcfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			gen.MachineDaysPerS = float64(gres.N) * machineDays / gres.T.Seconds()
+			rep.Benchmarks = append(rep.Benchmarks, gen)
+		}
+	}
+
 	// Control-plane load: the sharded registry, batch protocol and ranked
 	// fan-out discovery driven by the loadgen harness at a fixed 50k-node
 	// fleet. Entries record per-op p50/p99 and aggregate ops/s; NsPerOp is
@@ -1313,8 +1367,9 @@ func runCheck(seeds int) {
 	if err != nil {
 		log.Fatalf("DIVERGENCE: %v", err)
 	}
-	log.Printf("check passed: %d seeds, %d observations, %d transitions, %d testbed differentials (%d events, %d forecast comparisons), zero divergence in %s",
-		res.Seeds, res.Observations, res.Transitions, res.TestbedRuns, res.TestbedEvents, res.ForecastChecks, time.Since(start).Round(time.Millisecond))
+	log.Printf("check passed: %d seeds, %d observations, %d transitions, %d testbed differentials (%d events, %d forecast comparisons), %d generative differentials (%d events, %d boundary predictions), zero divergence in %s",
+		res.Seeds, res.Observations, res.Transitions, res.TestbedRuns, res.TestbedEvents, res.ForecastChecks,
+		res.MarkovRuns, res.MarkovEvents, res.MarkovChecks, time.Since(start).Round(time.Millisecond))
 }
 
 // medianFloat returns the median of vs, sorting it in place.

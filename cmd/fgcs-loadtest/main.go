@@ -47,6 +47,7 @@ func main() {
 		walDir        = flag.String("wal-dir", "", "durability root: shards WAL-log acked registrations under it (empty = volatile; a temp dir is used when -crash-shard or -smoke needs one)")
 		maxInflight   = flag.Int("max-inflight", 0, "per-shard admission bound on concurrently served exchanges (0 = unbounded)")
 		seed          = flag.Int64("seed", 1, "fleet/churn seed")
+		scenario      = flag.String("scenario", "", "draw fleet states from this markov scenario model's stationary distribution (enterprise, spot, multicore, container-dense; empty = paper occupancy)")
 		scaling       = flag.String("scaling", "", "comma-separated shard counts: run the scaling sweep instead of one load run")
 		forecastEval  = flag.Bool("forecast", false, "run the proactive-vs-reactive forecast evaluation instead of a load run")
 		forecastSvc   = flag.Bool("forecast-service", false, "add the batched forecast-query phase to the load run")
@@ -68,7 +69,8 @@ func main() {
 		Nodes: *nodes, Shards: *shards, BatchSize: *batch,
 		HeartbeatRounds: *rounds, ChurnFraction: *churn,
 		DiscoverOps: *discoverOps, DiscoverLimit: *discoverLimit,
-		Concurrency: *concurrency, Seed: *seed, WALDir: *walDir, MaxInflight: *maxInflight,
+		Concurrency: *concurrency, Seed: *seed, Scenario: *scenario,
+		WALDir: *walDir, MaxInflight: *maxInflight,
 		SLO: loadgen.SLO{RegisterP99: *sloRegP99, HeartbeatP99: *sloHBP99,
 			DiscoverP50: *sloDiscP50, DiscoverP99: *sloDiscP99,
 			Recovery: *sloRecovery, CrashDiscoverFactor: *sloCrashFac,

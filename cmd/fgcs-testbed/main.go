@@ -8,6 +8,13 @@
 //	fgcs-testbed -out trace.json
 //	fgcs-testbed -machines 10 -days 30 -format csv -out trace.csv
 //	fgcs-testbed -machines 1000 -days 365 -shard-dir shards/ -shard-size 100
+//	fgcs-testbed -scenario spot -machines 200 -days 30 -out spot.json
+//
+// With -scenario the trace comes from the semi-Markov generative fleet
+// models (internal/markov) instead of the process-level simulator:
+// enterprise diurnal desktops, spot-style mass preemption, multicore
+// contention, container-dense hosts, or lab-fitted (a model fitted from a
+// pilot run of this testbed).
 //
 // With -shard-dir the fleet is simulated in bounded-memory shards, each
 // written as one binary codec file (shard-0000.fgcb, shard-0001.fgcb, ...);
@@ -28,6 +35,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -40,6 +48,7 @@ func main() {
 		seed        = flag.Int64("seed", 2005, "simulation seed")
 		spread      = flag.Float64("spread", 0, "machine heterogeneity (0 = paper-like homogeneous lab)")
 		profile     = flag.String("profile", "lab", "workload profile: lab (paper) or enterprise (paper's future work)")
+		scenario    = flag.String("scenario", "", "generate a markov scenario fleet instead of simulating (enterprise, spot, multicore, container-dense, lab-fitted)")
 		format      = flag.String("format", "json", "output format: json, csv, binary (row codec) or binary2 (columnar blocks)")
 		out         = flag.String("out", "-", "output file (- = stdout)")
 		shardDir    = flag.String("shard-dir", "", "write binary shard files into this directory instead of a single trace")
@@ -74,13 +83,22 @@ func main() {
 	}
 
 	if *shardDir != "" {
+		if *scenario != "" {
+			log.Fatal("-scenario and -shard-dir are mutually exclusive")
+		}
 		if err := runSharded(cfg, *shardDir, *shardSize, *shardCodec); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	tr, err := testbed.Run(cfg)
+	var tr *trace.Trace
+	var err error
+	if *scenario != "" {
+		tr, err = testbed.ScenarioTrace(cfg, *scenario)
+	} else {
+		tr, err = testbed.Run(cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -58,6 +58,13 @@ type Result struct {
 	// ForecastChecks counts online-vs-offline forecast comparisons that
 	// agreed within tolerance across all testbed differentials.
 	ForecastChecks int64
+	// MarkovRuns counts generative-model differentials (checkMarkovSeed)
+	// and MarkovEvents the scenario events they analyzed.
+	MarkovRuns   int
+	MarkovEvents int64
+	// MarkovChecks counts SemiMarkov boundary predictions compared against
+	// the linear-scan reference.
+	MarkovChecks int64
 }
 
 // Run executes the differential harness: per seed it generates a randomized
@@ -71,7 +78,11 @@ type Result struct {
 // testbed four ways — fast, sharded, naive, and a Reference replay over the
 // exported observation stream — and requires identical traces and occupancy,
 // plus an online-vs-offline forecasting differential (see
-// checkOnlineForecastSeed).
+// checkOnlineForecastSeed). On the seeds halfway between testbed runs a
+// generative-model differential (see checkMarkovSeed) generates a markov
+// scenario fleet and requires the serial, sharded, and parallel-block
+// analyzers to agree on it exactly, and the SemiMarkov predictor to match
+// a linear-scan reference at boundary instants.
 //
 // The first divergence aborts the run with an error naming the seed.
 func Run(opts Options) (Result, error) {
@@ -85,6 +96,13 @@ func Run(opts Options) (Result, error) {
 		if i%opts.TestbedEvery == 0 {
 			if err := checkTestbedSeed(seed, &res); err != nil {
 				return res, fmt.Errorf("check: testbed seed %d: %w", seed, err)
+			}
+		}
+		// Offset by half a period so the markov and testbed legs
+		// interleave instead of piling onto the same seeds.
+		if i%opts.TestbedEvery == opts.TestbedEvery/2 {
+			if err := checkMarkovSeed(seed, &res); err != nil {
+				return res, fmt.Errorf("check: markov seed %d: %w", seed, err)
 			}
 		}
 		res.Seeds++

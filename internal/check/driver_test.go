@@ -27,6 +27,12 @@ func TestRunSmoke(t *testing.T) {
 	if res.ForecastChecks == 0 {
 		t.Errorf("no online-vs-offline forecast comparisons ran: %+v", res)
 	}
+	if res.MarkovRuns == 0 || res.MarkovEvents == 0 {
+		t.Errorf("no generative-model differential ran: %+v", res)
+	}
+	if res.MarkovChecks == 0 {
+		t.Errorf("no SemiMarkov boundary comparisons ran: %+v", res)
+	}
 }
 
 // TestRunDefaults pins the CI configuration the zero Options resolve to.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/markov"
 	"repro/internal/obs"
 )
 
@@ -86,6 +87,12 @@ type Config struct {
 	// ForecastHorizon is the wall-clock horizon of each query (default
 	// 60 ms — one virtual hour at the default scale).
 	ForecastHorizon time.Duration
+	// Scenario, when set, draws fleet availability states from the
+	// stationary distribution of the named markov scenario model
+	// (internal/markov: enterprise, spot, multicore, container-dense)
+	// instead of the paper's empirical occupancy. Churn re-draws from the
+	// same distribution.
+	Scenario string
 	// Seed makes fleet states and churn reproducible (default 1).
 	Seed int64
 	// SLO holds the latency objectives checked after the run; zero fields
@@ -151,6 +158,18 @@ func (c Config) Validate() error {
 	}
 	if c.CrashShard < 0 {
 		return fmt.Errorf("loadgen: crash shard must not be negative, got %d", c.CrashShard)
+	}
+	if c.Scenario != "" {
+		known := false
+		for _, name := range markov.ScenarioNames() {
+			if name == c.Scenario {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("loadgen: unknown scenario %q (want one of %v)", c.Scenario, markov.ScenarioNames())
+		}
 	}
 	if c.CrashRestart {
 		if c.WALDir == "" {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/ishare"
+	"repro/internal/markov"
 	"repro/internal/obs"
 )
 
@@ -19,10 +20,7 @@ import (
 // loaded and revoked ones). Churn re-draws from the same distribution,
 // which keeps the fleet's aggregate behavior stationary — the ergodic
 // framing under which the paper's multi-state availability model is fit.
-var paperStates = []struct {
-	state string
-	p     float64
-}{
+var paperStates = []stateProb{
 	{"S1(full)", 0.55},
 	{"S2(lowest-priority)", 0.20},
 	{"S3(cpu-unavail)", 0.10},
@@ -30,16 +28,42 @@ var paperStates = []struct {
 	{"S5(machine-unavail)", 0.10},
 }
 
-func drawState(rng *rand.Rand) string {
+// stateProb pairs an availability state label with its stationary
+// probability.
+type stateProb struct {
+	state string
+	p     float64
+}
+
+func drawState(rng *rand.Rand, dist []stateProb) string {
 	u := rng.Float64()
 	acc := 0.0
-	for _, s := range paperStates {
+	for _, s := range dist {
 		acc += s.p
 		if u < acc {
 			return s.state
 		}
 	}
-	return paperStates[len(paperStates)-1].state
+	return dist[len(dist)-1].state
+}
+
+// stateDistribution resolves the distribution fleet states are drawn
+// from: the paper's empirical occupancy by default, or the renewal-reward
+// stationary distribution of a markov scenario model when scenario names
+// one.
+func stateDistribution(scenario string) ([]stateProb, error) {
+	if scenario == "" {
+		return paperStates, nil
+	}
+	d, err := markov.ScenarioStateDistribution(scenario)
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]stateProb, len(paperStates))
+	for i, s := range paperStates {
+		dist[i] = stateProb{state: s.state, p: d[i]}
+	}
+	return dist, nil
 }
 
 // LatencyStats summarizes one operation class from its raw samples.
@@ -210,14 +234,19 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	inj := chaos.New(cfg.Seed)
 
 	// Build the fleet: names, fake addresses (these nodes are never
-	// dialed — digest ranking is the whole point), paper-drawn states.
+	// dialed — digest ranking is the whole point), states drawn from the
+	// paper's occupancy or the configured scenario model.
+	dist, err := stateDistribution(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	fleet := make([]*simNode, cfg.Nodes)
 	for i := range fleet {
 		fleet[i] = &simNode{
 			name:  fmt.Sprintf("sim-%07d", i),
 			addr:  fmt.Sprintf("10.%d.%d.%d:7", i>>16&0xff, i>>8&0xff, i&0xff),
-			state: drawState(rng),
+			state: drawState(rng, dist),
 			load:  rng.Float64(),
 			gen:   1,
 		}
@@ -284,7 +313,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		churn := int(cfg.ChurnFraction * float64(cfg.Nodes))
 		for k := 0; k < churn; k++ {
 			n := fleet[rng.Intn(len(fleet))]
-			if s := drawState(rng); s != n.state {
+			if s := drawState(rng, dist); s != n.state {
 				n.state = s
 				n.load = rng.Float64()
 				n.gen++

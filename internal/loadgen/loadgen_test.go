@@ -16,7 +16,7 @@ func TestDrawStateCoversDistribution(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	const n = 20000
 	for i := 0; i < n; i++ {
-		counts[drawState(rng)]++
+		counts[drawState(rng, paperStates)]++
 	}
 	for _, s := range paperStates {
 		frac := float64(counts[s.state]) / n
@@ -122,5 +122,53 @@ func TestRunScalingRows(t *testing.T) {
 func TestRunRejectsInvalidConfig(t *testing.T) {
 	if _, err := Run(ctx, Config{}); err == nil {
 		t.Fatal("zero config accepted")
+	}
+	if _, err := Run(ctx, Config{Nodes: 10, Scenario: "no-such-scenario"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestScenarioStateDistribution checks scenario-driven fleets draw from
+// the model's stationary occupancy: a proper distribution over the same
+// five labels, measurably different from the paper default for a
+// low-churn scenario like enterprise.
+func TestScenarioStateDistribution(t *testing.T) {
+	dist, err := stateDistribution("enterprise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != len(paperStates) {
+		t.Fatalf("distribution over %d states, want %d", len(dist), len(paperStates))
+	}
+	var sum float64
+	for i, s := range dist {
+		if s.state != paperStates[i].state {
+			t.Errorf("state %d label %q, want %q", i, s.state, paperStates[i].state)
+		}
+		sum += s.p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("probabilities sum to %v, want 1", sum)
+	}
+	// An enterprise desktop fleet is mostly available — far more S1+S2
+	// mass than the paper's 0.75 would leave noticeable, and certainly
+	// not identical to the default table.
+	if dist[0].p == paperStates[0].p {
+		t.Error("scenario distribution identical to paper default")
+	}
+}
+
+// TestRunScenarioFleet runs the pipeline end to end with a scenario-drawn
+// fleet.
+func TestRunScenarioFleet(t *testing.T) {
+	res, err := Run(ctx, Config{
+		Nodes: 300, Shards: 1, DiscoverOps: 5, Concurrency: 2,
+		Scenario: "enterprise",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Register.Ops == 0 || res.Discover.Ops != 5 {
+		t.Fatalf("phase ops = %+v", res)
 	}
 }

@@ -1,0 +1,131 @@
+package markov
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// FitOptions tune Fit. The zero value fits the pooled fleet model only.
+type FitOptions struct {
+	// PerMachine additionally fits one model per machine. Per-machine
+	// hazards are noisy on short traces; the pooled fleet estimate is
+	// usually what Generate should run on.
+	PerMachine bool
+}
+
+// fitAccum accumulates sufficient statistics for one MachineModel:
+// event-start counts and availability exposure per hour-of-week slot,
+// plus the raw duration samples.
+type fitAccum struct {
+	counts    [sim.HoursPerWeek][NumCauses]int
+	exposure  [sim.HoursPerWeek]float64 // available machine-hours
+	durations [NumCauses][numDayTypes][]float64
+}
+
+// addExposure distributes an availability interval across the hour-of-week
+// slots it touches, walking hour boundaries so each slot is credited with
+// exactly the time spent inside it.
+func (a *fitAccum) addExposure(cal sim.Calendar, iv trace.Interval) {
+	t := iv.Start
+	for t < iv.End {
+		// The start of the next hour after t (strictly later than t).
+		next := t - t%time.Hour + time.Hour
+		if t < 0 && t%time.Hour != 0 {
+			next -= time.Hour
+		}
+		if next > iv.End {
+			next = iv.End
+		}
+		a.exposure[cal.HourOfWeek(t)] += (next - t).Hours()
+		t = next
+	}
+}
+
+// addEvents tallies event starts and duration samples.
+func (a *fitAccum) addEvents(cal sim.Calendar, evs []trace.Event) {
+	for _, e := range evs {
+		c := causeIndex(e.State)
+		if c < 0 {
+			continue
+		}
+		a.counts[cal.HourOfWeek(e.Start)][c]++
+		dt := int(cal.DayType(e.Start))
+		a.durations[c][dt] = append(a.durations[c][dt], e.Duration().Hours())
+	}
+}
+
+// model turns the accumulated statistics into a MachineModel: rate =
+// starts / exposure per slot (0 where the slot was never observed
+// available), duration ECDFs from the raw samples.
+func (a *fitAccum) model() *MachineModel {
+	m := &MachineModel{}
+	for h := 0; h < sim.HoursPerWeek; h++ {
+		for c := 0; c < NumCauses; c++ {
+			if a.exposure[h] > 0 {
+				m.Rates[h][c] = float64(a.counts[h][c]) / a.exposure[h]
+			}
+		}
+	}
+	for c := 0; c < NumCauses; c++ {
+		for dt := 0; dt < numDayTypes; dt++ {
+			m.Durations[c][dt] = stats.NewECDF(a.durations[c][dt])
+		}
+	}
+	return m
+}
+
+// merge folds another accumulator into this one (fleet pooling).
+func (a *fitAccum) merge(b *fitAccum) {
+	for h := 0; h < sim.HoursPerWeek; h++ {
+		a.exposure[h] += b.exposure[h]
+		for c := 0; c < NumCauses; c++ {
+			a.counts[h][c] += b.counts[h][c]
+		}
+	}
+	for c := 0; c < NumCauses; c++ {
+		for dt := 0; dt < numDayTypes; dt++ {
+			a.durations[c][dt] = append(a.durations[c][dt], b.durations[c][dt]...)
+		}
+	}
+}
+
+// Fit estimates a semi-Markov model from a recorded trace. Hazards are
+// event starts per available machine-hour per hour-of-week slot, with the
+// exposure computed from the machine's availability intervals (so time
+// spent down never dilutes a slot's rate); durations are the raw event
+// lengths split by cause and by the day type of the event's start.
+func Fit(tr *trace.Trace, opts FitOptions) (*Model, error) {
+	if tr == nil || tr.Machines <= 0 {
+		return nil, fmt.Errorf("markov: cannot fit an empty trace")
+	}
+	if tr.Span.End <= tr.Span.Start {
+		return nil, fmt.Errorf("markov: cannot fit a zero-length span %v", tr.Span)
+	}
+	fleet := &fitAccum{}
+	var per []*MachineModel
+	if opts.PerMachine {
+		per = make([]*MachineModel, tr.Machines)
+	}
+	for id := 0; id < tr.Machines; id++ {
+		acc := &fitAccum{}
+		for _, iv := range tr.Intervals(trace.MachineID(id)) {
+			acc.addExposure(tr.Calendar, iv)
+		}
+		acc.addEvents(tr.Calendar, tr.MachineEvents(trace.MachineID(id)))
+		if opts.PerMachine {
+			per[id] = acc.model()
+		}
+		fleet.merge(acc)
+	}
+	m := &Model{
+		Calendar:   tr.Calendar,
+		Machines:   tr.Machines,
+		Fleet:      fleet.model(),
+		PerMachine: per,
+	}
+	return m, m.Validate()
+}

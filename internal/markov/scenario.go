@@ -1,0 +1,390 @@
+package markov
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/availability"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// A Scenario is one named fleet generator from the library: either a
+// synthetic semi-Markov model run through Generate, or a structural
+// generator (per-core contention, container caps, correlated waves) that
+// builds events the hazard model alone cannot express. All scenarios are
+// deterministic in (name, GenConfig).
+type Scenario struct {
+	Name        string
+	Description string
+	generate    func(cfg GenConfig) (*trace.Trace, error)
+}
+
+// Scenarios returns the library in stable name order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "enterprise",
+			Description: "enterprise diurnal desktops: contention concentrated in office hours, rare revocation",
+			generate:    generateEnterprise,
+		},
+		{
+			Name:        "spot",
+			Description: "spot-style preemption: quiet hosts hit by correlated fleet-wide revocation waves",
+			generate:    generateSpot,
+		},
+		{
+			Name:        "multicore",
+			Description: "multicore hosts: S3 only when every core's busy process overlaps",
+			generate:    generateMulticore,
+		},
+		{
+			Name:        "container-dense",
+			Description: "container-dense hosts: OS-virtualization caps breached by concurrent container activity",
+			generate:    generateContainers,
+		},
+	}
+}
+
+// ScenarioNames returns just the names, for CLI flag help.
+func ScenarioNames() []string {
+	ss := Scenarios()
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// GenerateScenario builds the named scenario's fleet trace.
+func GenerateScenario(name string, cfg GenConfig) (*trace.Trace, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s.generate(cfg)
+		}
+	}
+	return nil, fmt.Errorf("markov: unknown scenario %q (have %v)", name, ScenarioNames())
+}
+
+// ScenarioStateDistribution returns the five-state stationary occupancy a
+// scenario implies, by generating a small reference fleet at a fixed seed
+// and fitting it — so structural scenarios (waves, caps) get the same
+// treatment as hazard-driven ones. loadgen draws fleet states from this.
+func ScenarioStateDistribution(name string) ([5]float64, error) {
+	tr, err := GenerateScenario(name, GenConfig{Machines: 8, Days: 14, Seed: 1})
+	if err != nil {
+		return [5]float64{}, err
+	}
+	m, err := Fit(tr, FitOptions{})
+	if err != nil {
+		return [5]float64{}, err
+	}
+	return m.StateDistribution(), nil
+}
+
+// syntheticDurations builds a duration ECDF from n deterministic
+// log-normal draws (median in hours); the fixed internal seed makes
+// scenario models identical across processes.
+func syntheticDurations(name string, n int, median, sigma float64) *stats.ECDF {
+	r := sim.NewSource(7).Stream("scenario/" + name + "/durations")
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = sim.LogNormal(r, median, sigma)
+	}
+	return stats.NewECDF(s)
+}
+
+// EnterpriseModel is the synthetic semi-Markov model behind the
+// "enterprise" scenario: CPU contention follows office hours sharply on
+// weekdays, weekends are nearly idle, memory pressure is rare, and
+// revocation is a small constant background (single-owner machines —
+// the paper's Section 6 follow-up testbed).
+func EnterpriseModel() *Model {
+	mm := &MachineModel{}
+	for h := 0; h < sim.HoursPerWeek; h++ {
+		hod := h % 24
+		weekend := h >= 5*24
+		s3 := 0.01
+		s4 := 0.002
+		if !weekend && hod >= 9 && hod < 18 {
+			s3 = 0.28
+			s4 = 0.03
+		} else if !weekend && (hod == 8 || hod == 18) {
+			s3 = 0.08
+		}
+		mm.Rates[h][0] = s3
+		mm.Rates[h][1] = s4
+		mm.Rates[h][2] = 0.0012 // ~0.2 revocations per machine-week
+	}
+	for dt := 0; dt < numDayTypes; dt++ {
+		mm.Durations[0][dt] = syntheticDurations("enterprise/s3", 512, 0.12, 0.8)
+		mm.Durations[1][dt] = syntheticDurations("enterprise/s4", 512, 0.15, 0.6)
+		mm.Durations[2][dt] = syntheticDurations("enterprise/s5", 512, 0.75, 1.0)
+	}
+	return &Model{Fleet: mm}
+}
+
+func generateEnterprise(cfg GenConfig) (*trace.Trace, error) {
+	return Generate(EnterpriseModel(), cfg)
+}
+
+// spotBaseModel is the per-host background of the "spot" scenario: hosts
+// are individually quiet (light contention, no independent revocation to
+// speak of) — the action is in the correlated waves layered on top.
+func spotBaseModel() *Model {
+	mm := &MachineModel{}
+	for h := 0; h < sim.HoursPerWeek; h++ {
+		mm.Rates[h][0] = 0.015
+		mm.Rates[h][1] = 0.004
+		mm.Rates[h][2] = 0.0005
+	}
+	for dt := 0; dt < numDayTypes; dt++ {
+		mm.Durations[0][dt] = syntheticDurations("spot/s3", 256, 0.08, 0.7)
+		mm.Durations[1][dt] = syntheticDurations("spot/s4", 256, 0.1, 0.6)
+		mm.Durations[2][dt] = syntheticDurations("spot/s5", 256, 0.3, 0.8)
+	}
+	return &Model{Fleet: mm}
+}
+
+// generateSpot layers mass-preemption waves over the quiet base: wave
+// times are a fleet-level Poisson process, each wave revokes a drawn
+// fraction of the fleet simultaneously with near-identical outage
+// lengths — the correlated-failure structure spot markets exhibit and
+// independent per-machine hazards cannot produce.
+func generateSpot(cfg GenConfig) (*trace.Trace, error) {
+	tr, err := Generate(spotBaseModel(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	wf := sim.NewSource(cfg.Seed).Stream("scenario/spot/waves")
+	const meanWaveGap = 16 * time.Hour
+	t := tr.Span.Start
+	for {
+		t += sim.Exp(wf, meanWaveGap)
+		if t >= tr.Span.End {
+			break
+		}
+		frac := 0.2 + 0.5*wf.Float64()
+		base := sim.LogNormal(wf, 0.5, 0.5) // hours
+		for id := 0; id < cfg.Machines; id++ {
+			hit := wf.Float64() < frac
+			jitter := 0.9 + 0.2*wf.Float64()
+			if !hit {
+				continue
+			}
+			end := t + time.Duration(base*jitter*float64(time.Hour))
+			if end > tr.Span.End {
+				end = tr.Span.End
+			}
+			if end <= t {
+				continue
+			}
+			tr.Add(trace.Event{
+				Machine:  trace.MachineID(id),
+				Start:    t,
+				End:      end,
+				State:    availability.S5,
+				AvailCPU: 0.5 + 0.5*wf.Float64(),
+				AvailMem: 256 << 20,
+			})
+		}
+	}
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("markov: spot trace invalid: %w", err)
+	}
+	return tr, nil
+}
+
+// multicoreCores is the core count of the "multicore" scenario hosts.
+// simos already schedules multi-CPU machines (MachineConfig.CPUs); this
+// scenario models the trace-level consequence: a C-core host is only
+// CPU-unavailable to a guest when all C cores are contended at once, so
+// S3 events are the intersection of per-core busy processes rather than a
+// single host-wide hazard.
+const multicoreCores = 4
+
+func generateMulticore(cfg GenConfig) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cal := sim.Calendar{StartWeekday: cfg.StartWeekday}
+	span := sim.Window{Start: 0, End: sim.Time(cfg.Days) * sim.Day}
+	tr := trace.New(span, cal, cfg.Machines)
+	src := sim.NewSource(cfg.Seed)
+	for id := 0; id < cfg.Machines; id++ {
+		sets := make([][]sim.Window, multicoreCores)
+		for core := 0; core < multicoreCores; core++ {
+			r := src.Stream("markov/" + strconv.Itoa(id) + "/core/" + strconv.Itoa(core))
+			sets[core] = busyIntervals(r, span, 150*time.Minute, 40*time.Minute, 0.8)
+		}
+		for _, w := range overlapWindows(sets, multicoreCores) {
+			if w.Duration() < 30*time.Second {
+				continue // sub-transient blips the detector would suspend through
+			}
+			tr.Add(trace.Event{
+				Machine: trace.MachineID(id), Start: w.Start, End: w.End,
+				State: availability.S3, AvailCPU: 1.0 / multicoreCores, AvailMem: 512 << 20,
+			})
+		}
+		// Sparse whole-host revocations unrelated to core contention.
+		r := src.Stream("markov/" + strconv.Itoa(id) + "/urr")
+		addConstantHazard(tr, trace.MachineID(id), r, span, 0.001, 0.5, availability.S5)
+	}
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("markov: multicore trace invalid: %w", err)
+	}
+	return tr, nil
+}
+
+// Container-dense scenario knobs: each host runs containerHosts
+// containers; the OS-virtualization layer caps concurrently runnable
+// containers at containerCPUCap before guests starve (S3), and memory
+// overcommit collapses into thrashing past containerMemCap (S4) — the
+// OS-level virtualization limits of the Pokluda thesis.
+const (
+	containerHosts  = 16
+	containerCPUCap = 12
+	containerMemCap = 13
+)
+
+func generateContainers(cfg GenConfig) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cal := sim.Calendar{StartWeekday: cfg.StartWeekday}
+	span := sim.Window{Start: 0, End: sim.Time(cfg.Days) * sim.Day}
+	tr := trace.New(span, cal, cfg.Machines)
+	src := sim.NewSource(cfg.Seed)
+	for id := 0; id < cfg.Machines; id++ {
+		sets := make([][]sim.Window, containerHosts)
+		for ct := 0; ct < containerHosts; ct++ {
+			r := src.Stream("markov/" + strconv.Itoa(id) + "/container/" + strconv.Itoa(ct))
+			// Each container is active roughly half the time, so the
+			// binomial tail past the caps is rare but recurring: ~1% of
+			// wall time past the CPU cap, ~0.2% past the memory cap.
+			sets[ct] = busyIntervals(r, span, 35*time.Minute, 30*time.Minute, 0.6)
+		}
+		for _, w := range overlapWindows(sets, containerCPUCap+1) {
+			if w.Duration() < 30*time.Second {
+				continue
+			}
+			tr.Add(trace.Event{
+				Machine: trace.MachineID(id), Start: w.Start, End: w.End,
+				State: availability.S3, AvailCPU: 0.1, AvailMem: 256 << 20,
+			})
+		}
+		// Deeper overcommit: the same activity processes breaching the
+		// memory cap thrash the host (S4 nested inside the S3 pressure).
+		for _, w := range overlapWindows(sets, containerMemCap+1) {
+			if w.Duration() < 30*time.Second {
+				continue
+			}
+			tr.Add(trace.Event{
+				Machine: trace.MachineID(id), Start: w.Start, End: w.End,
+				State: availability.S4, AvailCPU: 0.1, AvailMem: 32 << 20,
+			})
+		}
+	}
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("markov: container trace invalid: %w", err)
+	}
+	return tr, nil
+}
+
+// busyIntervals simulates one alternating idle/busy renewal process over
+// the span: idle gaps are exponential with the given mean, busy periods
+// log-normal with the given median duration and shape.
+func busyIntervals(r *rand.Rand, span sim.Window, idleMean time.Duration, busyMedian time.Duration, sigma float64) []sim.Window {
+	var out []sim.Window
+	t := span.Start
+	for {
+		t += sim.Exp(r, idleMean)
+		if t >= span.End {
+			return out
+		}
+		busy := time.Duration(sim.LogNormal(r, busyMedian.Hours(), sigma) * float64(time.Hour))
+		if busy <= 0 {
+			busy = time.Second
+		}
+		end := t + busy
+		if end > span.End {
+			end = span.End
+		}
+		out = append(out, sim.Window{Start: t, End: end})
+		t = end
+	}
+}
+
+// addConstantHazard appends events of one state arriving with a constant
+// hazard (events per hour) and log-normal durations (median hours).
+func addConstantHazard(tr *trace.Trace, id trace.MachineID, r *rand.Rand, span sim.Window, perHour, medianHours float64, st availability.State) {
+	t := span.Start
+	for {
+		t += time.Duration(r.ExpFloat64() / perHour * float64(time.Hour))
+		if t >= span.End {
+			return
+		}
+		end := t + time.Duration(sim.LogNormal(r, medianHours, 0.8)*float64(time.Hour))
+		if end > span.End {
+			end = span.End
+		}
+		if end > t {
+			tr.Add(trace.Event{
+				Machine: id, Start: t, End: end, State: st,
+				AvailCPU: 0.5 + 0.5*r.Float64(), AvailMem: 256 << 20,
+			})
+		}
+		t = end
+	}
+}
+
+// overlapWindows returns the maximal windows during which at least k of
+// the interval sets are simultaneously active — the k-of-n sweep shared
+// by the multicore (k = n cores) and container (k = cap+1) scenarios.
+// Touching windows are merged, so output windows are disjoint and sorted.
+func overlapWindows(sets [][]sim.Window, k int) []sim.Window {
+	type point struct {
+		at    sim.Time
+		delta int
+	}
+	var pts []point
+	for _, set := range sets {
+		for _, w := range set {
+			if w.End > w.Start {
+				pts = append(pts, point{w.Start, +1}, point{w.End, -1})
+			}
+		}
+	}
+	// Ends sort before starts at equal instants: a process handing off to
+	// another at the same tick does not count as overlap.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].at != pts[j].at {
+			return pts[i].at < pts[j].at
+		}
+		return pts[i].delta < pts[j].delta
+	})
+	var out []sim.Window
+	count, open := 0, sim.Time(0)
+	active := false
+	for _, p := range pts {
+		count += p.delta
+		if !active && count >= k {
+			active, open = true, p.at
+		} else if active && count < k {
+			active = false
+			if n := len(out); n > 0 && out[n-1].End == open {
+				out[n-1].End = p.at
+			} else {
+				out = append(out, sim.Window{Start: open, End: p.at})
+			}
+		}
+	}
+	return out
+}

@@ -185,6 +185,75 @@ func TestSemiMarkovAgeClamp(t *testing.T) {
 	}
 }
 
+// TestSemiMarkovAgeSpanStartBoundary pins the boundary the audit fixed: an
+// event whose End coincides exactly with the span start counts as a prior
+// renewal, and the age it implies equals the no-prior-event fallback (both
+// measure from the span start), so the two code paths must agree exactly.
+func TestSemiMarkovAgeSpanStartBoundary(t *testing.T) {
+	span := sim.Window{Start: 2 * sim.Day, End: 16 * sim.Day}
+	tr := trace.New(span, sim.Calendar{}, 2)
+	// Machine 0: an event ending exactly at the span start.
+	tr.Add(trace.Event{Machine: 0, Start: span.Start - 30*time.Minute, End: span.Start, State: availability.S3})
+	// Machine 1: no events at all.
+	tr.Sort()
+	s := &SemiMarkov{}
+	s.Train(tr)
+
+	at := span.Start + 5*time.Hour
+	withEvent := s.age(0, at)
+	withoutEvent := s.age(1, at)
+	if withEvent != 5*time.Hour {
+		t.Errorf("age with event ending at span start = %v, want %v", withEvent, 5*time.Hour)
+	}
+	if withEvent != withoutEvent {
+		t.Errorf("span-start boundary: age with event = %v, without = %v, want equal", withEvent, withoutEvent)
+	}
+	// Querying exactly at the event end (== span start) is age zero from
+	// either path, never negative.
+	if got := s.age(0, span.Start); got != 0 {
+		t.Errorf("age at the span start = %v, want 0", got)
+	}
+}
+
+// TestSemiMarkovSurvivalSingleEvaluation pins PredictSurvival against the
+// ECDF identity it implements: S(age+d)/S(age) when mass remains past the
+// age, the unconditional S(d) fallback otherwise. This is the contract the
+// double-evaluation cleanup must preserve.
+func TestSemiMarkovSurvivalSingleEvaluation(t *testing.T) {
+	tr := coldStartTrace()
+	s := &SemiMarkov{}
+	s.Train(tr)
+
+	ecdf := tr.IntervalECDF(sim.Weekday)
+	if ecdf.N() == 0 {
+		t.Fatal("fixture produced no weekday intervals")
+	}
+
+	// In-support age: conditional survival, computed once.
+	w := sim.Window{Start: 3*sim.Day + 10*time.Hour, End: 3*sim.Day + 12*time.Hour}
+	age := s.age(0, w.Start).Hours()
+	if sa := ecdf.Survival(age); sa > 0 {
+		want := ecdf.Survival(age+w.Duration().Hours()) / sa
+		if got := s.PredictSurvival(0, w); got != want {
+			t.Errorf("PredictSurvival = %v, want conditional survival %v", got, want)
+		}
+	} else {
+		t.Fatalf("fixture age %v hours already out of support; pick an earlier window", age)
+	}
+
+	// Out-of-support age (querying past the span end pushes machine 1's
+	// failure-free age beyond the longest trained interval, the 336h full
+	// span): unconditional fallback.
+	w2 := sim.Window{Start: 16*sim.Day + 9*time.Hour, End: 16*sim.Day + 10*time.Hour}
+	age2 := s.age(1, w2.Start).Hours()
+	if sa := ecdf.Survival(age2); sa != 0 {
+		t.Fatalf("expected out-of-support age for machine 1, got Survival(%v) = %v", age2, sa)
+	}
+	if got, want := s.PredictSurvival(1, w2), ecdf.Survival(w2.Duration().Hours()); got != want {
+		t.Errorf("fallback PredictSurvival = %v, want unconditional %v", got, want)
+	}
+}
+
 // TestEWMAColdStartTransitionsToInformed verifies the cold-start prior
 // yields to real history as soon as one full prior day exists.
 func TestEWMAColdStartTransitionsToInformed(t *testing.T) {

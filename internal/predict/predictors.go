@@ -332,10 +332,15 @@ func (s *SemiMarkov) Train(tr *trace.Trace) {
 // prior event the interval is measured from the span start (the machine
 // was first observed available); a query before the span start — where no
 // observation exists at all — ages the interval 0, never negative, so the
-// ECDF lookups downstream stay within the fitted support.
+// ECDF lookups downstream stay within the fitted support. An event ending
+// exactly at the span start still counts as a prior event: the current
+// interval began with that recovery, which coincides with — not precedes —
+// the first observation, so the renewal clock restarts there too (the
+// resulting age is the same either way; the >= keeps the semantics
+// explicit rather than an accident of the subtraction).
 func (s *SemiMarkov) age(m trace.MachineID, t sim.Time) time.Duration {
 	age := t - s.tr.Span.Start
-	if end, ok := s.ix.LastEndBefore(m, t); ok && end > s.tr.Span.Start {
+	if end, ok := s.ix.LastEndBefore(m, t); ok && end >= s.tr.Span.Start {
 		age = t - end
 	}
 	if age < 0 {
@@ -354,13 +359,16 @@ func (s *SemiMarkov) PredictSurvival(m trace.MachineID, w sim.Window) float64 {
 		return 0.5
 	}
 	age := s.age(m, w.Start).Hours()
-	if ecdf.Survival(age) == 0 {
+	sa := ecdf.Survival(age)
+	if sa == 0 {
 		// The current interval already outlived every trained interval
 		// (common when predicting far past the training prefix); fall
 		// back to the unconditional survival of a fresh interval.
 		return stats.Clamp01(ecdf.Survival(w.Duration().Hours()))
 	}
-	return stats.Clamp01(ecdf.ConditionalSurvival(age, w.Duration().Hours()))
+	// P(X > age+d | X > age), evaluating Survival(age) once rather than
+	// again inside ConditionalSurvival.
+	return stats.Clamp01(ecdf.Survival(age+w.Duration().Hours()) / sa)
 }
 
 // PredictCount implements Predictor.

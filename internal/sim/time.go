@@ -80,6 +80,17 @@ func (c Calendar) HourOfDay(t Time) int {
 	return int(rem / time.Hour)
 }
 
+// HourOfWeek returns the hour slot (0..167) containing t within the weekly
+// cycle: Weekday(t)*24 + HourOfDay(t). Slot 0 is the first hour of the
+// week's Monday regardless of StartWeekday, so models fitted on calendars
+// with different epoch anchors stay comparable.
+func (c Calendar) HourOfWeek(t Time) int {
+	return c.Weekday(t)*24 + c.HourOfDay(t)
+}
+
+// HoursPerWeek is the number of hour-of-week slots (7 * 24).
+const HoursPerWeek = 168
+
 // TimeOfDay returns the offset of t within its day, in [0, 24h).
 func (c Calendar) TimeOfDay(t Time) time.Duration {
 	rem := t % Day

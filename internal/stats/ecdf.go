@@ -1,6 +1,9 @@
 package stats
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // ECDF is an empirical cumulative distribution function built from a sample.
 // It is immutable once constructed and safe for concurrent readers.
@@ -94,4 +97,50 @@ func (e *ECDF) MassBetween(lo, hi float64) float64 {
 		lo, hi = hi, lo
 	}
 	return e.At(hi) - e.At(lo)
+}
+
+// Sample maps a uniform draw u in [0,1) to a sample value by inverse
+// transform: the i-th order statistic with i = floor(u*n). Drawing u from
+// an independent uniform stream therefore resamples the empirical
+// distribution exactly — the generative counterpart of At. An empty ECDF
+// yields 0.
+func (e *ECDF) Sample(u float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		return 0
+	}
+	if u < 0 {
+		u = 0
+	}
+	i := int(u * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return e.sorted[i]
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic between two ECDFs:
+// the supremum of |F1(x) - F2(x)| over the pooled sample points. Both
+// empty yields 0; exactly one empty yields 1.
+func (e *ECDF) KSDistance(o *ECDF) float64 {
+	if len(e.sorted) == 0 && len(o.sorted) == 0 {
+		return 0
+	}
+	if len(e.sorted) == 0 || len(o.sorted) == 0 {
+		return 1
+	}
+	// The sup of the difference of two right-continuous step functions is
+	// attained at a jump point of one of them.
+	max := 0.0
+	for _, x := range e.sorted {
+		if d := math.Abs(e.At(x) - o.At(x)); d > max {
+			max = d
+		}
+	}
+	for _, x := range o.sorted {
+		if d := math.Abs(e.At(x) - o.At(x)); d > max {
+			max = d
+		}
+	}
+	return max
 }

@@ -248,11 +248,14 @@ func (t *Trace) NextEventAfter(m MachineID, ts sim.Time) (Event, bool) {
 
 // HourlyCountSeries returns the fleet-wide unavailability counts per hour
 // over the whole span, one entry per hour of observation (events spanning
-// several hours count once per hour, as in Figure 7). Feeding this series
-// to stats.AutoCorrelation at lags of 24 and 168 hours quantifies the
+// several hours count once per hour, as in Figure 7). A partial final hour
+// gets its own entry — the span length rounds up to whole hours — so
+// events in the span tail are never silently dropped from the daily and
+// weekly autocorrelation series. Feeding this series to
+// stats.AutoCorrelation at lags of 24 and 168 hours quantifies the
 // paper's daily- and weekly-pattern claim directly.
 func (t *Trace) HourlyCountSeries() []float64 {
-	hours := int(t.Span.Duration() / time.Hour)
+	hours := int((t.Span.Duration() + time.Hour - 1) / time.Hour)
 	if hours <= 0 {
 		return nil
 	}

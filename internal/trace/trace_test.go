@@ -383,3 +383,29 @@ func TestHourlyCountSeries(t *testing.T) {
 		t.Error("zero-span series should be nil")
 	}
 }
+
+// TestHourlyCountSeriesPartialHour pins the partial-final-hour semantics:
+// a span that is not a whole number of hours still gets an entry for its
+// tail hour, so events there are counted rather than silently dropped.
+func TestHourlyCountSeriesPartialHour(t *testing.T) {
+	// 2h30m span: 3 entries, the last covering the 30-minute tail.
+	tr := New(span(2*time.Hour+30*time.Minute), sim.Calendar{}, 1)
+	tr.Add(mkEvent(0, 2*time.Hour+10*time.Minute, 2*time.Hour+20*time.Minute, availability.S3))
+	s := tr.HourlyCountSeries()
+	if len(s) != 3 {
+		t.Fatalf("series length = %d, want 3 (partial hour rounds up)", len(s))
+	}
+	if s[2] != 1 {
+		t.Errorf("tail-hour count = %v, want 1 (event in the partial final hour)", s[2])
+	}
+	if s[0] != 0 || s[1] != 0 {
+		t.Errorf("whole hours = %v, %v, want 0, 0", s[0], s[1])
+	}
+
+	// A sub-hour span is one entry, not zero.
+	short := New(span(20*time.Minute), sim.Calendar{}, 1)
+	short.Add(mkEvent(0, 5*time.Minute, 10*time.Minute, availability.S4))
+	if got := short.HourlyCountSeries(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("sub-hour span series = %v, want [1]", got)
+	}
+}

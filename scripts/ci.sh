@@ -8,7 +8,7 @@ go build ./...
 go test ./...
 go test -race ./internal/ishare/ ./internal/testbed/ ./internal/contention/ \
     ./internal/trace/ ./internal/chaos/ ./internal/availability/ ./internal/check/ \
-    ./internal/forecast/ ./internal/loadgen/
+    ./internal/forecast/ ./internal/loadgen/ ./internal/markov/
 # Differential correctness harness: 200 randomized seeds through the naive
 # reference model vs the optimized detector/controller/testbed paths.
 go run ./cmd/fgcs-bench -check -check-seeds 200
@@ -37,6 +37,10 @@ go run ./cmd/fgcs-loadtest -smoke
 # online-vs-offline forecast differential (bit-equal to 1e-9).
 go run ./cmd/fgcs-loadtest -forecast
 go test -run 'TestRunSmoke' -count 1 ./internal/check/
+# Generative-model smoke: fit -> generate -> refit round trip on three
+# fixed seeds (rates and interval ECDFs recovered within the E24
+# tolerances) plus scenario legality and the stream differential.
+go test -count 1 -run 'TestFitGenerateRefitRoundTrip|TestScenarioTracesAreLegal|TestScenarioStreamDifferential' ./internal/markov/
 go test -run '^$' -bench 'BenchmarkRunMachineWeek|BenchmarkTickSixProcesses|BenchmarkDetectorObserve' \
     -benchtime 10x ./internal/testbed/ ./internal/simos/ ./internal/availability/
 # Fleet-pipeline smoke: sharded runner + streaming analyzer, binary codec,
@@ -51,7 +55,7 @@ go test -race -count 1 -run 'TestEncoderSinkV2RoundTrip' ./internal/testbed/
 # serial/parallel analyze, predictor evaluation, sharded control plane —
 # against their recorded expectations plus the v2-size, parallel-speedup,
 # point-query, shard-scaling and discovery-p99 gates.
-go run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/|ishare/|forecast/' -out ''
+go run ./cmd/fgcs-bench -only 'trace/|analyze/|predict/|ishare/|forecast/|markov/' -out ''
 # Metrics-endpoint smoke: start ishared with an ephemeral metrics port,
 # scrape /healthz and /metrics, assert the expected families.
 sh "$(dirname "$0")/metrics_smoke.sh"
